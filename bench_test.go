@@ -1,0 +1,323 @@
+package egwalker
+
+// Benchmark harness: one benchmark family per table/figure of the
+// paper's evaluation (§4). See DESIGN.md's experiment index and
+// EXPERIMENTS.md for measured results.
+//
+// Traces are synthetic (internal/trace), scaled by EGW_BENCH_SCALE
+// (default 0.005 so `go test -bench=.` completes quickly; cmd/egbench
+// runs the full harness at larger scales and also measures memory,
+// which testing.B cannot report faithfully).
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"strconv"
+	"sync"
+	"testing"
+
+	"egwalker/internal/causal"
+	"egwalker/internal/core"
+	"egwalker/internal/encoding"
+	"egwalker/internal/listcrdt"
+	"egwalker/internal/oplog"
+	"egwalker/internal/ot"
+	"egwalker/internal/rope"
+	"egwalker/internal/trace"
+)
+
+var (
+	benchOnce   sync.Once
+	benchTraces map[string]*oplog.Log
+	benchScale  = 0.005
+)
+
+func loadBenchTraces(b *testing.B) map[string]*oplog.Log {
+	benchOnce.Do(func() {
+		if s := os.Getenv("EGW_BENCH_SCALE"); s != "" {
+			if f, err := strconv.ParseFloat(s, 64); err == nil && f > 0 {
+				benchScale = f
+			}
+		}
+		benchTraces = make(map[string]*oplog.Log)
+		for _, spec := range trace.All() {
+			l, err := trace.Generate(spec.Scale(benchScale))
+			if err != nil {
+				panic(fmt.Sprintf("generate %s: %v", spec.Name, err))
+			}
+			benchTraces[spec.Name] = l
+		}
+	})
+	return benchTraces
+}
+
+func eachTrace(b *testing.B, fn func(b *testing.B, name string, l *oplog.Log)) {
+	traces := loadBenchTraces(b)
+	for _, spec := range trace.All() {
+		spec := spec
+		b.Run(spec.Name, func(b *testing.B) {
+			fn(b, spec.Name, traces[spec.Name])
+		})
+	}
+}
+
+// --- Table 1: trace statistics (reported once, not timed) ---------------
+
+func BenchmarkTable1Stats(b *testing.B) {
+	eachTrace(b, func(b *testing.B, name string, l *oplog.Log) {
+		var st trace.Stats
+		for i := 0; i < b.N; i++ {
+			var err error
+			st, err = trace.Measure(name, l)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(st.Events), "events")
+		b.ReportMetric(float64(st.GraphRuns), "runs")
+		b.ReportMetric(st.AvgConcurrency, "avgconc")
+	})
+}
+
+// --- Figure 8: merge time per algorithm ----------------------------------
+
+func BenchmarkFig8MergeEgwalker(b *testing.B) {
+	eachTrace(b, func(b *testing.B, _ string, l *oplog.Log) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.ReplayRope(l); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkFig8MergeRefCRDT(b *testing.B) {
+	eachTrace(b, func(b *testing.B, _ string, l *oplog.Log) {
+		ops, err := listcrdt.FromLog(l)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			d := listcrdt.New()
+			if err := d.Merge(ops); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkFig8MergeOT(b *testing.B) {
+	eachTrace(b, func(b *testing.B, name string, l *oplog.Log) {
+		if l.Len() > 50_000 && (name == "A1" || name == "A2") && benchScale > 0.02 {
+			b.Skip("OT is quadratic on asynchronous traces; run via cmd/egbench")
+		}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := ot.ReplayText(l); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkFig8LoadCached measures reloading a saved document whose
+// final text is cached (Eg-walker's and OT's load path). CRDT load time
+// equals CRDT merge time (BenchmarkFig8MergeRefCRDT).
+func BenchmarkFig8LoadCached(b *testing.B) {
+	eachTrace(b, func(b *testing.B, _ string, l *oplog.Log) {
+		text, err := core.ReplayText(l)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := encoding.Encode(&buf, l, encoding.Options{CacheFinalDoc: true}, text, nil); err != nil {
+			b.Fatal(err)
+		}
+		data := buf.Bytes()
+		b.ResetTimer()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			dec, err := encoding.Decode(data)
+			if err != nil {
+				b.Fatal(err)
+			}
+			r := rope.NewFromString(dec.Doc)
+			if r.Len() == 0 && len(text) > 0 {
+				b.Fatal("empty load")
+			}
+		}
+	})
+}
+
+// --- Figure 9: §3.5 optimisations on/off ---------------------------------
+
+func BenchmarkFig9OptEnabled(b *testing.B) {
+	eachTrace(b, func(b *testing.B, _ string, l *oplog.Log) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.ReplayRope(l); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkFig9OptDisabled(b *testing.B) {
+	eachTrace(b, func(b *testing.B, _ string, l *oplog.Log) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.ReplayRopeNoOpt(l); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// --- Figure 10: memory is measured by cmd/egbench fig10 -----------------
+// (testing.B reports allocation totals, not retained/peak heap; the
+// B/op columns of the Fig 8 benchmarks give the allocation side.)
+
+// --- Figures 11/12: encoded file sizes -----------------------------------
+
+func BenchmarkFig11Encode(b *testing.B) {
+	eachTrace(b, func(b *testing.B, _ string, l *oplog.Log) {
+		text, err := core.ReplayText(l)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var size, cachedSize int
+		for i := 0; i < b.N; i++ {
+			var buf bytes.Buffer
+			if err := encoding.Encode(&buf, l, encoding.Options{}, text, nil); err != nil {
+				b.Fatal(err)
+			}
+			size = buf.Len()
+			buf.Reset()
+			if err := encoding.Encode(&buf, l, encoding.Options{CacheFinalDoc: true}, text, nil); err != nil {
+				b.Fatal(err)
+			}
+			cachedSize = buf.Len()
+		}
+		b.ReportMetric(float64(size), "bytes")
+		b.ReportMetric(float64(cachedSize), "cached-bytes")
+		b.ReportMetric(float64(len(l.InsertedContent())), "inserted-bytes")
+	})
+}
+
+func BenchmarkFig12EncodePruned(b *testing.B) {
+	eachTrace(b, func(b *testing.B, _ string, l *oplog.Log) {
+		text, err := core.ReplayText(l)
+		if err != nil {
+			b.Fatal(err)
+		}
+		deleted, err := encoding.DeletedSet(l)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var size int
+		for i := 0; i < b.N; i++ {
+			var buf bytes.Buffer
+			if err := encoding.Encode(&buf, l, encoding.Options{OmitDeletedContent: true}, text, deleted); err != nil {
+				b.Fatal(err)
+			}
+			size = buf.Len()
+		}
+		b.ReportMetric(float64(size), "bytes")
+		b.ReportMetric(float64(len(text)), "doc-bytes")
+	})
+}
+
+// --- §3.7 complexity: two branches of n events each ----------------------
+
+func twoBranchLog(b *testing.B, n int) *oplog.Log {
+	b.Helper()
+	l := oplog.New()
+	sp, err := l.AddInsert("base", nil, 0, "0123456789")
+	if err != nil {
+		b.Fatal(err)
+	}
+	base := causal.Frontier{sp.End - 1}
+	head := base.Clone()
+	for i := 0; i < n; i++ {
+		s, err := l.AddInsert("a", head, i, "a")
+		if err != nil {
+			b.Fatal(err)
+		}
+		head = causal.Frontier{s.End - 1}
+	}
+	head = base.Clone()
+	for i := 0; i < n; i++ {
+		s, err := l.AddInsert("b", head, 10+i, "b")
+		if err != nil {
+			b.Fatal(err)
+		}
+		head = causal.Frontier{s.End - 1}
+	}
+	return l
+}
+
+func BenchmarkComplexityMergeEgwalker(b *testing.B) {
+	for _, n := range []int{1000, 4000, 16000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			l := twoBranchLog(b, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.ReplayRope(l); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkComplexityMergeOT(b *testing.B) {
+	for _, n := range []int{1000, 4000, 16000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			l := twoBranchLog(b, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := ot.ReplayText(l); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Public API overheads -------------------------------------------------
+
+func BenchmarkDocLocalInsert(b *testing.B) {
+	d := NewDoc("bench")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := d.Insert(d.Len(), "x"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDocRealtimeApply(b *testing.B) {
+	// A remote peer types; we apply each event as it arrives (the
+	// linear fast path).
+	src := NewDoc("src")
+	for i := 0; i < 1000; i++ {
+		if err := src.Insert(src.Len(), "y"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	evs := src.Events()
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		dst := NewDoc("dst")
+		b.StartTimer()
+		for j := range evs {
+			if _, err := dst.Apply(evs[j : j+1]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

@@ -1,0 +1,127 @@
+// Command egtrace generates, inspects, and converts the synthetic
+// editing traces used by the benchmarks.
+//
+// Usage:
+//
+//	egtrace gen  -trace C1 [-scale F] -o trace.json     generate to JSON
+//	egtrace gen  -trace C1 [-scale F] -bin -o trace.egw generate to binary
+//	egtrace stats -trace C1 [-scale F]                  print Table 1 row
+//	egtrace stats -i trace.json                         stats for a file
+//	egtrace text  -i trace.json                         replay and print text
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+
+	"egwalker/internal/core"
+	"egwalker/internal/encoding"
+	"egwalker/internal/oplog"
+	"egwalker/internal/trace"
+)
+
+var (
+	traceName = flag.String("trace", "", "trace preset name (S1 S2 S3 C1 C2 A1 A2)")
+	scale     = flag.Float64("scale", 0.05, "trace size scale factor")
+	input     = flag.String("i", "", "input trace file (.json or .egw)")
+	output    = flag.String("o", "", "output file (default stdout)")
+	binary    = flag.Bool("bin", false, "write the binary event-graph format instead of JSON")
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: egtrace [flags] <gen|stats|text>")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0)); err != nil {
+		fmt.Fprintln(os.Stderr, "egtrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(cmd string) error {
+	switch cmd {
+	case "gen":
+		name, l, err := load()
+		if err != nil {
+			return err
+		}
+		out := os.Stdout
+		if *output != "" {
+			f, err := os.Create(*output)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			out = f
+		}
+		if *binary {
+			text, err := core.ReplayText(l)
+			if err != nil {
+				return err
+			}
+			return encoding.Encode(out, l, encoding.Options{CacheFinalDoc: true}, text, nil)
+		}
+		return trace.WriteJSON(out, name, l)
+	case "stats":
+		name, l, err := load()
+		if err != nil {
+			return err
+		}
+		st, err := trace.Measure(name, l)
+		if err != nil {
+			return err
+		}
+		fmt.Println(trace.Header())
+		fmt.Println(st.Row())
+		return nil
+	case "text":
+		_, l, err := load()
+		if err != nil {
+			return err
+		}
+		text, err := core.ReplayText(l)
+		if err != nil {
+			return err
+		}
+		fmt.Println(text)
+		return nil
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+// load resolves the input: either a preset to generate or a file to
+// read.
+func load() (string, *oplog.Log, error) {
+	if *input != "" {
+		data, err := os.ReadFile(*input)
+		if err != nil {
+			return "", nil, err
+		}
+		if bytes.HasPrefix(data, []byte("EGW1")) {
+			dec, err := encoding.Decode(data)
+			if err != nil {
+				return "", nil, err
+			}
+			return *input, dec.Log, nil
+		}
+		return trace.ReadJSON(bytes.NewReader(data))
+	}
+	if *traceName == "" {
+		return "", nil, fmt.Errorf("need -trace or -i")
+	}
+	spec, ok := trace.ByName(*traceName)
+	if !ok {
+		return "", nil, fmt.Errorf("unknown trace %q", *traceName)
+	}
+	l, err := trace.Generate(spec.Scale(*scale))
+	return spec.Name, l, err
+}

@@ -1,0 +1,37 @@
+// Package egwalker is a collaborative plain-text editing library
+// implementing the Eg-walker algorithm (Gentle & Kleppmann,
+// "Collaborative Text Editing with Eg-walker: Better, Faster, Smaller",
+// EuroSys 2025).
+//
+// Each replica holds a Doc: the document text plus the full editing
+// history as an event graph. Local edits apply immediately; concurrent
+// remote edits merge deterministically — any two replicas that have seen
+// the same events converge to identical text, with no central server
+// required.
+//
+// Unlike classic CRDT libraries, a Doc holds no per-character metadata
+// in the steady state: merging builds a transient internal structure
+// only for the concurrent portion of the history and discards it
+// afterwards, so memory use and document load time match plain-text
+// editing. Unlike classic OT, merging two branches of n events costs
+// O(n log n) rather than O(n²).
+//
+// # Quick start
+//
+//	alice := egwalker.NewDoc("alice")
+//	alice.Insert(0, "Helo")
+//
+//	bob := egwalker.NewDoc("bob")
+//	bob.Apply(alice.Events())      // sync
+//
+//	alice.Insert(3, "l")           // concurrent edits...
+//	bob.Insert(4, "!")
+//
+//	bob.Apply(alice.EventsSince(bobHas))   // exchange events
+//	alice.Apply(bob.EventsSince(aliceHas))
+//	// alice.Text() == bob.Text() == "Hello!"
+//
+// Events can be shipped over any transport that eventually delivers
+// them; Apply buffers events whose parents have not arrived yet, so no
+// delivery-order guarantees are needed beyond eventual delivery.
+package egwalker

@@ -1,0 +1,464 @@
+package egwalker
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"egwalker/internal/causal"
+	"egwalker/internal/core"
+	"egwalker/internal/encoding"
+	"egwalker/internal/oplog"
+	"egwalker/internal/rope"
+)
+
+// EventID identifies an event globally: the agent that generated it and
+// a per-agent sequence number (0-based, contiguous).
+type EventID struct {
+	Agent string
+	Seq   int
+}
+
+func (id EventID) String() string { return fmt.Sprintf("%s/%d", id.Agent, id.Seq) }
+
+// Event is one editing event in wire form: a single-character insertion
+// or deletion, its unique ID, and the IDs of its parents (the version
+// the replica was at when the event was generated).
+type Event struct {
+	ID      EventID
+	Parents []EventID
+	Insert  bool
+	Pos     int
+	Content rune // inserts only
+}
+
+// Patch is an index-based update to the local document text resulting
+// from merging remote events: apply patches in order to mirror the
+// Doc's text in an external editor buffer.
+type Patch struct {
+	Insert  bool
+	Pos     int
+	Content rune // inserts only
+}
+
+// Version identifies a document state: the frontier of the event graph,
+// as wire IDs. Empty means the empty document.
+type Version []EventID
+
+// Doc is one replica of a collaboratively edited text document.
+// A Doc is not safe for concurrent use by multiple goroutines.
+type Doc struct {
+	log   *oplog.Log
+	text  *rope.Rope
+	agent string
+	// pending buffers remote events whose parents have not arrived yet
+	// (causal delivery buffer).
+	pending []Event
+}
+
+// NewDoc returns an empty document for a replica identified by agent.
+// Every replica editing the same document must use a distinct agent
+// string.
+func NewDoc(agent string) *Doc {
+	return &Doc{log: oplog.New(), text: rope.New(), agent: agent}
+}
+
+// Agent returns the replica's agent name.
+func (d *Doc) Agent() string { return d.agent }
+
+// Len returns the document length in runes.
+func (d *Doc) Len() int { return d.text.Len() }
+
+// Text returns the current document text.
+func (d *Doc) Text() string { return d.text.String() }
+
+// NumEvents returns the number of events in the document's history.
+func (d *Doc) NumEvents() int { return d.log.Len() }
+
+// PendingEvents returns the number of buffered events still waiting for
+// missing parents.
+func (d *Doc) PendingEvents() int { return len(d.pending) }
+
+// Insert inserts text at rune position pos as a local edit.
+func (d *Doc) Insert(pos int, text string) error {
+	if text == "" {
+		return nil
+	}
+	if pos < 0 || pos > d.text.Len() {
+		return fmt.Errorf("egwalker: insert at %d out of range [0,%d]", pos, d.text.Len())
+	}
+	if _, err := d.log.AddInsert(d.agent, d.log.Frontier(), pos, text); err != nil {
+		return err
+	}
+	return d.text.Insert(pos, text)
+}
+
+// Delete removes count runes starting at rune position pos as a local
+// edit.
+func (d *Doc) Delete(pos, count int) error {
+	if count == 0 {
+		return nil
+	}
+	if pos < 0 || count < 0 || pos+count > d.text.Len() {
+		return fmt.Errorf("egwalker: delete [%d,%d) out of range [0,%d]", pos, pos+count, d.text.Len())
+	}
+	if _, err := d.log.AddDelete(d.agent, d.log.Frontier(), pos, count); err != nil {
+		return err
+	}
+	return d.text.Delete(pos, count)
+}
+
+// Fork returns an independent replica of the document for a new agent:
+// same history and text, after which the two replicas evolve separately
+// and can merge later. Fork is how a new device or user joins without a
+// network round-trip to every peer.
+func (d *Doc) Fork(agent string) (*Doc, error) {
+	var buf bytes.Buffer
+	if err := d.Save(&buf, SaveOptions{CacheFinalDoc: true}); err != nil {
+		return nil, err
+	}
+	nd, err := Load(&buf, agent)
+	if err != nil {
+		return nil, err
+	}
+	// Buffered events carry over: they are part of what this replica has
+	// heard, just not yet mergeable.
+	nd.pending = append([]Event(nil), d.pending...)
+	return nd, nil
+}
+
+// Knows reports whether the event with the given ID is part of the
+// document's history.
+func (d *Doc) Knows(id EventID) bool {
+	return d.log.Graph.HasID(causal.RawID{Agent: id.Agent, Seq: id.Seq})
+}
+
+// Version returns the document's current version.
+func (d *Doc) Version() Version {
+	f := d.log.Frontier()
+	v := make(Version, len(f))
+	for i, lv := range f {
+		id := d.log.Graph.IDOf(lv)
+		v[i] = EventID{Agent: id.Agent, Seq: id.Seq}
+	}
+	return v
+}
+
+// eventAt exports the event at lv in wire form.
+func (d *Doc) eventAt(lv causal.LV, op oplog.Op) Event {
+	id := d.log.Graph.IDOf(lv)
+	ev := Event{
+		ID:     EventID{Agent: id.Agent, Seq: id.Seq},
+		Insert: op.Kind == oplog.Insert,
+		Pos:    op.Pos,
+	}
+	if ev.Insert {
+		ev.Content = op.Content
+	}
+	for _, p := range d.log.Graph.ParentsOf(lv) {
+		pid := d.log.Graph.IDOf(p)
+		ev.Parents = append(ev.Parents, EventID{Agent: pid.Agent, Seq: pid.Seq})
+	}
+	return ev
+}
+
+// Events returns the document's entire event history in a valid causal
+// order (parents before children).
+func (d *Doc) Events() []Event {
+	out := make([]Event, 0, d.log.Len())
+	d.log.EachOp(causal.Span{Start: 0, End: causal.LV(d.log.Len())},
+		func(lv causal.LV, op oplog.Op) bool {
+			out = append(out, d.eventAt(lv, op))
+			return true
+		})
+	return out
+}
+
+// EventsSince returns the events this replica has that are not within
+// the given version, in a valid causal order. Pass the other replica's
+// Version() to compute what to send it.
+func (d *Doc) EventsSince(v Version) ([]Event, error) {
+	f, err := d.resolveVersion(v)
+	if err != nil {
+		return nil, err
+	}
+	only, _ := d.log.Graph.Diff(d.log.Frontier(), f)
+	var out []Event
+	for _, sp := range only {
+		d.log.EachOp(sp, func(lv causal.LV, op oplog.Op) bool {
+			out = append(out, d.eventAt(lv, op))
+			return true
+		})
+	}
+	return out, nil
+}
+
+// resolveVersion maps wire IDs to LVs. Every referenced event must be
+// known locally.
+func (d *Doc) resolveVersion(v Version) (causal.Frontier, error) {
+	f := make([]causal.LV, 0, len(v))
+	for _, id := range v {
+		lv, ok := d.log.Graph.LVOf(causal.RawID{Agent: id.Agent, Seq: id.Seq})
+		if !ok {
+			return nil, fmt.Errorf("egwalker: unknown event %v in version", id)
+		}
+		f = append(f, lv)
+	}
+	return causal.Frontier(d.log.Graph.Dominators(f)), nil
+}
+
+// Apply merges remote events into the document, returning the patches
+// that were applied to the local text (in order). Events already known
+// are skipped; events whose parents are missing are buffered and merged
+// automatically once the parents arrive.
+//
+// If a malformed event (one whose position is invalid in its parent
+// version) is encountered, Apply returns an error; the document text is
+// left at the last consistent state and the offending history should be
+// discarded (a well-behaved peer never produces such events, so this
+// indicates corruption or a hostile peer).
+func (d *Doc) Apply(events []Event) ([]Patch, error) {
+	d.pending = append(d.pending, events...)
+	emitFrom := causal.LV(d.log.Len())
+
+	// Repeatedly sweep the buffer, admitting events whose parents are
+	// all present (simple causal-order delivery).
+	for {
+		progress := false
+		rest := d.pending[:0]
+		for _, ev := range d.pending {
+			if d.log.Graph.HasID(causal.RawID{Agent: ev.ID.Agent, Seq: ev.ID.Seq}) {
+				progress = true // duplicate: drop
+				continue
+			}
+			parents := make([]causal.LV, 0, len(ev.Parents))
+			ok := true
+			for _, p := range ev.Parents {
+				lv, known := d.log.Graph.LVOf(causal.RawID{Agent: p.Agent, Seq: p.Seq})
+				if !known {
+					ok = false
+					break
+				}
+				parents = append(parents, lv)
+			}
+			if !ok {
+				rest = append(rest, ev)
+				continue
+			}
+			op := oplog.Op{Kind: oplog.Delete, Pos: ev.Pos}
+			if ev.Insert {
+				op = oplog.Op{Kind: oplog.Insert, Pos: ev.Pos, Content: ev.Content}
+			}
+			if _, err := d.log.AddRemote(ev.ID.Agent, ev.ID.Seq, parents, []oplog.Op{op}); err != nil {
+				return nil, err
+			}
+			progress = true
+		}
+		d.pending = append([]Event(nil), rest...)
+		if !progress || len(d.pending) == 0 {
+			break
+		}
+	}
+
+	if emitFrom == causal.LV(d.log.Len()) {
+		return nil, nil // nothing admitted
+	}
+
+	// Fast path for real-time collaboration: if the document had a
+	// single head and the admitted events linearly extend it, no
+	// transformation is needed and no graph scan is required.
+	if d.linearExtension(emitFrom) {
+		var patches []Patch
+		var applyErr error
+		d.log.EachOp(causal.Span{Start: emitFrom, End: causal.LV(d.log.Len())},
+			func(_ causal.LV, op oplog.Op) bool {
+				p := Patch{Insert: op.Kind == oplog.Insert, Pos: op.Pos, Content: op.Content}
+				patches = append(patches, p)
+				if p.Insert {
+					applyErr = d.text.Insert(p.Pos, string(p.Content))
+				} else {
+					applyErr = d.text.Delete(p.Pos, 1)
+				}
+				return applyErr == nil
+			})
+		if applyErr != nil {
+			return nil, applyErr
+		}
+		return patches, nil
+	}
+
+	// Transform and apply the newly admitted events.
+	var patches []Patch
+	var applyErr error
+	err := core.TransformRange(d.log, emitFrom, func(_ causal.LV, op core.XOp) {
+		if applyErr != nil {
+			return
+		}
+		p := Patch{Insert: op.Kind == oplog.Insert, Pos: op.Pos, Content: op.Content}
+		patches = append(patches, p)
+		applyErr = core.ApplyXOp(d.text, op)
+	})
+	if err != nil {
+		return nil, err
+	}
+	if applyErr != nil {
+		return nil, applyErr
+	}
+	return patches, nil
+}
+
+// linearExtension reports whether the events in [from, Len) form a
+// linear chain whose first event's sole parent is from-1 (or the root
+// when from == 0) — i.e. the graph stayed a single branch, so the new
+// operations need no transformation.
+func (d *Doc) linearExtension(from causal.LV) bool {
+	g := d.log.Graph
+	end := causal.LV(d.log.Len())
+	f := g.Frontier()
+	if len(f) != 1 || f[0] != end-1 {
+		return false
+	}
+	for lv := from; lv < end; {
+		parents := g.ParentsOf(lv)
+		if lv == 0 {
+			if len(parents) != 0 {
+				return false
+			}
+		} else if len(parents) != 1 || parents[0] != lv-1 {
+			return false
+		}
+		run := g.EntrySpanAt(lv)
+		lv = run.End
+	}
+	return true
+}
+
+// Merge pulls everything other has that d lacks. Both documents are
+// unchanged except d gaining events.
+func (d *Doc) Merge(other *Doc) error {
+	// Compute what d is missing: ask other for events since d's version,
+	// restricted to events other actually knows.
+	known := Version{}
+	for _, id := range d.Version() {
+		if other.log.Graph.HasID(causal.RawID{Agent: id.Agent, Seq: id.Seq}) {
+			known = append(known, id)
+		}
+	}
+	evs, err := other.EventsSince(known)
+	if err != nil {
+		return err
+	}
+	_, err = d.Apply(evs)
+	return err
+}
+
+// TextAt reconstructs the document text at a historical version by
+// replaying the subset of the event graph visible at that version.
+func (d *Doc) TextAt(v Version) (string, error) {
+	f, err := d.resolveVersion(v)
+	if err != nil {
+		return "", err
+	}
+	_, inV := d.log.Graph.Diff(causal.Root, f)
+	sub := oplog.New()
+	lvMap := make(map[causal.LV]causal.LV)
+	var addErr error
+	for _, sp := range inV {
+		d.log.EachOp(sp, func(lv causal.LV, op oplog.Op) bool {
+			parents := make([]causal.LV, 0, 2)
+			for _, p := range d.log.Graph.ParentsOf(lv) {
+				np, ok := lvMap[p]
+				if !ok {
+					addErr = fmt.Errorf("egwalker: internal: parent %d outside version", p)
+					return false
+				}
+				parents = append(parents, np)
+			}
+			id := d.log.Graph.IDOf(lv)
+			nsp, err := sub.AddRemote(id.Agent, id.Seq, parents, []oplog.Op{op})
+			if err != nil {
+				addErr = err
+				return false
+			}
+			lvMap[lv] = nsp.Start
+			return true
+		})
+		if addErr != nil {
+			return "", addErr
+		}
+	}
+	return core.ReplayText(sub)
+}
+
+// SaveOptions control the on-disk format (see the paper §3.8 and the
+// file-size experiments).
+type SaveOptions struct {
+	// CacheFinalDoc embeds the document text so Load is instant (no
+	// replay).
+	CacheFinalDoc bool
+	// OmitDeletedContent drops deleted characters' content (smaller
+	// files, like Yjs; historical versions become unreconstructable).
+	OmitDeletedContent bool
+	// Compress DEFLATE-compresses inserted content.
+	Compress bool
+}
+
+// Save writes the document (event graph, optionally plus text) to w.
+func (d *Doc) Save(w io.Writer, opts SaveOptions) error {
+	var deleted map[causal.LV]bool
+	var err error
+	if opts.OmitDeletedContent {
+		deleted, err = encoding.DeletedSet(d.log)
+		if err != nil {
+			return err
+		}
+	}
+	return encoding.Encode(w, d.log, encoding.Options{
+		CacheFinalDoc:      opts.CacheFinalDoc,
+		OmitDeletedContent: opts.OmitDeletedContent,
+		Compress:           opts.Compress,
+	}, d.text.String(), deleted)
+}
+
+// Load reads a document saved with Save. The loading replica adopts
+// agent for its future local edits. If the file embeds the final text,
+// loading costs no replay at all (the paper's "cached load").
+func Load(r io.Reader, agent string) (*Doc, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	dec, err := encoding.Decode(data)
+	if err != nil {
+		return nil, err
+	}
+	d := &Doc{log: dec.Log, agent: agent}
+	if dec.HasDoc {
+		d.text = rope.NewFromString(dec.Doc)
+		return d, nil
+	}
+	rp, err := core.ReplayRope(dec.Log)
+	if err != nil {
+		return nil, err
+	}
+	d.text = rp
+	return d, nil
+}
+
+// String summarises the document for debugging.
+func (d *Doc) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Doc{agent: %s, events: %d, len: %d, version: [", d.agent, d.log.Len(), d.text.Len())
+	v := d.Version()
+	sort.Slice(v, func(i, j int) bool { return v[i].Agent < v[j].Agent })
+	for i, id := range v {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(id.String())
+	}
+	b.WriteString("]}")
+	return b.String()
+}

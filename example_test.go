@@ -1,0 +1,85 @@
+package egwalker_test
+
+import (
+	"bytes"
+	"fmt"
+
+	"egwalker"
+)
+
+// The paper's Figure 1: two users concurrently edit "Helo"; the
+// exclamation mark typed at index 4 lands at index 5 after merging with
+// the concurrent insertion of "l" at index 3.
+func Example() {
+	alice := egwalker.NewDoc("alice")
+	alice.Insert(0, "Helo")
+
+	bob := egwalker.NewDoc("bob")
+	bob.Apply(alice.Events())
+	aliceSeen, bobSeen := alice.Version(), bob.Version()
+
+	alice.Insert(3, "l") // concurrent edits
+	bob.Insert(4, "!")
+
+	fromAlice, _ := alice.EventsSince(bobSeen)
+	fromBob, _ := bob.EventsSince(aliceSeen)
+	bob.Apply(fromAlice)
+	alice.Apply(fromBob)
+
+	fmt.Println(alice.Text())
+	fmt.Println(bob.Text())
+	// Output:
+	// Hello!
+	// Hello!
+}
+
+// Apply returns index-based patches so an editor buffer can mirror the
+// merge without rerendering the whole document.
+func ExampleDoc_Apply() {
+	alice := egwalker.NewDoc("alice")
+	alice.Insert(0, "Helo")
+	bob := egwalker.NewDoc("bob")
+	bob.Apply(alice.Events())
+	shared := bob.Version() // the last version both replicas have seen
+
+	alice.Insert(3, "l")
+	bob.Insert(4, "!")
+
+	events, _ := bob.EventsSince(shared)
+	patches, _ := alice.Apply(events)
+	for _, p := range patches {
+		fmt.Printf("insert=%v pos=%d content=%q\n", p.Insert, p.Pos, p.Content)
+	}
+	// Output:
+	// insert=true pos=5 content='!'
+}
+
+// Save with a cached final document makes Load as cheap as reading a
+// plain text file (no replay).
+func ExampleDoc_Save() {
+	d := egwalker.NewDoc("author")
+	d.Insert(0, "persist me")
+
+	var file bytes.Buffer
+	d.Save(&file, egwalker.SaveOptions{CacheFinalDoc: true})
+
+	loaded, _ := egwalker.Load(&file, "other-device")
+	fmt.Println(loaded.Text())
+	// Output:
+	// persist me
+}
+
+// TextAt reconstructs any historical version from the event graph.
+func ExampleDoc_TextAt() {
+	d := egwalker.NewDoc("author")
+	d.Insert(0, "v1")
+	v1 := d.Version()
+	d.Insert(2, " v2")
+
+	old, _ := d.TextAt(v1)
+	fmt.Println(old)
+	fmt.Println(d.Text())
+	// Output:
+	// v1
+	// v1 v2
+}

@@ -1,0 +1,147 @@
+package egwalker
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestForkIndependence(t *testing.T) {
+	a := NewDoc("a")
+	if err := a.Insert(0, "shared history"); err != nil {
+		t.Fatal(err)
+	}
+	b, err := a.Fork("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Text() != a.Text() || b.NumEvents() != a.NumEvents() {
+		t.Fatalf("fork differs: %q vs %q", b.Text(), a.Text())
+	}
+	if b.Agent() != "b" {
+		t.Fatalf("fork agent = %q", b.Agent())
+	}
+	// Diverge and re-merge.
+	if err := a.Insert(0, "A: "); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Insert(b.Len(), " :B"); err != nil {
+		t.Fatal(err)
+	}
+	if a.Text() == b.Text() {
+		t.Fatal("edits leaked between forks")
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Merge(a); err != nil {
+		t.Fatal(err)
+	}
+	if a.Text() != b.Text() || a.Text() != "A: shared history :B" {
+		t.Fatalf("merge after fork: %q vs %q", a.Text(), b.Text())
+	}
+}
+
+func TestForkCarriesPending(t *testing.T) {
+	src := NewDoc("src")
+	if err := src.Insert(0, "ab"); err != nil {
+		t.Fatal(err)
+	}
+	evs := src.Events()
+	dst := NewDoc("dst")
+	// Deliver only the second event: it buffers.
+	if _, err := dst.Apply(evs[1:2]); err != nil {
+		t.Fatal(err)
+	}
+	if dst.PendingEvents() != 1 {
+		t.Fatalf("pending = %d", dst.PendingEvents())
+	}
+	forked, err := dst.Fork("forked")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if forked.PendingEvents() != 1 {
+		t.Fatalf("fork lost pending events: %d", forked.PendingEvents())
+	}
+	// Delivering the first event flushes the buffer on the fork too.
+	if _, err := forked.Apply(evs[0:1]); err != nil {
+		t.Fatal(err)
+	}
+	if forked.Text() != "ab" || forked.PendingEvents() != 0 {
+		t.Fatalf("fork flush: %q pending %d", forked.Text(), forked.PendingEvents())
+	}
+}
+
+// TestQuickDeliveryOrderConvergence: the same event set delivered to two
+// fresh replicas in different random orders (chunked arbitrarily)
+// converges — quick drives the permutation seeds.
+func TestQuickDeliveryOrderConvergence(t *testing.T) {
+	src := NewDoc("s1")
+	other := NewDoc("s2")
+	if err := src.Insert(0, "the quick brown fox"); err != nil {
+		t.Fatal(err)
+	}
+	if err := other.Merge(src); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Delete(4, 6); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Insert(4, "slow "); err != nil {
+		t.Fatal(err)
+	}
+	if err := other.Insert(other.Len(), " jumps"); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Merge(other); err != nil {
+		t.Fatal(err)
+	}
+	all := src.Events()
+
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		perm := rng.Perm(len(all))
+		d := NewDoc("replay")
+		for i := 0; i < len(perm); {
+			n := 1 + rng.Intn(4)
+			if i+n > len(perm) {
+				n = len(perm) - i
+			}
+			batch := make([]Event, 0, n)
+			for _, idx := range perm[i : i+n] {
+				batch = append(batch, all[idx])
+			}
+			if _, err := d.Apply(batch); err != nil {
+				return false
+			}
+			i += n
+		}
+		return d.Text() == src.Text() && d.PendingEvents() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestApplyMalformedEventErrors: a remote event with an impossible
+// position must surface as an error, not a panic.
+func TestApplyMalformedEventErrors(t *testing.T) {
+	src := NewDoc("src")
+	if err := src.Insert(0, "ok"); err != nil {
+		t.Fatal(err)
+	}
+	d := NewDoc("d")
+	if _, err := d.Apply(src.Events()); err != nil {
+		t.Fatal(err)
+	}
+	bad := Event{
+		ID:      EventID{Agent: "evil", Seq: 0},
+		Parents: src.Version(),
+		Insert:  true,
+		Pos:     9999,
+		Content: 'x',
+	}
+	if _, err := d.Apply([]Event{bad}); err == nil {
+		t.Fatal("malformed event accepted")
+	}
+}

@@ -1,0 +1,101 @@
+// Package bench provides the measurement helpers for reproducing the
+// paper's evaluation: wall-clock timing, retained-heap measurement with
+// a peak sampler, and human-readable formatting.
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"time"
+)
+
+// HeapRetained forces a GC and returns the retained heap size.
+func HeapRetained() uint64 {
+	runtime.GC()
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.HeapAlloc
+}
+
+// Timed runs fn once and returns its wall-clock duration.
+func Timed(fn func()) time.Duration {
+	start := time.Now()
+	fn()
+	return time.Since(start)
+}
+
+// TimedN runs fn iters times and returns the mean duration.
+func TimedN(iters int, fn func()) time.Duration {
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		fn()
+	}
+	return time.Since(start) / time.Duration(iters)
+}
+
+// MeasurePeak runs fn while sampling the live heap, and returns the peak
+// heap observed during fn (relative usage; includes the baseline) and
+// the retained heap after fn completes (with fn's result still
+// reachable, as guaranteed by the caller keeping references).
+func MeasurePeak(fn func()) (peak, steady uint64) {
+	var maxHeap atomic.Uint64
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		ticker := time.NewTicker(200 * time.Microsecond)
+		defer ticker.Stop()
+		var ms runtime.MemStats
+		for {
+			select {
+			case <-stop:
+				return
+			case <-ticker.C:
+				runtime.ReadMemStats(&ms)
+				if h := ms.HeapAlloc; h > maxHeap.Load() {
+					maxHeap.Store(h)
+				}
+			}
+		}
+	}()
+	fn()
+	close(stop)
+	<-done
+	steady = HeapRetained()
+	if s := maxHeap.Load(); s > steady {
+		peak = s
+	} else {
+		peak = steady
+	}
+	return peak, steady
+}
+
+// FmtBytes renders a byte count like the paper's figures (KiB/MiB/GiB).
+func FmtBytes(n uint64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1f GiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
+}
+
+// FmtDuration renders a duration like the paper's figures.
+func FmtDuration(d time.Duration) string {
+	switch {
+	case d >= time.Minute:
+		return fmt.Sprintf("%.1f min", d.Minutes())
+	case d >= time.Second:
+		return fmt.Sprintf("%.2f s", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.2f ms", float64(d.Microseconds())/1000)
+	default:
+		return fmt.Sprintf("%.1f µs", float64(d.Nanoseconds())/1000)
+	}
+}

@@ -1,0 +1,97 @@
+package bench
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+func TestFmtBytes(t *testing.T) {
+	cases := []struct {
+		n    uint64
+		want string
+	}{
+		{0, "0 B"},
+		{512, "512 B"},
+		{2048, "2.0 KiB"},
+		{3 << 20, "3.0 MiB"},
+		{5 << 30, "5.0 GiB"},
+	}
+	for _, c := range cases {
+		if got := FmtBytes(c.n); got != c.want {
+			t.Errorf("FmtBytes(%d) = %q, want %q", c.n, got, c.want)
+		}
+	}
+}
+
+func TestFmtDuration(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want string
+	}{
+		{500 * time.Nanosecond, "0.5 µs"},
+		{250 * time.Microsecond, "250.0 µs"},
+		{42 * time.Millisecond, "42.00 ms"},
+		{3 * time.Second, "3.00 s"},
+		{90 * time.Second, "1.5 min"},
+	}
+	for _, c := range cases {
+		if got := FmtDuration(c.d); got != c.want {
+			t.Errorf("FmtDuration(%v) = %q, want %q", c.d, got, c.want)
+		}
+	}
+}
+
+func TestTimed(t *testing.T) {
+	d := Timed(func() { time.Sleep(5 * time.Millisecond) })
+	if d < 4*time.Millisecond {
+		t.Errorf("Timed too short: %v", d)
+	}
+}
+
+func TestTimedN(t *testing.T) {
+	calls := 0
+	d := TimedN(4, func() { calls++; time.Sleep(time.Millisecond) })
+	if calls != 4 {
+		t.Errorf("ran %d times", calls)
+	}
+	if d < 500*time.Microsecond {
+		t.Errorf("mean too short: %v", d)
+	}
+}
+
+var heapSink []byte
+
+func TestHeapRetained(t *testing.T) {
+	base := HeapRetained()
+	heapSink = make([]byte, 32<<20)
+	for i := range heapSink {
+		heapSink[i] = byte(i)
+	}
+	grown := HeapRetained()
+	if grown < base+(16<<20) {
+		t.Errorf("retained heap did not grow: %d -> %d", base, grown)
+	}
+	runtime.KeepAlive(heapSink)
+	heapSink = nil
+}
+
+func TestMeasurePeak(t *testing.T) {
+	base := HeapRetained()
+	peak, steady := MeasurePeak(func() {
+		// Allocate and release a large transient buffer; hold it long
+		// enough for the sampler to see it.
+		buf := make([]byte, 64<<20)
+		for i := 0; i < len(buf); i += 4096 {
+			buf[i] = 1
+		}
+		time.Sleep(20 * time.Millisecond)
+		_ = buf[len(buf)-1]
+	})
+	if peak < base+(32<<20) {
+		t.Errorf("peak %d did not register the 64MiB transient (base %d)", peak, base)
+	}
+	if steady > peak {
+		t.Errorf("steady %d > peak %d", steady, peak)
+	}
+}

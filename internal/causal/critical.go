@@ -1,0 +1,109 @@
+package causal
+
+// Critical versions (paper §3.5): a version V is critical in graph G iff
+// it partitions G into Events(V) and the rest such that every event in
+// Events(V) happened before every event outside it. Critical versions let
+// Eg-walker discard its internal state and emit events untransformed.
+//
+// Because the storage order is a topological order and the graph is
+// transitively reduced, the boundary after storage index i is critical iff
+//
+//  1. the frontier of the prefix [0, i] is exactly {i}, and
+//  2. no event j > i has a parent < i.
+//
+// (1) is computed with a forward scan tracking the running frontier size;
+// (2) with a backward scan over the minimum parent of each suffix. Both
+// scans run per run-length entry, so the cost is O(#entries), not
+// O(#events).
+
+// CriticalBoundaries returns, for each event index i in storage order,
+// whether the version {i} is critical with respect to the whole graph.
+// The final event's boundary is critical iff the graph's frontier is a
+// single event.
+func (g *Graph) CriticalBoundaries() []bool {
+	n := g.Len()
+	out := make([]bool, n)
+	if n == 0 {
+		return out
+	}
+
+	// Forward scan: frontier size after each event. Within an entry the
+	// size is constant (each event replaces its predecessor); it changes
+	// only at entry starts.
+	inFrontier := make([]bool, n)
+	size := 0
+	sizeOne := make([]bool, n)
+	for ei := range g.entries {
+		e := &g.entries[ei]
+		removed := 0
+		for _, p := range e.parents {
+			if inFrontier[p] {
+				inFrontier[p] = false
+				removed++
+			}
+		}
+		size += 1 - removed
+		inFrontier[e.span.End-1] = true
+		// Events inside the entry shift the frontier element forward
+		// without changing its size.
+		ok := size == 1
+		for lv := e.span.Start; lv < e.span.End; lv++ {
+			sizeOne[lv] = ok
+		}
+	}
+
+	// Backward scan: minimum parent LV among all events after index i.
+	// A root event (no parents) in the suffix blocks criticality for all
+	// earlier boundaries, encoded as minimum -1.
+	minAfter := LV(n) // +inf sentinel: no events after
+	for ei := len(g.entries) - 1; ei >= 0; ei-- {
+		e := &g.entries[ei]
+		// Boundary after the last event of this entry: all later events'
+		// parents must be >= that index.
+		for lv := e.span.End - 1; lv > e.span.Start; lv-- {
+			out[lv] = sizeOne[lv] && minAfter >= lv
+			// The event at lv has parent lv-1 (inside an entry), which
+			// becomes part of "after" for earlier boundaries.
+			if lv-1 < minAfter {
+				minAfter = lv - 1
+			}
+		}
+		out[e.span.Start] = sizeOne[e.span.Start] && minAfter >= e.span.Start
+		if len(e.parents) == 0 {
+			minAfter = -1
+		} else {
+			for _, p := range e.parents {
+				if p < minAfter {
+					minAfter = p
+				}
+			}
+		}
+	}
+	return out
+}
+
+// CriticalVersions returns the LVs whose singleton versions are critical,
+// ascending. Equivalent to collecting the true indices of
+// CriticalBoundaries.
+func (g *Graph) CriticalVersions() []LV {
+	b := g.CriticalBoundaries()
+	var out []LV
+	for i, ok := range b {
+		if ok {
+			out = append(out, LV(i))
+		}
+	}
+	return out
+}
+
+// LatestCriticalBefore returns the greatest LV c <= bound such that {c} is
+// critical, given the precomputed boundaries slice. ok is false if no such
+// boundary exists (replay must start from the root).
+func LatestCriticalBefore(boundaries []bool, bound LV) (LV, bool) {
+	for i := bound; i >= 0; i-- {
+		if boundaries[i] {
+			return i, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,289 @@
+package causal
+
+// This file implements the version-set algebra the Eg-walker tracker
+// depends on: Diff (the retreat/advance set computation from §3.2),
+// Dominators (transitive reduction of version sets), and ancestry queries.
+// All of them use a bounded max-heap traversal over the DAG: because LVs
+// are assigned in topological order, walking LVs in descending order
+// visits descendants before ancestors, so traversals can stop as soon as
+// the remaining work is known to be shared/irrelevant.
+
+// flag tags a heap entry with which side(s) of a traversal reached it.
+type flag uint8
+
+const (
+	flagA      flag = 1 << iota // reached from version A
+	flagB                       // reached from version B
+	flagShared = flagA | flagB
+)
+
+// lvHeap is a max-heap of (LV, flag) entries. Duplicate LVs are allowed;
+// they are merged when popped.
+type lvHeap struct {
+	lvs   []LV
+	flags []flag
+}
+
+func (h *lvHeap) len() int { return len(h.lvs) }
+
+func (h *lvHeap) push(lv LV, f flag) {
+	h.lvs = append(h.lvs, lv)
+	h.flags = append(h.flags, f)
+	i := len(h.lvs) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h.lvs[p] >= h.lvs[i] {
+			break
+		}
+		h.lvs[p], h.lvs[i] = h.lvs[i], h.lvs[p]
+		h.flags[p], h.flags[i] = h.flags[i], h.flags[p]
+		i = p
+	}
+}
+
+func (h *lvHeap) pop() (LV, flag) {
+	lv, f := h.lvs[0], h.flags[0]
+	n := len(h.lvs) - 1
+	h.lvs[0], h.flags[0] = h.lvs[n], h.flags[n]
+	h.lvs, h.flags = h.lvs[:n], h.flags[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		big := i
+		if l < n && h.lvs[l] > h.lvs[big] {
+			big = l
+		}
+		if r < n && h.lvs[r] > h.lvs[big] {
+			big = r
+		}
+		if big == i {
+			break
+		}
+		h.lvs[i], h.lvs[big] = h.lvs[big], h.lvs[i]
+		h.flags[i], h.flags[big] = h.flags[big], h.flags[i]
+		i = big
+	}
+	return lv, f
+}
+
+// popMerged pops the max LV, merging the flags of all entries for it.
+func (h *lvHeap) popMerged() (LV, flag) {
+	lv, f := h.pop()
+	for h.len() > 0 && h.lvs[0] == lv {
+		_, f2 := h.pop()
+		f |= f2
+	}
+	return lv, f
+}
+
+// Diff computes the symmetric difference of the event sets (transitive
+// closures) of versions a and b: onlyA are events in Events(a) but not
+// Events(b); onlyB the reverse. Both results are returned as disjoint
+// spans sorted ascending.
+//
+// This is the computation the Eg-walker walk performs before applying
+// each event: events in onlyA are retreated and events in onlyB advanced
+// when moving the prepare version from a to b (§3.2).
+func (g *Graph) Diff(a, b Frontier) (onlyA, onlyB []Span) {
+	var h lvHeap
+	numNotShared := 0
+	pushRaw := func(lv LV, f flag) {
+		h.push(lv, f)
+		if f != flagShared {
+			numNotShared++
+		}
+	}
+	for _, lv := range a {
+		pushRaw(lv, flagA)
+	}
+	for _, lv := range b {
+		pushRaw(lv, flagB)
+	}
+	var revA, revB []LV // collected descending
+	for h.len() > 0 && numNotShared > 0 {
+		lv, f := h.pop()
+		if f != flagShared {
+			numNotShared--
+		}
+		for h.len() > 0 && h.lvs[0] == lv {
+			_, f2 := h.pop()
+			if f2 != flagShared {
+				numNotShared--
+			}
+			f |= f2
+		}
+		switch f {
+		case flagA:
+			revA = append(revA, lv)
+		case flagB:
+			revB = append(revB, lv)
+		}
+		for _, p := range g.ParentsOf(lv) {
+			pushRaw(p, f)
+		}
+	}
+	return spansFromDescending(revA), spansFromDescending(revB)
+}
+
+// spansFromDescending run-length encodes a strictly descending LV list
+// into ascending disjoint spans.
+func spansFromDescending(lvs []LV) []Span {
+	if len(lvs) == 0 {
+		return nil
+	}
+	var rev []Span
+	start, end := lvs[0], lvs[0]+1
+	for _, lv := range lvs[1:] {
+		if lv == start-1 {
+			start = lv
+			continue
+		}
+		rev = append(rev, Span{start, end})
+		start, end = lv, lv+1
+	}
+	rev = append(rev, Span{start, end})
+	// rev is descending by construction; reverse to ascending.
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// Dominators reduces a set of events to its minimal dominating subset:
+// any event that is an ancestor of another element is dropped, as are
+// duplicates. The result is sorted ascending. Dominators(nil) is nil.
+func (g *Graph) Dominators(lvs []LV) []LV {
+	switch len(lvs) {
+	case 0:
+		return nil
+	case 1:
+		return []LV{lvs[0]}
+	}
+	minInput := lvs[0]
+	for _, lv := range lvs[1:] {
+		if lv < minInput {
+			minInput = lv
+		}
+	}
+	var h lvHeap
+	inputsLeft := 0
+	// flagA marks "is an input", flagB marks "reached as an ancestor of
+	// something already popped" (i.e. shadowed).
+	for _, lv := range lvs {
+		h.push(lv, flagA)
+		inputsLeft++
+	}
+	var out []LV
+	for h.len() > 0 && inputsLeft > 0 {
+		lv, f := h.pop()
+		if f&flagA != 0 {
+			inputsLeft--
+		}
+		for h.len() > 0 && h.lvs[0] == lv {
+			_, f2 := h.pop()
+			if f2&flagA != 0 {
+				inputsLeft--
+			}
+			f |= f2
+		}
+		if f == flagA { // input, not shadowed by any descendant
+			out = append(out, lv)
+		}
+		if inputsLeft == 0 {
+			break
+		}
+		for _, p := range g.ParentsOf(lv) {
+			if p >= minInput {
+				h.push(p, flagB)
+			}
+		}
+	}
+	return sortLVs(out)
+}
+
+// VersionContains reports whether the event at target is within the
+// version denoted by frontier (i.e. target is in Events(frontier)).
+func (g *Graph) VersionContains(frontier Frontier, target LV) bool {
+	var h lvHeap
+	for _, lv := range frontier {
+		if lv == target {
+			return true
+		}
+		if lv > target {
+			h.push(lv, flagA)
+		}
+	}
+	for h.len() > 0 {
+		lv, _ := h.popMerged()
+		if lv == target {
+			return true
+		}
+		for _, p := range g.ParentsOf(lv) {
+			if p == target {
+				return true
+			}
+			if p > target {
+				h.push(p, flagA)
+			}
+		}
+	}
+	return false
+}
+
+// HappenedBefore reports whether event a happened before event b (a → b).
+func (g *Graph) HappenedBefore(a, b LV) bool {
+	if a >= b {
+		return false
+	}
+	return g.VersionContains(g.ParentsOf(b), a)
+}
+
+// Concurrent reports whether events a and b are concurrent (a ∥ b).
+func (g *Graph) Concurrent(a, b LV) bool {
+	return a != b && !g.HappenedBefore(a, b) && !g.HappenedBefore(b, a)
+}
+
+// CommonAncestorVersion returns the greatest version that happened before
+// both a and b: the version whose event set is Events(a) ∩ Events(b).
+// It is returned as a frontier.
+func (g *Graph) CommonAncestorVersion(a, b Frontier) Frontier {
+	// Events(a) ∩ Events(b) = Events(a) − onlyA. The frontier of that set
+	// is found by walking both versions and keeping the maximal shared
+	// events.
+	var h lvHeap
+	numNotShared := 0
+	push := func(lv LV, f flag) {
+		h.push(lv, f)
+		if f != flagShared {
+			numNotShared++
+		}
+	}
+	for _, lv := range a {
+		push(lv, flagA)
+	}
+	for _, lv := range b {
+		push(lv, flagB)
+	}
+	var shared []LV
+	for h.len() > 0 && numNotShared > 0 {
+		lv, f := h.pop()
+		if f != flagShared {
+			numNotShared--
+		}
+		for h.len() > 0 && h.lvs[0] == lv {
+			_, f2 := h.pop()
+			if f2 != flagShared {
+				numNotShared--
+			}
+			f |= f2
+		}
+		if f == flagShared {
+			shared = append(shared, lv)
+			continue // ancestors of a shared event are shared; no need to expand
+		}
+		for _, p := range g.ParentsOf(lv) {
+			push(p, f)
+		}
+	}
+	return Frontier(g.Dominators(shared))
+}

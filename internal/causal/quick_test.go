@@ -1,0 +1,172 @@
+package causal
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property tests over randomly generated graphs (testing/quick drives
+// the seeds; graph construction reuses the randomized generator).
+
+func quickGraph(seed int64, n int) (*Graph, [][]LV) {
+	rng := rand.New(rand.NewSource(seed))
+	return randomGraph(rng, n)
+}
+
+// Diff(v, v) must always be empty.
+func TestQuickDiffReflexive(t *testing.T) {
+	f := func(seed int64, pick uint8) bool {
+		g, _ := quickGraph(seed, 25)
+		rng := rand.New(rand.NewSource(int64(pick)))
+		v := randomFrontier(rng, g)
+		a, b := g.Diff(v, v)
+		return a == nil && b == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Diff is antisymmetric: swapping the arguments swaps the outputs.
+func TestQuickDiffAntisymmetric(t *testing.T) {
+	f := func(seed int64, p1, p2 uint8) bool {
+		g, _ := quickGraph(seed, 25)
+		rng := rand.New(rand.NewSource(int64(p1)<<8 | int64(p2)))
+		v1 := randomFrontier(rng, g)
+		v2 := randomFrontier(rng, g)
+		a1, b1 := g.Diff(v1, v2)
+		b2, a2 := g.Diff(v2, v1)
+		return setsEqual(spansToSet(a1), spansToSet(a2)) &&
+			setsEqual(spansToSet(b1), spansToSet(b2))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Dominators is idempotent.
+func TestQuickDominatorsIdempotent(t *testing.T) {
+	f := func(seed int64, picks []uint8) bool {
+		g, _ := quickGraph(seed, 30)
+		if len(picks) == 0 {
+			picks = []uint8{0}
+		}
+		lvs := make([]LV, 0, len(picks))
+		for _, p := range picks {
+			lvs = append(lvs, LV(int(p)%g.Len()))
+		}
+		once := g.Dominators(lvs)
+		twice := g.Dominators(once)
+		if len(once) != len(twice) {
+			return false
+		}
+		for i := range once {
+			if once[i] != twice[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Every element of a dominator set is concurrent with every other.
+func TestQuickDominatorsPairwiseConcurrent(t *testing.T) {
+	f := func(seed int64, picks []uint8) bool {
+		g, _ := quickGraph(seed, 30)
+		if len(picks) == 0 {
+			return true
+		}
+		lvs := make([]LV, 0, len(picks))
+		for _, p := range picks {
+			lvs = append(lvs, LV(int(p)%g.Len()))
+		}
+		dom := g.Dominators(lvs)
+		for i := range dom {
+			for j := i + 1; j < len(dom); j++ {
+				if !g.Concurrent(dom[i], dom[j]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Advancing a frontier over the whole graph yields the graph frontier.
+func TestQuickAdvanceToEnd(t *testing.T) {
+	f := func(seed int64) bool {
+		g, _ := quickGraph(seed, 30)
+		got := g.Advance(Root, Span{0, LV(g.Len())})
+		return got.Eq(g.Frontier())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// HappenedBefore is transitive on sampled triples.
+func TestQuickHappenedBeforeTransitive(t *testing.T) {
+	f := func(seed int64) bool {
+		g, _ := quickGraph(seed, 25)
+		n := LV(g.Len())
+		rng := rand.New(rand.NewSource(seed ^ 0x5f5f))
+		for k := 0; k < 20; k++ {
+			a, b, c := LV(rng.Intn(int(n))), LV(rng.Intn(int(n))), LV(rng.Intn(int(n)))
+			if g.HappenedBefore(a, b) && g.HappenedBefore(b, c) && !g.HappenedBefore(a, c) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The common-ancestor version is an ancestor of (or equal to) both
+// inputs, and is itself a valid dominator set.
+func TestQuickCommonAncestorBelowBoth(t *testing.T) {
+	f := func(seed int64, p1, p2 uint8) bool {
+		g, _ := quickGraph(seed, 30)
+		rng := rand.New(rand.NewSource(int64(p1)*257 + int64(p2)))
+		v1 := randomFrontier(rng, g)
+		v2 := randomFrontier(rng, g)
+		u := g.CommonAncestorVersion(v1, v2)
+		// Every event of u must be in both closures.
+		for _, lv := range u {
+			for _, v := range []Frontier{v1, v2} {
+				if !g.VersionContains(v, lv) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Critical boundaries never increase when concurrency is added: adding
+// a root-concurrent event destroys all criticality before it.
+func TestCriticalBoundaryInvalidation(t *testing.T) {
+	g := New()
+	mustAdd(t, g, "a", 0, 10, nil)
+	before := g.CriticalVersions()
+	if len(before) != 10 {
+		t.Fatalf("linear graph critical count %d", len(before))
+	}
+	// An event concurrent with everything (root parent-less event).
+	mustAdd(t, g, "z", 0, 1, nil)
+	after := g.CriticalVersions()
+	if len(after) != 0 {
+		t.Fatalf("concurrent root left critical versions: %v", after)
+	}
+}

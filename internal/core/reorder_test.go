@@ -1,0 +1,157 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"egwalker/internal/causal"
+	"egwalker/internal/oplog"
+)
+
+// interleavedBranches builds a log whose storage order alternates
+// between two concurrent branches event by event — a pathological
+// traversal order for the tracker (§3.2).
+func interleavedBranches(tb testing.TB, n int) *oplog.Log {
+	tb.Helper()
+	l := oplog.New()
+	sp, err := l.AddInsert("base", nil, 0, "0123456789")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	base := causal.Frontier{sp.End - 1}
+	headA, headB := base.Clone(), base.Clone()
+	for i := 0; i < n; i++ {
+		s, err := l.AddInsert("a", headA, i, "a")
+		if err != nil {
+			tb.Fatal(err)
+		}
+		headA = causal.Frontier{s.End - 1}
+		s, err = l.AddInsert("b", headB, 10+i, "b")
+		if err != nil {
+			tb.Fatal(err)
+		}
+		headB = causal.Frontier{s.End - 1}
+	}
+	return l
+}
+
+func TestReorderPreservesDocument(t *testing.T) {
+	l := interleavedBranches(t, 200)
+	want, err := ReplayText(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rl, err := ReorderLog(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rl.Len() != l.Len() {
+		t.Fatalf("reorder changed event count: %d -> %d", l.Len(), rl.Len())
+	}
+	got, err := ReplayText(rl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("reorder changed the document:\n%q\n%q", got, want)
+	}
+	// The reordered log must have far fewer storage runs (branches made
+	// consecutive).
+	if rl.SpanCount() >= l.SpanCount()/10 {
+		t.Errorf("reorder did not consolidate branches: %d -> %d runs", l.SpanCount(), rl.SpanCount())
+	}
+}
+
+func TestReorderRandomGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 10; trial++ {
+		l := buildRandomLog(t, rng, 200)
+		want := replayOrFail(t, l)
+		rl, err := ReorderLog(l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := replayOrFail(t, rl)
+		if got != want {
+			t.Fatalf("trial %d: reorder changed the document", trial)
+		}
+		// Sanity: every event survives with its identity.
+		for lv := causal.LV(0); lv < causal.LV(l.Len()); lv++ {
+			id := l.Graph.IDOf(lv)
+			if !rl.Graph.HasID(id) {
+				t.Fatalf("trial %d: event %v lost", trial, id)
+			}
+		}
+	}
+}
+
+func TestReorderEmpty(t *testing.T) {
+	rl, err := ReorderLog(oplog.New())
+	if err != nil || rl.Len() != 0 {
+		t.Fatalf("empty reorder: %v, len %d", err, rl.Len())
+	}
+}
+
+func TestReorderSmallBranchFirst(t *testing.T) {
+	// A 3-event branch and a 30-event branch fork from a base; the small
+	// branch must be emitted first (§3.2 heuristic: fewer retreats when
+	// the big branch is visited last).
+	l := oplog.New()
+	sp, err := l.AddInsert("base", nil, 0, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := causal.Frontier{sp.End - 1}
+	headBig := base.Clone()
+	for i := 0; i < 30; i++ {
+		s, err := l.AddInsert("big", headBig, 1+i, "B")
+		if err != nil {
+			t.Fatal(err)
+		}
+		headBig = causal.Frontier{s.End - 1}
+	}
+	headSmall := base.Clone()
+	for i := 0; i < 3; i++ {
+		s, err := l.AddInsert("small", headSmall, 0, "s")
+		if err != nil {
+			t.Fatal(err)
+		}
+		headSmall = causal.Frontier{s.End - 1}
+	}
+	rl, err := ReorderLog(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// In the reordered log, event 1 (after the base) must come from the
+	// small branch.
+	if id := rl.Graph.IDOf(1); id.Agent != "small" {
+		t.Errorf("first branch emitted is %q, want small", id.Agent)
+	}
+}
+
+// BenchmarkAblationTraversalOrder quantifies §3.2's claim that traversal
+// order matters on concurrent graphs: the same two-branch graph replayed
+// in an alternating storage order vs. a branch-consecutive one.
+func BenchmarkAblationTraversalOrderInterleaved(b *testing.B) {
+	l := interleavedBranches(b, 2000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReplayRope(l); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationTraversalOrderReordered(b *testing.B) {
+	l := interleavedBranches(b, 2000)
+	rl, err := ReorderLog(l)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReplayRope(rl); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,194 @@
+package core
+
+import (
+	"egwalker/internal/causal"
+	"egwalker/internal/oplog"
+	"egwalker/internal/rope"
+)
+
+// This file is the replay planner (§3.5–§3.6). It walks the event graph
+// in storage order, split into sections at critical versions:
+//
+//   - Runs of events whose own version and parent version are both
+//     critical are emitted untransformed — no internal state is built at
+//     all. Sequentially edited documents are almost entirely such runs.
+//   - Each remaining section (between two adjacent critical versions) is
+//     replayed through a fresh Tracker seeded with a placeholder at the
+//     section's base version; the tracker is discarded at the section's
+//     end (the next critical version).
+//
+// For incremental merges, only events from the latest critical version
+// before the first new event are replayed (partial replay).
+
+// fastPath reports whether the event at lv can be emitted untransformed:
+// both its own version and its parent version are critical (§3.5).
+func fastPath(boundaries []bool, lv causal.LV) bool {
+	return boundaries[lv] && (lv == 0 || boundaries[lv-1])
+}
+
+// TransformRange replays the graph as needed to transform the events in
+// [emitFrom, log.Len()), calling emit for each transformed operation in
+// storage order. The caller's document must reflect exactly the events
+// [0, emitFrom).
+//
+// TransformRange(l, 0, emit) transforms the entire graph; applying the
+// emitted operations in order to an empty document yields replay(G).
+func TransformRange(l *oplog.Log, emitFrom causal.LV, emit func(lv causal.LV, op XOp)) error {
+	g := l.Graph
+	n := causal.LV(g.Len())
+	if emitFrom >= n {
+		return nil
+	}
+	boundaries := g.CriticalBoundaries()
+
+	// Start replay at the latest critical version before the first event
+	// we must emit; everything before it cannot affect the transforms.
+	var i causal.LV
+	if emitFrom > 0 {
+		if c, ok := causal.LatestCriticalBefore(boundaries, emitFrom-1); ok {
+			i = c + 1
+		}
+	}
+	for i < n {
+		if fastPath(boundaries, i) {
+			if i < emitFrom {
+				i++
+				continue
+			}
+			// Maximal run of fast-path events: emit untransformed.
+			j := i + 1
+			for j < n && boundaries[j] {
+				j++
+			}
+			l.EachOp(causal.Span{Start: i, End: j}, func(lv causal.LV, op oplog.Op) bool {
+				emit(lv, XOp{Kind: op.Kind, Pos: op.Pos, Content: op.Content})
+				return true
+			})
+			i = j
+			continue
+		}
+		// Concurrent section [i, j): ends just after the next critical
+		// version (or at the end of the graph).
+		j := i + 1
+		for j < n && !boundaries[j-1] {
+			j++
+		}
+		var base causal.Frontier
+		baseUnits := -1
+		if i == 0 {
+			base = causal.Root
+			baseUnits = 0 // document is empty at the root version
+		} else {
+			base = causal.Frontier{i - 1}
+		}
+		tr := NewTracker(l, base, baseUnits)
+		if err := tr.ApplyRange(causal.Span{Start: i, End: j}, emitFrom, emit); err != nil {
+			return err
+		}
+		i = j
+	}
+	return nil
+}
+
+// TransformAll transforms every event in the graph.
+func TransformAll(l *oplog.Log, emit func(lv causal.LV, op XOp)) error {
+	return TransformRange(l, 0, emit)
+}
+
+// TransformAllNoOpt replays the entire graph through a single tracker
+// with no critical-version clearing and no fast path — the "optimisation
+// disabled" configuration of Figure 9. The output is identical to
+// TransformAll; only the cost differs.
+func TransformAllNoOpt(l *oplog.Log, emit func(lv causal.LV, op XOp)) error {
+	tr := NewTracker(l, causal.Root, 0)
+	return tr.ApplyRange(causal.Span{Start: 0, End: causal.LV(l.Len())}, 0, emit)
+}
+
+// IDOp is an event's operation in ID space: what a classic list CRDT
+// would send over the network (§2.5). Inserts carry the CRDT origins; a
+// delete carries the ID of the character it deletes. All IDs are
+// itemtree IDs: the LV of the insert event that created the character
+// (placeholders never occur because the conversion replays from the
+// root), or the origin sentinels.
+type IDOp struct {
+	LV          causal.LV
+	Kind        oplog.Kind
+	Content     rune
+	OriginLeft  int64
+	OriginRight int64
+	Target      int64
+}
+
+// ToIDOps converts the event log's position-based operations into
+// ID-based CRDT operations by replaying the whole graph through a
+// tracker (the "simulated replicas" conversion from §2.5 and the
+// artifact's crdt-converter). The result is in storage order, which is a
+// valid causal delivery order.
+func ToIDOps(l *oplog.Log, emit func(IDOp)) error {
+	tr := NewTracker(l, causal.Root, 0)
+	tr.onIDOp = func(lv causal.LV, op oplog.Op, oleft, oright, target int64) {
+		emit(IDOp{
+			LV:          lv,
+			Kind:        op.Kind,
+			Content:     op.Content,
+			OriginLeft:  oleft,
+			OriginRight: oright,
+			Target:      target,
+		})
+	}
+	return tr.ApplyRange(causal.Span{Start: 0, End: causal.LV(l.Len())}, causal.LV(l.Len()), nil)
+}
+
+// ApplyXOp applies a transformed operation to a rope document.
+func ApplyXOp(r *rope.Rope, op XOp) error {
+	if op.Kind == oplog.Insert {
+		return r.InsertRunes(op.Pos, []rune{op.Content})
+	}
+	return r.Delete(op.Pos, 1)
+}
+
+// ReplayRope replays the entire event graph into a fresh document.
+func ReplayRope(l *oplog.Log) (*rope.Rope, error) {
+	r := rope.New()
+	var applyErr error
+	err := TransformAll(l, func(_ causal.LV, op XOp) {
+		if applyErr == nil {
+			applyErr = ApplyXOp(r, op)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	if applyErr != nil {
+		return nil, applyErr
+	}
+	return r, nil
+}
+
+// ReplayText replays the entire event graph and returns the document
+// text.
+func ReplayText(l *oplog.Log) (string, error) {
+	r, err := ReplayRope(l)
+	if err != nil {
+		return "", err
+	}
+	return r.String(), nil
+}
+
+// ReplayRopeNoOpt is ReplayRope without the §3.5 optimisations (Fig 9).
+func ReplayRopeNoOpt(l *oplog.Log) (*rope.Rope, error) {
+	r := rope.New()
+	var applyErr error
+	err := TransformAllNoOpt(l, func(_ causal.LV, op XOp) {
+		if applyErr == nil {
+			applyErr = ApplyXOp(r, op)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	if applyErr != nil {
+		return nil, applyErr
+	}
+	return r, nil
+}

@@ -1,0 +1,312 @@
+// Package core implements the Eg-walker algorithm (paper §3): replaying
+// an event graph of text operations through a transient CRDT-like
+// internal state, emitting transformed index-based operations that can be
+// applied in storage order to reproduce the document.
+//
+// The Tracker is the internal state from §3.2–§3.4: it simultaneously
+// captures the document at the *prepare* version (the version an event
+// was generated in) and the *effect* version (all events applied so far).
+// The replay planner in replay.go drives trackers over sections of the
+// graph between critical versions (§3.5–§3.6).
+package core
+
+import (
+	"fmt"
+
+	"egwalker/internal/causal"
+	"egwalker/internal/itemtree"
+	"egwalker/internal/oplog"
+)
+
+// XOp is a transformed operation: an insertion or deletion whose index is
+// valid in the effect version (the document produced by all previously
+// emitted operations). Deletions of characters already deleted by a
+// concurrent operation are dropped (not emitted) rather than emitted as
+// no-ops.
+type XOp struct {
+	Kind    oplog.Kind
+	Pos     int
+	Content rune // inserts only
+}
+
+// infinitePlaceholder stands for the unknown document length at a replay
+// base version (the paper's [0, ∞] placeholder). Valid operations never
+// reference indexes at or beyond the real document length, so the excess
+// units are never touched.
+const infinitePlaceholder = 1 << 40
+
+// Tracker is Eg-walker's internal state, seeded at a base version.
+// All events applied to it must be at or after the base version (in the
+// intended use the base is a critical version, so this holds for every
+// event after it in storage order).
+type Tracker struct {
+	log  *oplog.Log
+	tree *itemtree.Tree
+	// delTargets records, for each applied delete event, the unit it
+	// deleted — the paper's second B-tree mapping event IDs to records.
+	delTargets map[causal.LV]itemtree.ID
+	// cur is the prepare version.
+	cur causal.Frontier
+	// onIDOp, if set, is called for each applied event with its ID-space
+	// form: the CRDT origins for inserts, or the deleted unit for
+	// deletes. Used to convert position-based event logs into ID-based
+	// CRDT operations (§2.5).
+	onIDOp func(lv causal.LV, op oplog.Op, originLeft, originRight, target itemtree.ID)
+}
+
+// NewTracker returns a tracker whose prepare and effect versions start at
+// base. baseUnits is the document length at the base version, or -1 if
+// unknown (an "infinite" placeholder is used; see §3.6).
+func NewTracker(l *oplog.Log, base causal.Frontier, baseUnits int) *Tracker {
+	t := &Tracker{
+		log:        l,
+		tree:       itemtree.New(),
+		delTargets: make(map[causal.LV]itemtree.ID),
+		cur:        base.Clone(),
+	}
+	if baseUnits < 0 {
+		baseUnits = infinitePlaceholder
+	}
+	if baseUnits > 0 {
+		t.tree.InitPlaceholder(baseUnits)
+	}
+	return t
+}
+
+// ApplyRange replays the events in span (storage order). For each event
+// at lv >= emitFrom whose transformed operation is not a no-op, emit is
+// called with the transformed operation. emit may be nil to replay purely
+// for internal state (the catch-up phase of partial replay).
+func (t *Tracker) ApplyRange(span causal.Span, emitFrom causal.LV, emit func(lv causal.LV, op XOp)) error {
+	g := t.log.Graph
+	lv := span.Start
+	for lv < span.End {
+		run := g.EntrySpanAt(lv)
+		if run.End > span.End {
+			run.End = span.End
+		}
+		if err := t.moveTo(g.ParentsOf(lv)); err != nil {
+			return err
+		}
+		var applyErr error
+		t.log.EachOp(run, func(opLV causal.LV, op oplog.Op) bool {
+			e := emit
+			if opLV < emitFrom {
+				e = nil
+			}
+			if err := t.applyOne(opLV, op, e); err != nil {
+				applyErr = err
+				return false
+			}
+			return true
+		})
+		if applyErr != nil {
+			return applyErr
+		}
+		t.cur = causal.Frontier{run.End - 1}
+		lv = run.End
+	}
+	return nil
+}
+
+// moveTo retreats and advances events so the prepare version equals
+// parents (§3.2).
+func (t *Tracker) moveTo(parents causal.Frontier) error {
+	if t.cur.Eq(parents) {
+		return nil
+	}
+	onlyCur, onlyNew := t.log.Graph.Diff(t.cur, parents)
+	// Retreat in reverse topological (descending LV) order.
+	for i := len(onlyCur) - 1; i >= 0; i-- {
+		for lv := onlyCur[i].End - 1; lv >= onlyCur[i].Start; lv-- {
+			if err := t.shift(lv, -1); err != nil {
+				return fmt.Errorf("retreat %d: %w", lv, err)
+			}
+		}
+	}
+	// Advance in topological (ascending LV) order.
+	for _, sp := range onlyNew {
+		for lv := sp.Start; lv < sp.End; lv++ {
+			if err := t.shift(lv, +1); err != nil {
+				return fmt.Errorf("advance %d: %w", lv, err)
+			}
+		}
+	}
+	t.cur = parents.Clone()
+	return nil
+}
+
+// shift applies a retreat (delta = -1) or advance (delta = +1) of the
+// event at lv to the prepare state. Both insert and delete events move
+// the target record's s_p by one step along the state machine in
+// Figure 5: NYI <-> Ins <-> Del 1 <-> Del 2 <-> ...
+func (t *Tracker) shift(lv causal.LV, delta int32) error {
+	op := t.log.OpAt(lv)
+	var id itemtree.ID
+	if op.Kind == oplog.Insert {
+		id = itemtree.ID(lv)
+	} else {
+		target, ok := t.delTargets[lv]
+		if !ok {
+			return fmt.Errorf("core: delete event %d was never applied to this tracker", lv)
+		}
+		id = target
+	}
+	c, err := t.tree.CursorFor(id)
+	if err != nil {
+		return err
+	}
+	var stateErr error
+	t.tree.MutateUnit(c, func(it *itemtree.Item) {
+		next := it.CurState + delta
+		minState := itemtree.StateNotInsertedYet
+		if op.Kind == oplog.Delete {
+			// A delete moves between Ins (0) and Del k (>= 1); it can
+			// never make the record NYI.
+			minState = itemtree.StateInserted
+		}
+		if next < minState {
+			stateErr = fmt.Errorf("core: event %d shift %d from state %d underflows", lv, delta, it.CurState)
+			return
+		}
+		it.CurState = next
+	})
+	return stateErr
+}
+
+// applyOne applies a single event whose parents equal the current prepare
+// version (§3.3). It updates the internal state and emits the transformed
+// operation.
+func (t *Tracker) applyOne(lv causal.LV, op oplog.Op, emit func(causal.LV, XOp)) error {
+	switch op.Kind {
+	case oplog.Insert:
+		c, oleft, oright, err := t.tree.FindInsert(op.Pos)
+		if err != nil {
+			return fmt.Errorf("core: apply insert %d: %w", lv, err)
+		}
+		dest, err := t.integrate(lv, c, oleft, oright)
+		if err != nil {
+			return err
+		}
+		ic := t.tree.InsertAt(dest, itemtree.Item{
+			ID:          itemtree.ID(lv),
+			Len:         1,
+			CurState:    itemtree.StateInserted,
+			OriginLeft:  oleft,
+			OriginRight: oright,
+		})
+		if t.onIDOp != nil {
+			t.onIDOp(lv, op, oleft, oright, 0)
+		}
+		if emit != nil {
+			emit(lv, XOp{Kind: oplog.Insert, Pos: t.tree.CountEndBefore(ic), Content: op.Content})
+		}
+	case oplog.Delete:
+		c, err := t.tree.FindVisible(op.Pos)
+		if err != nil {
+			return fmt.Errorf("core: apply delete %d: %w", lv, err)
+		}
+		wasDeleted := c.Item().EverDeleted
+		mc := t.tree.MutateUnit(c, func(it *itemtree.Item) {
+			it.CurState++
+			it.EverDeleted = true
+		})
+		t.delTargets[lv] = mc.Item().ID
+		if t.onIDOp != nil {
+			t.onIDOp(lv, op, 0, 0, mc.Item().ID)
+		}
+		if emit != nil && !wasDeleted {
+			emit(lv, XOp{Kind: oplog.Delete, Pos: t.tree.CountEndBefore(mc)})
+		}
+	default:
+		return fmt.Errorf("core: unknown op kind %d", op.Kind)
+	}
+	return nil
+}
+
+// integrate decides where among concurrent insertions the new item goes,
+// using the Yjs/YATA rules (§3.3): scan right from the insertion point
+// over not-inserted-yet items, comparing their origins with the new
+// item's, breaking ties by the inserting agent. All comparisons use raw
+// positions, which are consistent across replicas for concurrent items.
+func (t *Tracker) integrate(newLV causal.LV, c itemtree.Cursor, oleft, oright itemtree.ID) (itemtree.Cursor, error) {
+	leftRaw, err := t.tree.RawPosOf(oleft)
+	if err != nil {
+		return c, err
+	}
+	rightRaw, err := t.tree.RawPosOf(oright)
+	if err != nil {
+		return c, err
+	}
+	scan := c
+	scanRaw := t.tree.RawPos(scan)
+	if scanRaw == rightRaw {
+		// No concurrent items at the insertion point (the common case).
+		return c, nil
+	}
+	dest := scan
+	scanning := false
+	for {
+		if !scanning {
+			dest = scan
+		}
+		if scanRaw >= rightRaw || !scan.Valid() {
+			break
+		}
+		other := scan.Item()
+		if other.CurState != itemtree.StateNotInsertedYet {
+			// Items between the insertion point and the right origin are
+			// exactly the concurrent (NYI) items; reaching anything else
+			// means we've hit the right origin.
+			break
+		}
+		oL, err := t.tree.RawPosOf(other.OriginLeft)
+		if err != nil {
+			return c, err
+		}
+		if oL < leftRaw {
+			break
+		}
+		if oL == leftRaw {
+			oR, err := t.tree.RawPosOf(other.OriginRight)
+			if err != nil {
+				return c, err
+			}
+			switch {
+			case oR < rightRaw:
+				scanning = true
+			case oR == rightRaw:
+				if t.insertsBefore(newLV, other.ID) {
+					// Same origins: order by agent, then seq.
+					goto done
+				}
+				scanning = false
+			default:
+				scanning = false
+			}
+		}
+		scanRaw += other.Len
+		scan.NextItem() // if this hits the end, the Valid check above exits
+	}
+done:
+	return dest, nil
+}
+
+// insertsBefore reports whether the insert event at newLV orders before
+// the concurrent insert identified by otherID under the agent tie-break.
+func (t *Tracker) insertsBefore(newLV causal.LV, otherID itemtree.ID) bool {
+	g := t.log.Graph
+	a := g.IDOf(newLV)
+	b := g.IDOf(causal.LV(otherID))
+	if a.Agent != b.Agent {
+		return a.Agent < b.Agent
+	}
+	return a.Seq < b.Seq
+}
+
+// PrepareVersion returns the tracker's current prepare version (tests).
+func (t *Tracker) PrepareVersion() causal.Frontier { return t.cur.Clone() }
+
+// EndLen returns the length of the effect-version document relative to
+// the base (tests).
+func (t *Tracker) EndLen() int { return t.tree.EndLen() }

@@ -1,0 +1,23 @@
+package encoding
+
+import (
+	"egwalker/internal/causal"
+	"egwalker/internal/core"
+	"egwalker/internal/oplog"
+)
+
+// DeletedSet computes the set of insert events whose characters are
+// deleted in the final document, by replaying the graph and collecting
+// every delete's target. Used by the pruned (Yjs-style) encoding.
+func DeletedSet(l *oplog.Log) (map[causal.LV]bool, error) {
+	deleted := make(map[causal.LV]bool)
+	err := core.ToIDOps(l, func(op core.IDOp) {
+		if op.Kind == oplog.Delete && op.Target >= 0 {
+			deleted[causal.LV(op.Target)] = true
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return deleted, nil
+}

@@ -1,0 +1,253 @@
+package encoding
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"egwalker/internal/causal"
+	"egwalker/internal/core"
+	"egwalker/internal/oplog"
+)
+
+func buildLog(t *testing.T) *oplog.Log {
+	t.Helper()
+	l := oplog.New()
+	if _, err := l.AddInsert("alice", nil, 0, "hello world"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.AddDelete("alice", []causal.LV{10}, 5, 6); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.AddInsert("bob", []causal.LV{10}, 11, "!!"); err != nil { // concurrent with the delete
+		t.Fatal(err)
+	}
+	if _, err := l.AddInsert("alice", []causal.LV{16, 18}, 0, "say: "); err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func encodeTo(t *testing.T, l *oplog.Log, opts Options) []byte {
+	t.Helper()
+	var doc string
+	var deleted map[causal.LV]bool
+	var err error
+	if opts.CacheFinalDoc || opts.OmitDeletedContent {
+		doc, err = core.ReplayText(l)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if opts.OmitDeletedContent {
+		deleted, err = DeletedSet(l)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := Encode(&buf, l, opts, doc, deleted); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func logsEqual(t *testing.T, a, b *oplog.Log) {
+	t.Helper()
+	if a.Len() != b.Len() {
+		t.Fatalf("lengths differ: %d vs %d", a.Len(), b.Len())
+	}
+	full := causal.Span{Start: 0, End: causal.LV(a.Len())}
+	var aOps, bOps []oplog.Op
+	a.EachOp(full, func(_ causal.LV, op oplog.Op) bool { aOps = append(aOps, op); return true })
+	b.EachOp(full, func(_ causal.LV, op oplog.Op) bool { bOps = append(bOps, op); return true })
+	for i := range aOps {
+		if aOps[i] != bOps[i] {
+			t.Fatalf("op %d differs: %+v vs %+v", i, aOps[i], bOps[i])
+		}
+	}
+	for lv := causal.LV(0); lv < causal.LV(a.Len()); lv++ {
+		if a.Graph.IDOf(lv) != b.Graph.IDOf(lv) {
+			t.Fatalf("event %d ID differs: %v vs %v", lv, a.Graph.IDOf(lv), b.Graph.IDOf(lv))
+		}
+		pa, pb := a.Graph.ParentsOf(lv), b.Graph.ParentsOf(lv)
+		if len(pa) != len(pb) {
+			t.Fatalf("event %d parents differ: %v vs %v", lv, pa, pb)
+		}
+		for i := range pa {
+			if pa[i] != pb[i] {
+				t.Fatalf("event %d parents differ: %v vs %v", lv, pa, pb)
+			}
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	l := buildLog(t)
+	data := encodeTo(t, l, Options{})
+	dec, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.HasDoc || dec.Pruned {
+		t.Fatalf("unexpected flags: %+v", dec)
+	}
+	logsEqual(t, l, dec.Log)
+	// The decoded log must replay to the same document.
+	want, _ := core.ReplayText(l)
+	got, err := core.ReplayText(dec.Log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("replay after round trip: %q vs %q", got, want)
+	}
+}
+
+func TestRoundTripCachedDoc(t *testing.T) {
+	l := buildLog(t)
+	data := encodeTo(t, l, Options{CacheFinalDoc: true})
+	dec, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := core.ReplayText(l)
+	if !dec.HasDoc || dec.Doc != want {
+		t.Fatalf("cached doc %q (has=%v), want %q", dec.Doc, dec.HasDoc, want)
+	}
+	logsEqual(t, l, dec.Log)
+}
+
+func TestRoundTripCompressed(t *testing.T) {
+	l := oplog.New()
+	if _, err := l.AddInsert("a", nil, 0, strings.Repeat("compressible text ", 200)); err != nil {
+		t.Fatal(err)
+	}
+	plain := encodeTo(t, l, Options{})
+	comp := encodeTo(t, l, Options{Compress: true})
+	if len(comp) >= len(plain) {
+		t.Errorf("compression did not shrink: %d vs %d", len(comp), len(plain))
+	}
+	dec, err := Decode(comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logsEqual(t, l, dec.Log)
+}
+
+func TestPrunedEncoding(t *testing.T) {
+	// A deletion-heavy log: type a large paragraph, delete most of it.
+	l := oplog.New()
+	if _, err := l.AddInsert("a", nil, 0, strings.Repeat("draft text ", 50)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.AddDelete("a", []causal.LV{549}, 10, 500); err != nil {
+		t.Fatal(err)
+	}
+	full := encodeTo(t, l, Options{})
+	pruned := encodeTo(t, l, Options{OmitDeletedContent: true})
+	if len(pruned) >= len(full)-400 {
+		t.Errorf("pruned encoding saved too little: %d vs %d", len(pruned), len(full))
+	}
+	dec, err := Decode(pruned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.Pruned {
+		t.Fatal("pruned flag lost")
+	}
+	// The pruned log must still replay to the correct document (deleted
+	// characters never reach the output).
+	want, _ := core.ReplayText(l)
+	got, err := core.ReplayText(dec.Log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("pruned replay %q, want %q", got, want)
+	}
+}
+
+func TestUnicodeContent(t *testing.T) {
+	l := oplog.New()
+	if _, err := l.AddInsert("a", nil, 0, "日本語 héllo 🌍"); err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Decode(encodeTo(t, l, Options{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := core.ReplayText(l)
+	got, _ := core.ReplayText(dec.Log)
+	if got != want {
+		t.Fatalf("unicode round trip: %q vs %q", got, want)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	l := buildLog(t)
+	good := encodeTo(t, l, Options{})
+	cases := map[string][]byte{
+		"empty":        {},
+		"bad magic":    append([]byte("XXXX"), good[4:]...),
+		"truncated":    good[:len(good)/2],
+		"short header": good[:5],
+	}
+	for name, data := range cases {
+		if _, err := Decode(data); err == nil {
+			t.Errorf("%s: decode accepted corrupt input", name)
+		}
+	}
+	// Random corruption must never panic.
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 200; i++ {
+		data := append([]byte(nil), good...)
+		for j := 0; j < 1+rng.Intn(4); j++ {
+			data[rng.Intn(len(data))] ^= byte(1 << rng.Intn(8))
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("Decode panicked on corrupt input: %v", r)
+				}
+			}()
+			d, err := Decode(data)
+			_ = d
+			_ = err
+		}()
+	}
+}
+
+func TestEncodePrunedRequiresSet(t *testing.T) {
+	l := buildLog(t)
+	var buf bytes.Buffer
+	if err := Encode(&buf, l, Options{OmitDeletedContent: true}, "", nil); err == nil {
+		t.Fatal("Encode accepted pruned mode without deleted set")
+	}
+}
+
+func TestVarintRoundTrip(t *testing.T) {
+	vals := []uint64{0, 1, 127, 128, 300, 1 << 20, 1<<63 - 1}
+	var buf []byte
+	for _, v := range vals {
+		buf = putUvarint(buf, v)
+	}
+	r := &reader{buf: buf}
+	for _, v := range vals {
+		if got := r.uvarint(); got != v {
+			t.Fatalf("uvarint %d -> %d", v, got)
+		}
+	}
+	svals := []int64{0, -1, 1, -64, 63, -1 << 40, 1 << 40}
+	buf = nil
+	for _, v := range svals {
+		buf = putVarint(buf, v)
+	}
+	r = &reader{buf: buf}
+	for _, v := range svals {
+		if got := r.varint(); got != v {
+			t.Fatalf("varint %d -> %d", v, got)
+		}
+	}
+}

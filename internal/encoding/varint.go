@@ -1,0 +1,94 @@
+package encoding
+
+import (
+	"fmt"
+	"io"
+)
+
+// Variable-length integer encoding (§3.8: "a variable-length binary
+// encoding of integers, which represents small numbers in one byte,
+// larger numbers in two bytes, etc."). Unsigned LEB128, plus zigzag for
+// signed values.
+
+// putUvarint appends v to buf in LEB128.
+func putUvarint(buf []byte, v uint64) []byte {
+	for v >= 0x80 {
+		buf = append(buf, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(buf, byte(v))
+}
+
+// putVarint appends a zigzag-encoded signed value.
+func putVarint(buf []byte, v int64) []byte {
+	return putUvarint(buf, uint64(v<<1)^uint64(v>>63))
+}
+
+// reader consumes varints from a byte slice with error tracking.
+type reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *reader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf(format, args...)
+	}
+}
+
+func (r *reader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	var v uint64
+	var shift uint
+	for {
+		if r.off >= len(r.buf) {
+			r.fail("encoding: truncated varint at offset %d", r.off)
+			return 0
+		}
+		b := r.buf[r.off]
+		r.off++
+		if shift >= 64 {
+			r.fail("encoding: varint overflow at offset %d", r.off)
+			return 0
+		}
+		v |= uint64(b&0x7f) << shift
+		if b < 0x80 {
+			return v
+		}
+		shift += 7
+	}
+}
+
+func (r *reader) varint() int64 {
+	u := r.uvarint()
+	return int64(u>>1) ^ -int64(u&1)
+}
+
+func (r *reader) bytes(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || r.off+n > len(r.buf) {
+		r.fail("encoding: truncated byte run (%d at %d/%d)", n, r.off, len(r.buf))
+		return nil
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+func (r *reader) remaining() int { return len(r.buf) - r.off }
+
+// writeColumn writes a length-prefixed column.
+func writeColumn(w io.Writer, col []byte) error {
+	var hdr []byte
+	hdr = putUvarint(hdr, uint64(len(col)))
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	_, err := w.Write(col)
+	return err
+}

@@ -1,0 +1,700 @@
+// Package itemtree implements the order-statistic sequence underlying
+// Eg-walker's internal state (paper §3.3–§3.4, §3.6): a B-tree whose
+// leaves hold the records of the temporary CRDT structure, one record per
+// character (plus placeholder records standing for runs of characters
+// inserted before the replay base version).
+//
+// Every subtree is annotated with three sizes:
+//
+//   - raw: total units (characters) including invisible ones,
+//   - cur: units visible in the *prepare* version (s_p = Ins),
+//   - end: units visible in the *effect* version (s_e = Ins).
+//
+// This makes both index mappings O(log n): finding the record for a
+// prepare-version index, and mapping a record back to its effect-version
+// index (the transformed operation's index). A side index maps record IDs
+// to their leaves so retreat/advance can find records in O(log n) — the
+// paper's "second B-tree".
+package itemtree
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ID identifies a record. Non-negative IDs are the LV of the insert event
+// that created the character. IDs <= -2 identify placeholder units:
+// PlaceholderID(u) for unit u of the replay base document. OriginStart and
+// OriginEnd are sentinels for the CRDT origins of items at the ends of
+// the document.
+type ID = int64
+
+const (
+	// OriginStart marks "no item to the left" (document start).
+	OriginStart ID = math.MinInt64
+	// OriginEnd marks "no item to the right" (document end).
+	OriginEnd ID = math.MaxInt64
+)
+
+// PlaceholderID returns the stable ID of unit u (0-based) of the replay
+// base placeholder. Placeholder pieces may be split, but each unit's ID
+// never changes.
+func PlaceholderID(u int) ID { return -2 - int64(u) }
+
+// PlaceholderUnit inverts PlaceholderID.
+func PlaceholderUnit(id ID) int { return int(-2 - id) }
+
+// IsPlaceholder reports whether id identifies a placeholder unit.
+func IsPlaceholder(id ID) bool { return id <= -2 && id != OriginStart }
+
+// Prepare-version states (s_p in the paper, Figure 5).
+const (
+	StateNotInsertedYet int32 = -1 // insertion retreated
+	StateInserted       int32 = 0  // visible
+	// k >= 1 means deleted by k concurrent deletes.
+)
+
+// Item is one record of the internal state. Real items always have
+// Len == 1; placeholder pieces cover Len >= 1 consecutive units of the
+// base document (ID = PlaceholderID of the first unit).
+type Item struct {
+	ID          ID
+	Len         int
+	CurState    int32 // s_p: -1 NYI, 0 Ins, k>=1 Del k
+	EverDeleted bool  // s_e: true = Del
+	OriginLeft  ID    // CRDT origin: unit immediately left at insert time
+	OriginRight ID    // CRDT origin: next non-NYI unit at insert time
+}
+
+func (it *Item) curVisible() bool { return it.CurState == StateInserted }
+func (it *Item) endVisible() bool { return !it.EverDeleted }
+
+func (it *Item) curUnits() int {
+	if it.curVisible() {
+		return it.Len
+	}
+	return 0
+}
+
+func (it *Item) endUnits() int {
+	if it.endVisible() {
+		return it.Len
+	}
+	return 0
+}
+
+const (
+	maxItems = 32 // per leaf
+	maxKids  = 16 // per internal node
+)
+
+type node struct {
+	parent   *node
+	children []*node // nil => leaf
+	items    []Item  // leaf payload
+	next     *node   // leaf linked list, left to right
+	raw      int
+	cur      int
+	end      int
+}
+
+func (n *node) isLeaf() bool { return n.children == nil }
+
+// recompute refreshes a leaf's aggregates from its items and returns the
+// deltas relative to the previous values.
+func (n *node) recompute() (draw, dcur, dend int) {
+	raw, cur, end := 0, 0, 0
+	for i := range n.items {
+		it := &n.items[i]
+		raw += it.Len
+		cur += it.curUnits()
+		end += it.endUnits()
+	}
+	draw, dcur, dend = raw-n.raw, cur-n.cur, end-n.end
+	n.raw, n.cur, n.end = raw, cur, end
+	return
+}
+
+// Tree is the internal-state sequence. The zero value is not usable; call
+// New.
+type Tree struct {
+	root     *node
+	byID     map[ID]*node // real item IDs and placeholder piece-start IDs -> leaf
+	phStarts []int        // sorted start units of placeholder pieces
+	phLen    int          // total units of the initial placeholder
+}
+
+// New returns an empty sequence.
+func New() *Tree {
+	leaf := &node{}
+	return &Tree{root: leaf, byID: make(map[ID]*node)}
+}
+
+// InitPlaceholder installs a single placeholder piece covering units
+// [0, units) of the base document. Must be called on an empty tree.
+func (t *Tree) InitPlaceholder(units int) {
+	if t.RawLen() != 0 {
+		panic("itemtree: InitPlaceholder on non-empty tree")
+	}
+	if units <= 0 {
+		return
+	}
+	t.phLen = units
+	leaf := t.root
+	leaf.items = append(leaf.items, Item{
+		ID:          PlaceholderID(0),
+		Len:         units,
+		CurState:    StateInserted,
+		OriginLeft:  OriginStart,
+		OriginRight: OriginEnd,
+	})
+	leaf.recompute()
+	t.byID[PlaceholderID(0)] = leaf
+	t.phStarts = append(t.phStarts, 0)
+}
+
+// RawLen returns the total number of units including invisible ones.
+func (t *Tree) RawLen() int { return t.root.raw }
+
+// CurLen returns the number of units visible in the prepare version.
+func (t *Tree) CurLen() int { return t.root.cur }
+
+// EndLen returns the number of units visible in the effect version.
+func (t *Tree) EndLen() int { return t.root.end }
+
+// Cursor addresses one unit (or a boundary) in the sequence: the unit at
+// items[idx] offset off within the item. Cursors are invalidated by any
+// structural mutation of the tree.
+type Cursor struct {
+	leaf *node
+	idx  int
+	off  int
+}
+
+// Item returns a copy of the item under the cursor.
+func (c Cursor) Item() Item { return c.leaf.items[c.idx] }
+
+// Offset returns the unit offset within the item.
+func (c Cursor) Offset() int { return c.off }
+
+// UnitID returns the stable ID of the unit under the cursor.
+func (c Cursor) UnitID() ID {
+	it := &c.leaf.items[c.idx]
+	if IsPlaceholder(it.ID) {
+		return PlaceholderID(PlaceholderUnit(it.ID) + c.off)
+	}
+	return it.ID
+}
+
+// Valid reports whether the cursor points at an item (false for the
+// past-the-end cursor).
+func (c Cursor) Valid() bool { return c.leaf != nil && c.idx < len(c.leaf.items) }
+
+// NextItem advances the cursor to the start of the next item, returning
+// false at the end of the sequence.
+func (c *Cursor) NextItem() bool {
+	c.off = 0
+	c.idx++
+	for c.idx >= len(c.leaf.items) {
+		if c.leaf.next == nil {
+			return false
+		}
+		c.leaf = c.leaf.next
+		c.idx = 0
+	}
+	return true
+}
+
+// End returns a past-the-end cursor.
+func (t *Tree) End() Cursor {
+	leaf := t.rightmostLeaf()
+	return Cursor{leaf: leaf, idx: len(leaf.items)}
+}
+
+// Start returns a cursor at the first item (or the end cursor if empty).
+func (t *Tree) Start() Cursor {
+	n := t.root
+	for !n.isLeaf() {
+		n = n.children[0]
+	}
+	c := Cursor{leaf: n, idx: 0}
+	if len(n.items) == 0 {
+		// Empty tree: single empty leaf.
+		return c
+	}
+	return c
+}
+
+func (t *Tree) rightmostLeaf() *node {
+	n := t.root
+	for !n.isLeaf() {
+		n = n.children[len(n.children)-1]
+	}
+	return n
+}
+
+// FindVisible returns a cursor at the pos-th (0-based) unit that is
+// visible in the prepare version.
+func (t *Tree) FindVisible(pos int) (Cursor, error) {
+	if pos < 0 || pos >= t.CurLen() {
+		return Cursor{}, fmt.Errorf("itemtree: prepare index %d out of range [0,%d)", pos, t.CurLen())
+	}
+	n := t.root
+	for !n.isLeaf() {
+		for _, c := range n.children {
+			if pos < c.cur {
+				n = c
+				break
+			}
+			pos -= c.cur
+		}
+	}
+	for i := range n.items {
+		it := &n.items[i]
+		cu := it.curUnits()
+		if pos < cu {
+			return Cursor{leaf: n, idx: i, off: pos}, nil
+		}
+		pos -= cu
+	}
+	panic("itemtree: aggregate/item mismatch in FindVisible")
+}
+
+// FindInsert locates the insertion point for a new item at prepare index
+// pos: immediately after the pos-th visible unit (and before any
+// following invisible items; the CRDT integrate scan decides the final
+// spot among concurrent items). It returns the boundary cursor, the
+// origin-left unit ID (OriginStart at the document head) and the
+// origin-right unit ID (the next unit that exists in the prepare version,
+// i.e. first item with s_p != NYI; OriginEnd at the tail).
+func (t *Tree) FindInsert(pos int) (Cursor, ID, ID, error) {
+	if pos < 0 || pos > t.CurLen() {
+		return Cursor{}, 0, 0, fmt.Errorf("itemtree: insert index %d out of range [0,%d]", pos, t.CurLen())
+	}
+	var c Cursor
+	left := OriginStart
+	if pos == 0 {
+		c = t.Start()
+	} else {
+		vc, err := t.FindVisible(pos - 1)
+		if err != nil {
+			return Cursor{}, 0, 0, err
+		}
+		left = vc.UnitID()
+		c = vc
+		c.off++ // boundary immediately after the visible unit
+		c.normalize()
+	}
+	right := t.originRightFrom(c)
+	return c, left, right, nil
+}
+
+// normalize moves a boundary cursor with off == item.Len to the start of
+// the next item (keeping past-the-end cursors intact).
+func (c *Cursor) normalize() {
+	for c.Valid() && c.off >= c.leaf.items[c.idx].Len {
+		off := c.off - c.leaf.items[c.idx].Len
+		if !c.NextItem() {
+			c.off = off
+			return
+		}
+		c.off = off
+	}
+}
+
+// originRightFrom scans right from boundary cursor c for the first unit
+// whose item exists in the prepare version (s_p != NYI), returning its
+// unit ID or OriginEnd.
+func (t *Tree) originRightFrom(c Cursor) ID {
+	for c.Valid() {
+		it := c.leaf.items[c.idx]
+		if it.CurState != StateNotInsertedYet {
+			return c.UnitID()
+		}
+		if !c.NextItem() {
+			break
+		}
+	}
+	return OriginEnd
+}
+
+// FindRaw returns a boundary cursor at raw position pos (counting every
+// unit, visible or not). pos may equal RawLen (the end boundary).
+func (t *Tree) FindRaw(pos int) (Cursor, error) {
+	if pos < 0 || pos > t.RawLen() {
+		return Cursor{}, fmt.Errorf("itemtree: raw index %d out of range [0,%d]", pos, t.RawLen())
+	}
+	if pos == t.RawLen() {
+		return t.End(), nil
+	}
+	n := t.root
+	for !n.isLeaf() {
+		for _, c := range n.children {
+			if pos < c.raw {
+				n = c
+				break
+			}
+			pos -= c.raw
+		}
+	}
+	for i := range n.items {
+		if pos < n.items[i].Len {
+			return Cursor{leaf: n, idx: i, off: pos}, nil
+		}
+		pos -= n.items[i].Len
+	}
+	panic("itemtree: aggregate/item mismatch in FindRaw")
+}
+
+// CursorFor returns a cursor at the unit with the given ID.
+func (t *Tree) CursorFor(id ID) (Cursor, error) {
+	lookup := id
+	off := 0
+	if IsPlaceholder(id) {
+		u := PlaceholderUnit(id)
+		i := sort.SearchInts(t.phStarts, u+1) - 1
+		if i < 0 {
+			return Cursor{}, fmt.Errorf("itemtree: no placeholder piece for unit %d", u)
+		}
+		start := t.phStarts[i]
+		lookup = PlaceholderID(start)
+		off = u - start
+	}
+	leaf, ok := t.byID[lookup]
+	if !ok {
+		return Cursor{}, fmt.Errorf("itemtree: unknown item ID %d", id)
+	}
+	for i := range leaf.items {
+		if leaf.items[i].ID == lookup {
+			if off >= leaf.items[i].Len {
+				return Cursor{}, fmt.Errorf("itemtree: unit offset %d beyond piece of len %d", off, leaf.items[i].Len)
+			}
+			return Cursor{leaf: leaf, idx: i, off: off}, nil
+		}
+	}
+	return Cursor{}, fmt.Errorf("itemtree: stale ID index for %d", id)
+}
+
+// RawPosOf returns the raw position (counting every unit) of the unit
+// with the given ID. Sentinels are mapped to -1 (OriginStart) and RawLen
+// (OriginEnd) so CRDT origin comparisons can use raw positions directly.
+func (t *Tree) RawPosOf(id ID) (int, error) {
+	switch id {
+	case OriginStart:
+		return -1, nil
+	case OriginEnd:
+		return t.RawLen(), nil
+	}
+	c, err := t.CursorFor(id)
+	if err != nil {
+		return 0, err
+	}
+	return t.RawPos(c), nil
+}
+
+// RawPos returns the raw position of the cursor.
+func (t *Tree) RawPos(c Cursor) int {
+	pos := c.off
+	for i := 0; i < c.idx; i++ {
+		pos += c.leaf.items[i].Len
+	}
+	pos += prefixBefore(c.leaf, func(n *node) int { return n.raw })
+	return pos
+}
+
+// CountEndBefore returns the number of effect-visible units strictly
+// before the cursor: the transformed (effect-version) index of the unit
+// at the cursor.
+func (t *Tree) CountEndBefore(c Cursor) int {
+	pos := 0
+	if c.Valid() && c.leaf.items[c.idx].endVisible() {
+		pos += c.off
+	} else if !c.Valid() {
+		pos += 0 // past-the-end: handled by leaf prefix below
+	}
+	for i := 0; i < c.idx; i++ {
+		pos += c.leaf.items[i].endUnits()
+	}
+	pos += prefixBefore(c.leaf, func(n *node) int { return n.end })
+	return pos
+}
+
+// prefixBefore sums metric(n) over all subtrees strictly left of leaf.
+func prefixBefore(leaf *node, metric func(*node) int) int {
+	sum := 0
+	for n := leaf; n.parent != nil; n = n.parent {
+		for _, sib := range n.parent.children {
+			if sib == n {
+				break
+			}
+			sum += metric(sib)
+		}
+	}
+	return sum
+}
+
+// MutateUnit applies fn to the item containing the cursor's unit,
+// splitting placeholder pieces first so exactly one unit is affected.
+// It returns a cursor to the (possibly new) single-unit item.
+func (t *Tree) MutateUnit(c Cursor, fn func(*Item)) Cursor {
+	it := &c.leaf.items[c.idx]
+	if it.Len > 1 {
+		c = t.splitUnit(c)
+		it = &c.leaf.items[c.idx]
+	}
+	fn(it)
+	t.bubble(c.leaf)
+	return c
+}
+
+// splitUnit splits a multi-unit placeholder piece so the cursor's unit
+// becomes its own item, and returns a cursor to it.
+func (t *Tree) splitUnit(c Cursor) Cursor {
+	leaf, idx, off := c.leaf, c.idx, c.off
+	it := leaf.items[idx]
+	if !IsPlaceholder(it.ID) {
+		panic("itemtree: splitUnit on non-placeholder multi-unit item")
+	}
+	start := PlaceholderUnit(it.ID)
+	var pieces []Item
+	if off > 0 {
+		left := it
+		left.Len = off
+		pieces = append(pieces, left)
+	}
+	mid := it
+	mid.ID = PlaceholderID(start + off)
+	mid.Len = 1
+	pieces = append(pieces, mid)
+	if off+1 < it.Len {
+		right := it
+		right.ID = PlaceholderID(start + off + 1)
+		right.Len = it.Len - off - 1
+		pieces = append(pieces, right)
+	}
+	// Register the new piece starts in the placeholder index.
+	for _, p := range pieces[1:] {
+		u := PlaceholderUnit(p.ID)
+		i := sort.SearchInts(t.phStarts, u)
+		t.phStarts = append(t.phStarts, 0)
+		copy(t.phStarts[i+1:], t.phStarts[i:])
+		t.phStarts[i] = u
+	}
+	// Replace items[idx] with the pieces.
+	rest := append([]Item{}, leaf.items[idx+1:]...)
+	leaf.items = append(leaf.items[:idx], append(pieces, rest...)...)
+	t.reindexLeaf(leaf)
+	t.bubble(leaf)
+	t.splitLeafIfNeeded(leaf)
+	// Find the mid piece again (splitLeafIfNeeded may have moved it).
+	cur, err := t.CursorFor(mid.ID)
+	if err != nil {
+		panic(err)
+	}
+	return cur
+}
+
+// InsertAt inserts item at the boundary cursor c (before the unit the
+// cursor addresses; a cursor with off > 0 splits a placeholder piece).
+// It returns a cursor to the inserted item.
+func (t *Tree) InsertAt(c Cursor, item Item) Cursor {
+	if item.Len < 1 {
+		panic("itemtree: inserting empty item")
+	}
+	leaf := c.leaf
+	if !c.Valid() {
+		// Past-the-end: append to the rightmost leaf.
+		leaf = t.rightmostLeaf()
+		leaf.items = append(leaf.items, item)
+	} else if c.off == 0 {
+		leaf = c.leaf
+		leaf.items = append(leaf.items, Item{})
+		copy(leaf.items[c.idx+1:], leaf.items[c.idx:])
+		leaf.items[c.idx] = item
+	} else {
+		// Split the placeholder piece at off, then insert between.
+		old := leaf.items[c.idx]
+		if !IsPlaceholder(old.ID) {
+			panic("itemtree: mid-item insert into non-placeholder")
+		}
+		start := PlaceholderUnit(old.ID)
+		left := old
+		left.Len = c.off
+		right := old
+		right.ID = PlaceholderID(start + c.off)
+		right.Len = old.Len - c.off
+		u := PlaceholderUnit(right.ID)
+		i := sort.SearchInts(t.phStarts, u)
+		t.phStarts = append(t.phStarts, 0)
+		copy(t.phStarts[i+1:], t.phStarts[i:])
+		t.phStarts[i] = u
+		rest := append([]Item{}, leaf.items[c.idx+1:]...)
+		leaf.items = append(leaf.items[:c.idx], append([]Item{left, item, right}, rest...)...)
+	}
+	t.reindexLeaf(leaf)
+	t.bubble(leaf)
+	t.splitLeafIfNeeded(leaf)
+	cur, err := t.CursorFor(item.ID)
+	if err != nil {
+		panic(err)
+	}
+	return cur
+}
+
+// reindexLeaf refreshes the byID entries for every item in the leaf.
+func (t *Tree) reindexLeaf(leaf *node) {
+	for i := range leaf.items {
+		t.byID[leaf.items[i].ID] = leaf
+	}
+}
+
+// bubble recomputes the leaf's aggregates and propagates the deltas to
+// the root.
+func (t *Tree) bubble(leaf *node) {
+	draw, dcur, dend := leaf.recompute()
+	for n := leaf.parent; n != nil; n = n.parent {
+		n.raw += draw
+		n.cur += dcur
+		n.end += dend
+	}
+}
+
+// splitLeafIfNeeded splits an overfull leaf and rebalances ancestors.
+func (t *Tree) splitLeafIfNeeded(leaf *node) {
+	if len(leaf.items) <= maxItems {
+		return
+	}
+	half := len(leaf.items) / 2
+	right := &node{
+		items: append([]Item(nil), leaf.items[half:]...),
+		next:  leaf.next,
+	}
+	leaf.items = leaf.items[:half]
+	leaf.next = right
+	right.recompute()
+	leaf.recompute()
+	t.reindexLeaf(right)
+	t.insertSibling(leaf, right)
+}
+
+// insertSibling links newRight immediately after n under n's parent,
+// splitting internal nodes as needed. Aggregates of ancestors are
+// unchanged in total, but the parent chain is fixed up.
+func (t *Tree) insertSibling(n, newRight *node) {
+	parent := n.parent
+	if parent == nil {
+		// n was the root: grow a new root.
+		root := &node{children: []*node{n, newRight}}
+		n.parent, newRight.parent = root, root
+		root.raw = n.raw + newRight.raw
+		root.cur = n.cur + newRight.cur
+		root.end = n.end + newRight.end
+		t.root = root
+		return
+	}
+	idx := -1
+	for i, c := range parent.children {
+		if c == n {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		panic("itemtree: broken parent link")
+	}
+	parent.children = append(parent.children, nil)
+	copy(parent.children[idx+2:], parent.children[idx+1:])
+	parent.children[idx+1] = newRight
+	newRight.parent = parent
+	if len(parent.children) > maxKids {
+		half := len(parent.children) / 2
+		right := &node{children: append([]*node(nil), parent.children[half:]...)}
+		parent.children = parent.children[:half]
+		for _, c := range right.children {
+			c.parent = right
+		}
+		recomputeInner(parent)
+		recomputeInner(right)
+		t.insertSibling(parent, right)
+	}
+}
+
+func recomputeInner(n *node) {
+	n.raw, n.cur, n.end = 0, 0, 0
+	for _, c := range n.children {
+		n.raw += c.raw
+		n.cur += c.cur
+		n.end += c.end
+	}
+}
+
+// Each calls fn for every item left to right (tests and debugging).
+func (t *Tree) Each(fn func(Item) bool) {
+	n := t.root
+	for !n.isLeaf() {
+		n = n.children[0]
+	}
+	for ; n != nil; n = n.next {
+		for i := range n.items {
+			if !fn(n.items[i]) {
+				return
+			}
+		}
+	}
+}
+
+// Check validates all internal invariants, for tests.
+func (t *Tree) Check() error {
+	// Aggregates.
+	var check func(n *node) (raw, cur, end int, err error)
+	check = func(n *node) (int, int, int, error) {
+		if n.isLeaf() {
+			raw, cur, end := 0, 0, 0
+			for i := range n.items {
+				it := &n.items[i]
+				if it.Len < 1 {
+					return 0, 0, 0, fmt.Errorf("item %d has len %d", it.ID, it.Len)
+				}
+				if it.Len > 1 && !IsPlaceholder(it.ID) {
+					return 0, 0, 0, fmt.Errorf("non-placeholder item %d has len %d", it.ID, it.Len)
+				}
+				raw += it.Len
+				cur += it.curUnits()
+				end += it.endUnits()
+				if t.byID[it.ID] != n {
+					return 0, 0, 0, fmt.Errorf("byID[%d] stale", it.ID)
+				}
+			}
+			if raw != n.raw || cur != n.cur || end != n.end {
+				return 0, 0, 0, fmt.Errorf("leaf aggregates stale: have (%d,%d,%d) want (%d,%d,%d)",
+					n.raw, n.cur, n.end, raw, cur, end)
+			}
+			return raw, cur, end, nil
+		}
+		raw, cur, end := 0, 0, 0
+		for _, c := range n.children {
+			if c.parent != n {
+				return 0, 0, 0, fmt.Errorf("broken parent pointer")
+			}
+			r, cu, e, err := check(c)
+			if err != nil {
+				return 0, 0, 0, err
+			}
+			raw += r
+			cur += cu
+			end += e
+		}
+		if raw != n.raw || cur != n.cur || end != n.end {
+			return 0, 0, 0, fmt.Errorf("inner aggregates stale")
+		}
+		return raw, cur, end, nil
+	}
+	if _, _, _, err := check(t.root); err != nil {
+		return err
+	}
+	if !sort.IntsAreSorted(t.phStarts) {
+		return fmt.Errorf("phStarts unsorted: %v", t.phStarts)
+	}
+	return nil
+}

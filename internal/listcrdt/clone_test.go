@@ -1,0 +1,91 @@
+package listcrdt
+
+import (
+	"testing"
+)
+
+func TestCloneIndependence(t *testing.T) {
+	a := New()
+	for i, c := range "clone me" {
+		if _, err := a.LocalInsert(int64(i), "a", i, i, c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b := a.Clone()
+	if b.Text() != a.Text() {
+		t.Fatalf("clone text %q != %q", b.Text(), a.Text())
+	}
+	// Mutating the clone must not touch the original and vice versa.
+	if _, err := b.LocalDelete(100, "b", 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.LocalInsert(200, "a", 8, a.Len(), '!'); err != nil {
+		t.Fatal(err)
+	}
+	if a.Text() != "clone me!" {
+		t.Fatalf("original corrupted: %q", a.Text())
+	}
+	if b.Text() != "lone me" {
+		t.Fatalf("clone wrong: %q", b.Text())
+	}
+	if a.StateSize() == b.StateSize() {
+		t.Fatal("state sizes should have diverged")
+	}
+}
+
+func TestCloneThenConcurrentMerge(t *testing.T) {
+	// Clone two replicas from one base, edit concurrently, cross-apply.
+	base := New()
+	var ops []Op
+	for i, c := range "abc" {
+		op, err := base.LocalInsert(int64(i), "base", i, i, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ops = append(ops, op)
+	}
+	x := base.Clone()
+	y := base.Clone()
+	ox, err := x.LocalInsert(10, "x", 0, 0, 'X')
+	if err != nil {
+		t.Fatal(err)
+	}
+	oy, err := y.LocalInsert(20, "y", 0, 3, 'Y')
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := x.ApplyRemote(oy); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := y.ApplyRemote(ox); err != nil {
+		t.Fatal(err)
+	}
+	if x.Text() != y.Text() || x.Text() != "XabcY" {
+		t.Fatalf("diverged: %q vs %q", x.Text(), y.Text())
+	}
+	_ = ops
+}
+
+func TestAppliedQuery(t *testing.T) {
+	d := New()
+	op, err := d.LocalInsert(5, "a", 0, 0, 'q')
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Applied(5) || d.Applied(6) {
+		t.Fatal("Applied bookkeeping wrong")
+	}
+	e := New()
+	if e.Applied(op.ID) {
+		t.Fatal("fresh doc claims op applied")
+	}
+	if _, err := e.ApplyRemote(op); err != nil {
+		t.Fatal(err)
+	}
+	if !e.Applied(op.ID) {
+		t.Fatal("remote apply not recorded")
+	}
+	if e.Text() != "q" {
+		t.Fatalf("text %q", e.Text())
+	}
+}

@@ -1,0 +1,237 @@
+package listcrdt
+
+import (
+	"math/rand"
+	"testing"
+
+	"egwalker/internal/causal"
+	"egwalker/internal/core"
+	"egwalker/internal/oplog"
+)
+
+func TestLocalEditing(t *testing.T) {
+	d := New()
+	for i, c := range "hello" {
+		if _, err := d.LocalInsert(int64(i), "a", i, i, c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d.Text() != "hello" {
+		t.Fatalf("text = %q", d.Text())
+	}
+	if _, err := d.LocalDelete(5, "a", 5, 0); err != nil {
+		t.Fatal(err)
+	}
+	if d.Text() != "ello" || d.Len() != 4 {
+		t.Fatalf("after delete: %q len %d", d.Text(), d.Len())
+	}
+	if d.StateSize() != 5 {
+		t.Fatalf("state size %d, want 5 (tombstone retained)", d.StateSize())
+	}
+}
+
+func TestTwoReplicaConvergence(t *testing.T) {
+	// Figure 1: "Helo", concurrent Insert(3,"l") and Insert(4,"!").
+	a, b := New(), New()
+	var base []Op
+	for i, c := range "Helo" {
+		op, err := a.LocalInsert(int64(i), "base", i, i, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base = append(base, op)
+	}
+	for _, op := range base {
+		if _, err := b.ApplyRemote(op); err != nil {
+			t.Fatal(err)
+		}
+	}
+	opA, err := a.LocalInsert(100, "user1", 0, 3, 'l')
+	if err != nil {
+		t.Fatal(err)
+	}
+	opB, err := b.LocalInsert(200, "user2", 0, 4, '!')
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa, err := a.ApplyRemote(opB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.ApplyRemote(opA); err != nil {
+		t.Fatal(err)
+	}
+	if a.Text() != "Hello!" || b.Text() != "Hello!" {
+		t.Fatalf("diverged: %q vs %q", a.Text(), b.Text())
+	}
+	// The patch on replica A must be the transformed index 5, not 4.
+	if pa.Pos != 5 {
+		t.Fatalf("transformed index = %d, want 5", pa.Pos)
+	}
+}
+
+func TestDuplicateDelivery(t *testing.T) {
+	a, b := New(), New()
+	op, err := a.LocalInsert(1, "a", 0, 0, 'x')
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.ApplyRemote(op); err != nil {
+		t.Fatal(err)
+	}
+	p, err := b.ApplyRemote(op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Noop || b.Len() != 1 {
+		t.Fatalf("duplicate applied: %+v len %d", p, b.Len())
+	}
+}
+
+func TestConcurrentDeletePatchNoop(t *testing.T) {
+	a, b := New(), New()
+	op, _ := a.LocalInsert(1, "a", 0, 0, 'x')
+	if _, err := b.ApplyRemote(op); err != nil {
+		t.Fatal(err)
+	}
+	delA, _ := a.LocalDelete(2, "a", 1, 0)
+	delB, _ := b.LocalDelete(3, "b", 0, 0)
+	p, err := a.ApplyRemote(delB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Noop {
+		t.Fatalf("concurrent delete should be a noop patch, got %+v", p)
+	}
+	if _, err := b.ApplyRemote(delA); err != nil {
+		t.Fatal(err)
+	}
+	if a.Text() != "" || b.Text() != "" {
+		t.Fatalf("texts %q %q", a.Text(), b.Text())
+	}
+}
+
+// buildRandomLog mirrors the core test generator (small random DAGs).
+func buildRandomLog(t *testing.T, rng *rand.Rand, events int) *oplog.Log {
+	t.Helper()
+	l := oplog.New()
+	if _, err := l.AddInsert("seed", nil, 0, "seed"); err != nil {
+		t.Fatal(err)
+	}
+	heads := []causal.Frontier{l.Frontier()}
+	for l.Len() < events {
+		hi := rng.Intn(len(heads))
+		head := heads[hi]
+		sub := subLogText(t, l, head)
+		n := len([]rune(sub))
+		var sp causal.Span
+		var err error
+		if n == 0 || rng.Intn(3) > 0 {
+			sp, err = l.AddInsert("u", head, rng.Intn(n+1), string(rune('a'+rng.Intn(26))))
+		} else {
+			sp, err = l.AddDelete("u", head, rng.Intn(n), 1)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		heads[hi] = causal.Frontier{sp.End - 1}
+		if rng.Intn(8) == 0 && len(heads) < 3 {
+			heads = append(heads, heads[hi].Clone())
+		}
+	}
+	return l
+}
+
+func subLogText(t *testing.T, l *oplog.Log, v causal.Frontier) string {
+	t.Helper()
+	_, inV := l.Graph.Diff(causal.Root, v)
+	sub := oplog.New()
+	lvMap := map[causal.LV]causal.LV{}
+	for _, sp := range inV {
+		l.EachOp(sp, func(lv causal.LV, op oplog.Op) bool {
+			var parents []causal.LV
+			for _, p := range l.Graph.ParentsOf(lv) {
+				parents = append(parents, lvMap[p])
+			}
+			id := l.Graph.IDOf(lv)
+			nsp, err := sub.AddRemote(id.Agent, id.Seq, parents, []oplog.Op{op})
+			if err != nil {
+				t.Fatal(err)
+			}
+			lvMap[lv] = nsp.Start
+			return true
+		})
+	}
+	text, err := core.ReplayText(sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return text
+}
+
+// TestCRDTMatchesEgWalker: merging the ID-op stream into a CRDT replica
+// produces the same document as Eg-walker replaying the event graph —
+// the cross-implementation agreement check from §4.
+func TestCRDTMatchesEgWalker(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		l := buildRandomLog(t, rng, 150)
+		want, err := core.ReplayText(l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ops, err := FromLog(l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ops) != l.Len() {
+			t.Fatalf("converted %d ops, want %d", len(ops), l.Len())
+		}
+		d := New()
+		if err := d.Merge(ops); err != nil {
+			t.Fatal(err)
+		}
+		if got := d.Text(); got != want {
+			t.Fatalf("trial %d: CRDT %q != eg-walker %q", trial, got, want)
+		}
+	}
+}
+
+// TestPatchStreamRebuildsDoc: the index-based patches emitted by
+// ApplyRemote, applied in order to a plain text buffer, must reproduce
+// the document (the editor-update path).
+func TestPatchStreamRebuildsDoc(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	l := buildRandomLog(t, rng, 200)
+	ops, err := FromLog(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := New()
+	var buf []rune
+	for _, op := range ops {
+		p, err := d.ApplyRemote(op)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Noop {
+			continue
+		}
+		if p.Kind == oplog.Insert {
+			buf = append(buf[:p.Pos], append([]rune{p.Content}, buf[p.Pos:]...)...)
+		} else {
+			buf = append(buf[:p.Pos], buf[p.Pos+1:]...)
+		}
+	}
+	if string(buf) != d.Text() {
+		t.Fatalf("patch stream %q != doc %q", string(buf), d.Text())
+	}
+}
+
+func TestDeleteUnknownTarget(t *testing.T) {
+	d := New()
+	_, err := d.ApplyRemote(Op{ID: 9, Agent: "x", Kind: oplog.Delete, Target: 42})
+	if err == nil {
+		t.Fatal("delete of unknown target accepted")
+	}
+}

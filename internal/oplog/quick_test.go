@@ -1,0 +1,119 @@
+package oplog
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"egwalker/internal/causal"
+)
+
+// TestQuickRLERoundTrip: arbitrary op sequences stored through the
+// run-length encoder read back identically via OpAt and EachOp.
+func TestQuickRLERoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		l := New()
+		var want []Op
+		var frontier []causal.LV
+		docLen := 0
+		for batch := 0; batch < 10; batch++ {
+			n := 1 + rng.Intn(8)
+			ops := make([]Op, 0, n)
+			for i := 0; i < n; i++ {
+				if docLen == 0 || rng.Intn(3) > 0 {
+					pos := rng.Intn(docLen + 1)
+					ops = append(ops, Op{Kind: Insert, Pos: pos, Content: rune('a' + rng.Intn(26))})
+					docLen++
+				} else {
+					pos := rng.Intn(docLen)
+					ops = append(ops, Op{Kind: Delete, Pos: pos})
+					docLen--
+				}
+			}
+			sp, err := l.Add("agent", frontier, ops)
+			if err != nil {
+				return false
+			}
+			frontier = []causal.LV{sp.End - 1}
+			want = append(want, ops...)
+		}
+		// OpAt random access.
+		for i, w := range want {
+			if got := l.OpAt(causal.LV(i)); got != w {
+				return false
+			}
+		}
+		// EachOp full scan.
+		i := 0
+		okAll := true
+		l.EachOp(causal.Span{Start: 0, End: causal.LV(len(want))}, func(lv causal.LV, op Op) bool {
+			if int(lv) != i || op != want[i] {
+				okAll = false
+				return false
+			}
+			i++
+			return true
+		})
+		return okAll && i == len(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickEachRunCoversAll: runs returned by EachRun partition the
+// requested span exactly, and their per-op expansion matches OpAt.
+func TestQuickEachRunCoversAll(t *testing.T) {
+	f := func(seed int64, loPick, hiPick uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		l := New()
+		var frontier []causal.LV
+		docLen := 0
+		for l.Len() < 60 {
+			if docLen == 0 || rng.Intn(3) > 0 {
+				sp, err := l.AddInsert("a", frontier, rng.Intn(docLen+1), string(rune('a'+rng.Intn(26))))
+				if err != nil {
+					return false
+				}
+				frontier = []causal.LV{sp.End - 1}
+				docLen++
+			} else {
+				sp, err := l.AddDelete("a", frontier, rng.Intn(docLen), 1)
+				if err != nil {
+					return false
+				}
+				frontier = []causal.LV{sp.End - 1}
+				docLen--
+			}
+		}
+		lo := int(loPick) % l.Len()
+		hi := lo + 1 + int(hiPick)%(l.Len()-lo)
+		next := causal.LV(lo)
+		okAll := true
+		l.EachRun(causal.Span{Start: causal.LV(lo), End: causal.LV(hi)},
+			func(lvs causal.Span, kind Kind, pos int, dir int8, content []rune) bool {
+				if lvs.Start != next {
+					okAll = false
+					return false
+				}
+				for i := 0; i < lvs.Len(); i++ {
+					want := l.OpAt(lvs.Start + causal.LV(i))
+					if want.Kind != kind || want.Pos != pos+i*int(dir) {
+						okAll = false
+						return false
+					}
+					if kind == Insert && want.Content != content[i] {
+						okAll = false
+						return false
+					}
+				}
+				next = lvs.End
+				return true
+			})
+		return okAll && next == causal.LV(hi)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,339 @@
+// Package ot is the operational-transformation baseline from the paper's
+// evaluation (§4.2). It implements the architecture the paper describes
+// in §2.5 ("Implementing OT using a CRDT"): a central replayer maintains
+// one simulated replica per concurrent branch; each event's index-based
+// operation is translated into ID space on its branch's replica and back
+// into an index on the merged state — which is exactly an operational
+// transformation of the index against all concurrent operations.
+//
+// The cost profile matches the OT family the paper measures against:
+//
+//   - events with no concurrency are applied directly (fast path — no
+//     transformation needed, like all OT algorithms);
+//   - merging a branch of k events against m concurrent ones costs
+//     O((k+m) · state) because branch replicas must be constructed and
+//     advanced by replaying operation histories, which is quadratic for
+//     long-running branches;
+//   - memoized branch replicas hold full per-character state, giving the
+//     large transient memory footprint of Figure 10.
+//
+// (The paper's own reference OT uses TTF transformation functions [46];
+// this implementation plays the same role — an index-transforming
+// baseline that is exact on sequential histories and quadratic on
+// long-running branches — while guaranteeing convergence with the same
+// merge semantics as our reference CRDT. The substitution is recorded in
+// DESIGN.md.)
+package ot
+
+import (
+	"fmt"
+	"strings"
+
+	"egwalker/internal/causal"
+	"egwalker/internal/listcrdt"
+	"egwalker/internal/oplog"
+	"egwalker/internal/rope"
+)
+
+// XOp is a transformed, index-based operation (same meaning as
+// core.XOp): valid in the document produced by all previously emitted
+// operations.
+type XOp struct {
+	Kind    oplog.Kind
+	Pos     int
+	Content rune
+}
+
+// Replayer merges an event log the OT way. It is the "server" of a
+// classic OT deployment: it holds the merged state and transforms each
+// incoming operation.
+type Replayer struct {
+	l *oplog.Log
+	// server holds the merged state used for transformation. Like real
+	// OT, no state at all is maintained while the history is free of
+	// concurrency (the fast path); the server is materialised lazily by
+	// replaying the history the first time a concurrent event arrives —
+	// part of why diverged branches are expensive to merge.
+	server *listcrdt.Doc
+	// branches are the simulated per-branch replicas, keyed by their
+	// version. A branch replica translates index ops generated at that
+	// version into ID space.
+	branches map[string]*listcrdt.Doc
+	// idops memoizes every event's ID-space form so branch replicas can
+	// be (re)built by replaying history — the memoized intermediate
+	// operations whose storage dominates OT's peak memory use.
+	idops map[causal.LV]listcrdt.Op
+	// cur is the merged version.
+	cur causal.Frontier
+	// PeakBranches records the maximum number of live branch replicas
+	// (memory diagnostics).
+	PeakBranches int
+	// RebuiltEvents counts events replayed to construct or advance
+	// branch replicas (the quadratic term).
+	RebuiltEvents int
+}
+
+// NewReplayer returns a replayer for the given log.
+func NewReplayer(l *oplog.Log) *Replayer {
+	return &Replayer{
+		l:        l,
+		branches: make(map[string]*listcrdt.Doc),
+		idops:    make(map[causal.LV]listcrdt.Op),
+		cur:      causal.Root,
+	}
+}
+
+func versionKey(f causal.Frontier) string {
+	var b strings.Builder
+	for i, lv := range f {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", lv)
+	}
+	return b.String()
+}
+
+// Replay transforms and applies every event in the log, invoking emit
+// with each transformed operation (no-op deletes are dropped). Applying
+// the emitted operations in order to an empty document reproduces the
+// merged document.
+func (r *Replayer) Replay(emit func(lv causal.LV, op XOp)) error {
+	g := r.l.Graph
+	n := causal.LV(g.Len())
+	var err error
+	for lv := causal.LV(0); lv < n && err == nil; {
+		run := g.EntrySpanAt(lv)
+		parents := causal.Frontier(g.ParentsOf(lv)).Clone()
+		r.l.EachOp(causal.Span{Start: lv, End: run.End}, func(opLV causal.LV, op oplog.Op) bool {
+			p := parents
+			if opLV > lv {
+				p = causal.Frontier{opLV - 1}
+			}
+			if e := r.applyOne(opLV, op, p, emit); e != nil {
+				err = e
+				return false
+			}
+			return true
+		})
+		lv = run.End
+	}
+	return err
+}
+
+// applyOne transforms one event against the concurrent operations (if
+// any) and applies it to the merged state.
+func (r *Replayer) applyOne(lv causal.LV, op oplog.Op, parents causal.Frontier, emit func(causal.LV, XOp)) error {
+	id := r.l.Graph.IDOf(lv)
+	if parents.Eq(r.cur) {
+		// Fast path: no concurrency, the operation applies verbatim (OT
+		// transforms nothing and, like real OT, keeps no state at all
+		// until concurrency appears).
+		if r.server != nil {
+			// State already materialised: keep it current so later
+			// transformations see this event.
+			idop, err := r.serverLocal(lv, id, op)
+			if err != nil {
+				return err
+			}
+			r.idops[lv] = idop
+			r.advanceBranch(parents, lv)
+		}
+		r.cur = causal.Frontier{lv}
+		if emit != nil {
+			emit(lv, XOp{Kind: op.Kind, Pos: op.Pos, Content: op.Content})
+		}
+		return nil
+	}
+	// Concurrency: materialise the server state lazily by replaying the
+	// history so far (this is the cost OT pays when long-diverged
+	// branches meet).
+	if r.server == nil {
+		r.server = listcrdt.New()
+		if err := r.applyHistory(r.server, []causal.Span{{Start: 0, End: lv}}); err != nil {
+			return err
+		}
+	}
+	// Translate the index op into ID space on a replica standing at the
+	// event's parent version, then transform back to an index on the
+	// merged server state.
+	rep, err := r.branchAt(parents)
+	if err != nil {
+		return err
+	}
+	var idop listcrdt.Op
+	switch op.Kind {
+	case oplog.Insert:
+		idop, err = rep.LocalInsert(int64(lv), id.Agent, id.Seq, op.Pos, op.Content)
+	case oplog.Delete:
+		idop, err = rep.LocalDelete(int64(lv), id.Agent, id.Seq, op.Pos)
+	default:
+		err = fmt.Errorf("ot: unknown op kind %d", op.Kind)
+	}
+	if err != nil {
+		return fmt.Errorf("ot: event %d on branch %v: %w", lv, parents, err)
+	}
+	r.idops[lv] = idop
+	// Move the replica key to the branch's new head.
+	delete(r.branches, versionKey(parents))
+	r.branches[versionKey(causal.Frontier{lv})] = rep
+	if len(r.branches) > r.PeakBranches {
+		r.PeakBranches = len(r.branches)
+	}
+	patch, err := r.server.ApplyRemote(idop)
+	if err != nil {
+		return err
+	}
+	r.cur = r.l.Graph.FrontierOf(append(r.cur.Clone(), lv))
+	if emit != nil && !patch.Noop {
+		emit(lv, XOp{Kind: patch.Kind, Pos: patch.Pos, Content: patch.Content})
+	}
+	return nil
+}
+
+// serverLocal applies an event as a local op on the server replica.
+func (r *Replayer) serverLocal(lv causal.LV, id causal.RawID, op oplog.Op) (listcrdt.Op, error) {
+	if op.Kind == oplog.Insert {
+		return r.server.LocalInsert(int64(lv), id.Agent, id.Seq, op.Pos, op.Content)
+	}
+	return r.server.LocalDelete(int64(lv), id.Agent, id.Seq, op.Pos)
+}
+
+// advanceBranch moves a branch replica (if one exists at the given
+// version) forward past the event at lv, so fast-path runs keep branch
+// keys current.
+func (r *Replayer) advanceBranch(parents causal.Frontier, lv causal.LV) {
+	key := versionKey(parents)
+	rep, ok := r.branches[key]
+	if !ok {
+		return
+	}
+	delete(r.branches, key)
+	if _, err := rep.ApplyRemote(r.idops[lv]); err == nil {
+		r.branches[versionKey(causal.Frontier{lv})] = rep
+	}
+}
+
+// branchAt returns a replica standing exactly at version v, reusing and
+// advancing an existing compatible replica when possible, otherwise
+// rebuilding one by replaying Events(v) — the expensive step that makes
+// long-running branches quadratic.
+func (r *Replayer) branchAt(v causal.Frontier) (*listcrdt.Doc, error) {
+	key := versionKey(v)
+	if rep, ok := r.branches[key]; ok {
+		return rep, nil
+	}
+	// Find an existing replica whose version is an ancestor of v and
+	// needs the fewest additional events.
+	g := r.l.Graph
+	var bestKey string
+	var best *listcrdt.Doc
+	var bestMissing []causal.Span
+	bestCost := -1
+	for k, rep := range r.branches {
+		w := parseVersionKey(k)
+		behind, ahead := g.Diff(v, w)
+		if len(ahead) != 0 {
+			continue // replica is not an ancestor of v
+		}
+		cost := 0
+		for _, sp := range behind {
+			cost += sp.Len()
+		}
+		if bestCost < 0 || cost < bestCost {
+			bestCost, bestKey, best, bestMissing = cost, k, rep, behind
+		}
+	}
+	if best == nil {
+		// Rebuild from scratch: replay Events(v) in storage order.
+		best = listcrdt.New()
+		_, bestMissing = g.Diff(causal.Root, v)
+		bestKey = ""
+	}
+	if err := r.applyHistory(best, bestMissing); err != nil {
+		return nil, err
+	}
+	if bestKey != "" {
+		delete(r.branches, bestKey)
+	}
+	r.branches[key] = best
+	if len(r.branches) > r.PeakBranches {
+		r.PeakBranches = len(r.branches)
+	}
+	return best, nil
+}
+
+// applyHistory brings doc forward by the events in spans (ascending
+// storage order). Events with a recorded ID op are applied as remote
+// ops; events without one were fast-path (linear) events, whose index
+// ops are interpreted directly — the replica is exactly at their parent
+// version when they are reached, so this is the §2.5 index→ID
+// translation performed lazily.
+func (r *Replayer) applyHistory(doc *listcrdt.Doc, spans []causal.Span) error {
+	for _, sp := range spans {
+		for lv := sp.Start; lv < sp.End; lv++ {
+			if idop, ok := r.idops[lv]; ok {
+				if doc.Applied(idop.ID) {
+					continue
+				}
+				if _, err := doc.ApplyRemote(idop); err != nil {
+					return err
+				}
+				r.RebuiltEvents++
+				continue
+			}
+			op := r.l.OpAt(lv)
+			id := r.l.Graph.IDOf(lv)
+			var idop listcrdt.Op
+			var err error
+			if op.Kind == oplog.Insert {
+				idop, err = doc.LocalInsert(int64(lv), id.Agent, id.Seq, op.Pos, op.Content)
+			} else {
+				idop, err = doc.LocalDelete(int64(lv), id.Agent, id.Seq, op.Pos)
+			}
+			if err != nil {
+				return fmt.Errorf("ot: rebuilding event %d: %w", lv, err)
+			}
+			r.idops[lv] = idop
+			r.RebuiltEvents++
+		}
+	}
+	return nil
+}
+
+func parseVersionKey(k string) causal.Frontier {
+	if k == "" {
+		return causal.Root
+	}
+	var f causal.Frontier
+	for _, part := range strings.Split(k, ",") {
+		var lv int
+		fmt.Sscanf(part, "%d", &lv)
+		f = append(f, causal.LV(lv))
+	}
+	return f
+}
+
+// ReplayText merges the whole log and returns the final document text.
+func ReplayText(l *oplog.Log) (string, error) {
+	r := rope.New()
+	rep := NewReplayer(l)
+	var applyErr error
+	err := rep.Replay(func(_ causal.LV, op XOp) {
+		if applyErr != nil {
+			return
+		}
+		if op.Kind == oplog.Insert {
+			applyErr = r.InsertRunes(op.Pos, []rune{op.Content})
+		} else {
+			applyErr = r.Delete(op.Pos, 1)
+		}
+	})
+	if err != nil {
+		return "", err
+	}
+	if applyErr != nil {
+		return "", applyErr
+	}
+	return r.String(), nil
+}

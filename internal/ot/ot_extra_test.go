@@ -1,0 +1,113 @@
+package ot
+
+import (
+	"strings"
+	"testing"
+
+	"egwalker/internal/causal"
+	"egwalker/internal/oplog"
+)
+
+// TestBranchReplicaAccounting: the replayer's cost counters must
+// reflect the workload: no rebuilds without concurrency (asserted
+// elsewhere), rebuilds bounded on a ladder, and at least one live
+// branch replica per concurrent branch on a fork-join.
+func TestBranchReplicaAccounting(t *testing.T) {
+	l := oplog.New()
+	sp, err := l.AddInsert("base", nil, 0, "..........")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := causal.Frontier{sp.End - 1}
+	// Three concurrent branches.
+	for b := 0; b < 3; b++ {
+		head := base.Clone()
+		agent := string(rune('a' + b))
+		for i := 0; i < 10; i++ {
+			s, err := l.AddInsert(agent, head, i, strings.ToUpper(agent))
+			if err != nil {
+				t.Fatal(err)
+			}
+			head = causal.Frontier{s.End - 1}
+		}
+	}
+	rep := NewReplayer(l)
+	if err := rep.Replay(nil); err != nil {
+		t.Fatal(err)
+	}
+	if rep.PeakBranches < 2 {
+		t.Errorf("PeakBranches = %d, want >= 2 for three concurrent branches", rep.PeakBranches)
+	}
+	if rep.RebuiltEvents == 0 {
+		t.Error("no events rebuilt despite concurrency")
+	}
+}
+
+// TestReplayNilEmit: Replay with a nil emit callback must still work
+// (used when only the final state matters).
+func TestReplayNilEmit(t *testing.T) {
+	l := oplog.New()
+	if _, err := l.AddInsert("a", nil, 0, "xyz"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.AddInsert("b", []causal.LV{2}, 0, "!"); err != nil {
+		t.Fatal(err)
+	}
+	rep := NewReplayer(l)
+	if err := rep.Replay(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMalformedEventOT: invalid positions error out rather than panic.
+func TestMalformedEventOT(t *testing.T) {
+	l := oplog.New()
+	if _, err := l.AddInsert("a", nil, 0, "ab"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.AddInsert("b", []causal.LV{1}, 0, "c"); err != nil {
+		t.Fatal(err)
+	}
+	// Concurrent event with a position invalid at its parents.
+	if _, err := l.AddInsert("c", []causal.LV{1}, 50, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReplayText(l); err == nil {
+		t.Fatal("OT replay accepted malformed event")
+	}
+}
+
+// TestEmitMatchesFinalText: the emitted transformed op stream rebuilds
+// exactly the replayer's merged document.
+func TestEmitMatchesFinalText(t *testing.T) {
+	l := oplog.New()
+	sp, err := l.AddInsert("base", nil, 0, "hello")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := causal.Frontier{sp.End - 1}
+	if _, err := l.AddDelete("x", base, 0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.AddInsert("y", base, 5, " world"); err != nil {
+		t.Fatal(err)
+	}
+	var doc []rune
+	rep := NewReplayer(l)
+	if err := rep.Replay(func(_ causal.LV, op XOp) {
+		if op.Kind == oplog.Insert {
+			doc = append(doc[:op.Pos], append([]rune{op.Content}, doc[op.Pos:]...)...)
+		} else {
+			doc = append(doc[:op.Pos], doc[op.Pos+1:]...)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	want, err := ReplayText(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(doc) != want {
+		t.Fatalf("emit stream built %q, replay text %q", string(doc), want)
+	}
+}

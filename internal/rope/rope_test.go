@@ -1,0 +1,217 @@
+package rope
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmpty(t *testing.T) {
+	r := New()
+	if r.Len() != 0 || r.String() != "" {
+		t.Fatalf("empty rope: len=%d text=%q", r.Len(), r.String())
+	}
+}
+
+func TestInsertBasic(t *testing.T) {
+	r := New()
+	if err := r.Insert(0, "Helo"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Insert(3, "l"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Insert(5, "!"); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.String(); got != "Hello!" {
+		t.Fatalf("got %q, want Hello!", got)
+	}
+	if r.Len() != 6 {
+		t.Fatalf("len = %d, want 6", r.Len())
+	}
+}
+
+func TestInsertOutOfRange(t *testing.T) {
+	r := NewFromString("abc")
+	if err := r.Insert(4, "x"); err == nil {
+		t.Error("insert past end accepted")
+	}
+	if err := r.Insert(-1, "x"); err == nil {
+		t.Error("negative insert accepted")
+	}
+}
+
+func TestDeleteBasic(t *testing.T) {
+	r := NewFromString("Hello, world")
+	if err := r.Delete(5, 7); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.String(); got != "Hello" {
+		t.Fatalf("got %q, want Hello", got)
+	}
+}
+
+func TestDeleteAll(t *testing.T) {
+	r := NewFromString("abcdef")
+	if err := r.Delete(0, 6); err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 0 || r.String() != "" {
+		t.Fatalf("after delete all: len=%d %q", r.Len(), r.String())
+	}
+	// Rope must be reusable after emptying.
+	if err := r.Insert(0, "xy"); err != nil {
+		t.Fatal(err)
+	}
+	if r.String() != "xy" {
+		t.Fatalf("got %q", r.String())
+	}
+}
+
+func TestDeleteOutOfRange(t *testing.T) {
+	r := NewFromString("abc")
+	if err := r.Delete(1, 5); err == nil {
+		t.Error("overlong delete accepted")
+	}
+	if err := r.Delete(-1, 1); err == nil {
+		t.Error("negative delete accepted")
+	}
+}
+
+func TestUnicode(t *testing.T) {
+	r := New()
+	if err := r.Insert(0, "日本語"); err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 3 {
+		t.Fatalf("rune len = %d, want 3", r.Len())
+	}
+	if err := r.Insert(1, "üé"); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.String(); got != "日üé本語" {
+		t.Fatalf("got %q", got)
+	}
+	c, err := r.CharAt(2)
+	if err != nil || c != 'é' {
+		t.Fatalf("CharAt(2) = %q, %v", c, err)
+	}
+}
+
+func TestLargeSequentialInsert(t *testing.T) {
+	r := New()
+	var want strings.Builder
+	for i := 0; i < 5000; i++ {
+		s := string(rune('a' + i%26))
+		if err := r.Insert(r.Len(), s); err != nil {
+			t.Fatal(err)
+		}
+		want.WriteString(s)
+	}
+	if got := r.String(); got != want.String() {
+		t.Fatal("sequential insert mismatch")
+	}
+	if d := r.depth(); d > 8 {
+		t.Errorf("tree depth %d too large for 5000 runes", d)
+	}
+}
+
+func TestSlice(t *testing.T) {
+	text := "the quick brown fox jumps over the lazy dog"
+	r := NewFromString(text)
+	for start := 0; start <= len(text); start += 5 {
+		for end := start; end <= len(text); end += 7 {
+			got, err := r.Slice(start, end)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != text[start:end] {
+				t.Fatalf("Slice(%d,%d) = %q, want %q", start, end, got, text[start:end])
+			}
+		}
+	}
+	if _, err := r.Slice(2, 1); err == nil {
+		t.Error("invalid slice accepted")
+	}
+}
+
+// TestRandomOpsAgainstSlice drives the rope and a naive []rune model with
+// the same random operations and checks they agree.
+func TestRandomOpsAgainstSlice(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		r := New()
+		var model []rune
+		for op := 0; op < 2000; op++ {
+			if len(model) == 0 || rng.Intn(3) != 0 {
+				pos := rng.Intn(len(model) + 1)
+				n := 1 + rng.Intn(20)
+				ins := make([]rune, n)
+				for i := range ins {
+					ins[i] = rune('A' + rng.Intn(50))
+				}
+				if err := r.InsertRunes(pos, ins); err != nil {
+					t.Fatal(err)
+				}
+				model = append(model[:pos], append(append([]rune(nil), ins...), model[pos:]...)...)
+			} else {
+				pos := rng.Intn(len(model))
+				n := 1 + rng.Intn(len(model)-pos)
+				if err := r.Delete(pos, n); err != nil {
+					t.Fatal(err)
+				}
+				model = append(model[:pos], model[pos+n:]...)
+			}
+			if r.Len() != len(model) {
+				t.Fatalf("trial %d op %d: len %d != %d", trial, op, r.Len(), len(model))
+			}
+		}
+		if got := r.String(); got != string(model) {
+			t.Fatalf("trial %d: content mismatch", trial)
+		}
+	}
+}
+
+// TestQuickInsertDelete is a property test: inserting then deleting the
+// same range restores the original text.
+func TestQuickInsertDelete(t *testing.T) {
+	f := func(base string, ins string, posSeed uint) bool {
+		r := NewFromString(base)
+		n := r.Len()
+		pos := int(posSeed % uint(n+1))
+		if err := r.Insert(pos, ins); err != nil {
+			return false
+		}
+		if err := r.Delete(pos, len([]rune(ins))); err != nil {
+			return false
+		}
+		return r.String() == base
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkAppend(b *testing.B) {
+	r := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := r.Insert(r.Len(), "x"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRandomInsert(b *testing.B) {
+	r := NewFromString(strings.Repeat("hello world ", 1000))
+	rng := rand.New(rand.NewSource(2))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := r.Insert(rng.Intn(r.Len()+1), "y"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

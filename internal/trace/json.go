@@ -1,0 +1,106 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"egwalker/internal/causal"
+	"egwalker/internal/oplog"
+)
+
+// JSON trace interchange, mirroring the artifact's editing-traces
+// format: a flat list of events with wire IDs and explicit parents, so
+// traces can be inspected, diffed, and consumed by other tools.
+
+// JSONEvent is one event in interchange form.
+type JSONEvent struct {
+	Agent   string   `json:"agent"`
+	Seq     int      `json:"seq"`
+	Parents []string `json:"parents"` // "agent/seq" refs
+	Kind    string   `json:"kind"`    // "ins" | "del"
+	Pos     int      `json:"pos"`
+	Content string   `json:"content,omitempty"` // single character for ins
+}
+
+// JSONTrace is the top-level interchange document.
+type JSONTrace struct {
+	Name   string      `json:"name"`
+	Events []JSONEvent `json:"events"`
+}
+
+// WriteJSON serialises the log.
+func WriteJSON(w io.Writer, name string, l *oplog.Log) error {
+	out := JSONTrace{Name: name, Events: make([]JSONEvent, 0, l.Len())}
+	g := l.Graph
+	l.EachOp(causal.Span{Start: 0, End: causal.LV(l.Len())}, func(lv causal.LV, op oplog.Op) bool {
+		id := g.IDOf(lv)
+		ev := JSONEvent{Agent: id.Agent, Seq: id.Seq, Kind: op.Kind.String(), Pos: op.Pos}
+		if op.Kind == oplog.Insert {
+			ev.Content = string(op.Content)
+		}
+		for _, p := range g.ParentsOf(lv) {
+			pid := g.IDOf(p)
+			ev.Parents = append(ev.Parents, fmt.Sprintf("%s/%d", pid.Agent, pid.Seq))
+		}
+		out.Events = append(out.Events, ev)
+		return true
+	})
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// ReadJSON parses an interchange trace back into a log. Events must be
+// in causal order (parents before children), which WriteJSON guarantees.
+func ReadJSON(r io.Reader) (string, *oplog.Log, error) {
+	var in JSONTrace
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return "", nil, err
+	}
+	l := oplog.New()
+	for i, ev := range in.Events {
+		var parents []causal.LV
+		for _, ref := range ev.Parents {
+			agent, seq, err := splitRef(ref)
+			if err != nil {
+				return "", nil, fmt.Errorf("trace: event %d: %w", i, err)
+			}
+			lv, ok := l.Graph.LVOf(causal.RawID{Agent: agent, Seq: seq})
+			if !ok {
+				return "", nil, fmt.Errorf("trace: event %d references unknown parent %q", i, ref)
+			}
+			parents = append(parents, lv)
+		}
+		var op oplog.Op
+		switch ev.Kind {
+		case "ins":
+			rs := []rune(ev.Content)
+			if len(rs) != 1 {
+				return "", nil, fmt.Errorf("trace: event %d: insert content %q is not one character", i, ev.Content)
+			}
+			op = oplog.Op{Kind: oplog.Insert, Pos: ev.Pos, Content: rs[0]}
+		case "del":
+			op = oplog.Op{Kind: oplog.Delete, Pos: ev.Pos}
+		default:
+			return "", nil, fmt.Errorf("trace: event %d: unknown kind %q", i, ev.Kind)
+		}
+		if _, err := l.AddRemote(ev.Agent, ev.Seq, parents, []oplog.Op{op}); err != nil {
+			return "", nil, fmt.Errorf("trace: event %d: %w", i, err)
+		}
+	}
+	return in.Name, l, nil
+}
+
+// splitRef parses "agent/seq" where agent may itself contain no slash.
+func splitRef(ref string) (string, int, error) {
+	for i := len(ref) - 1; i >= 0; i-- {
+		if ref[i] == '/' {
+			var seq int
+			if _, err := fmt.Sscanf(ref[i+1:], "%d", &seq); err != nil {
+				return "", 0, fmt.Errorf("bad parent ref %q", ref)
+			}
+			return ref[:i], seq, nil
+		}
+	}
+	return "", 0, fmt.Errorf("bad parent ref %q", ref)
+}

@@ -1,0 +1,201 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"egwalker/internal/core"
+	"egwalker/internal/ot"
+)
+
+// small returns a scaled-down spec for fast tests.
+func small(s Spec) Spec { return s.Scale(0.005) }
+
+func TestSequentialTraceShape(t *testing.T) {
+	for _, spec := range []Spec{small(S1), small(S2), small(S3)} {
+		l, err := Generate(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := Measure(spec.Name, l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Events < spec.Events {
+			t.Errorf("%s: %d events, want >= %d", spec.Name, st.Events, spec.Events)
+		}
+		if st.AvgConcurrency != 0 {
+			t.Errorf("%s: sequential trace has concurrency %f", spec.Name, st.AvgConcurrency)
+		}
+		if st.CriticalPct != 100 {
+			t.Errorf("%s: critical%% = %f, want 100", spec.Name, st.CriticalPct)
+		}
+		// The remaining fraction should be within a loose band of the
+		// target (the generator is stochastic).
+		if st.RemainPct < spec.RemainFrac*100-15 || st.RemainPct > spec.RemainFrac*100+15 {
+			t.Errorf("%s: remaining %.1f%%, target %.1f%%", spec.Name, st.RemainPct, spec.RemainFrac*100)
+		}
+		if st.Authors != spec.Authors {
+			t.Errorf("%s: authors %d, want %d", spec.Name, st.Authors, spec.Authors)
+		}
+	}
+}
+
+func TestConcurrentTraceShape(t *testing.T) {
+	for _, spec := range []Spec{small(C1), small(C2)} {
+		l, err := Generate(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := Measure(spec.Name, l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.AvgConcurrency <= 0.05 {
+			t.Errorf("%s: avg concurrency %.3f too low for a concurrent trace", spec.Name, st.AvgConcurrency)
+		}
+		if st.GraphRuns < st.Events/50 {
+			t.Errorf("%s: only %d runs for %d events; want many short branches", spec.Name, st.GraphRuns, st.Events)
+		}
+		if st.Authors != 2 {
+			t.Errorf("%s: authors = %d", spec.Name, st.Authors)
+		}
+		// Concurrent traces keep most text (collaborative writing).
+		if st.RemainPct < 70 {
+			t.Errorf("%s: remaining %.1f%% too low", spec.Name, st.RemainPct)
+		}
+	}
+}
+
+func TestAsyncTraceShape(t *testing.T) {
+	for _, spec := range []Spec{small(A1), small(A2)} {
+		l, err := Generate(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := Measure(spec.Name, l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Authors < 5 {
+			t.Errorf("%s: authors = %d, want many", spec.Name, st.Authors)
+		}
+		if st.GraphRuns <= 1 {
+			t.Errorf("%s: no branching (%d runs)", spec.Name, st.GraphRuns)
+		}
+	}
+	// A2 must be far more concurrent than A1.
+	la1, _ := Generate(small(A1))
+	la2, _ := Generate(small(A2))
+	sa1, err := Measure("A1", la1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa2, err := Measure("A2", la2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sa2.AvgConcurrency <= sa1.AvgConcurrency {
+		t.Errorf("A2 concurrency %.2f <= A1 %.2f", sa2.AvgConcurrency, sa1.AvgConcurrency)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	for _, spec := range []Spec{small(S1), small(C1), small(A2)} {
+		l1, err := Generate(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l2, err := Generate(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t1, err := core.ReplayText(l1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t2, err := core.ReplayText(l2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if t1 != t2 || l1.Len() != l2.Len() {
+			t.Errorf("%s: generation not deterministic", spec.Name)
+		}
+	}
+}
+
+// TestGeneratedTracesReplayConsistently: the generator's own replica
+// simulation, Eg-walker, and OT must all agree on the final document.
+func TestGeneratedTracesReplayConsistently(t *testing.T) {
+	for _, spec := range []Spec{small(C1), small(A1), small(A2)} {
+		l, err := Generate(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eg, err := core.ReplayText(l)
+		if err != nil {
+			t.Fatalf("%s: eg-walker: %v", spec.Name, err)
+		}
+		otText, err := ot.ReplayText(l)
+		if err != nil {
+			t.Fatalf("%s: ot: %v", spec.Name, err)
+		}
+		if eg != otText {
+			t.Errorf("%s: eg-walker and OT diverge (%d vs %d bytes)", spec.Name, len(eg), len(otText))
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	spec := small(C1)
+	spec.Events = 400
+	l, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, "C1", l); err != nil {
+		t.Fatal(err)
+	}
+	name, l2, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "C1" {
+		t.Errorf("name = %q", name)
+	}
+	want, _ := core.ReplayText(l)
+	got, err := core.ReplayText(l2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("JSON round trip changed the document")
+	}
+	if l2.Len() != l.Len() {
+		t.Errorf("event count %d != %d", l2.Len(), l.Len())
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, s := range All() {
+		got, ok := ByName(s.Name)
+		if !ok || got.Name != s.Name {
+			t.Errorf("ByName(%s) failed", s.Name)
+		}
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Error("ByName(nope) succeeded")
+	}
+}
+
+func TestScale(t *testing.T) {
+	s := S1.Scale(0.01)
+	if s.Events != 7790 {
+		t.Errorf("scaled events = %d", s.Events)
+	}
+	tiny := S1.Scale(0.000001)
+	if tiny.Events < 100 {
+		t.Errorf("scale floor broken: %d", tiny.Events)
+	}
+}

@@ -1,0 +1,35 @@
+package netsync
+
+import (
+	"testing"
+
+	"egwalker"
+)
+
+// FuzzUnmarshal: Unmarshal must never panic, and events it accepts must
+// be safely appliable (Apply may buffer or error, never crash).
+func FuzzUnmarshal(f *testing.F) {
+	d := egwalker.NewDoc("seed")
+	if err := d.Insert(0, "seed corpus"); err != nil {
+		f.Fatal(err)
+	}
+	if err := d.Delete(2, 4); err != nil {
+		f.Fatal(err)
+	}
+	good, err := Marshal(d.Events())
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add([]byte{1, 1, 'a', 1})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		events, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		doc := egwalker.NewDoc("fuzz")
+		_, _ = doc.Apply(events)
+	})
+}

@@ -1,0 +1,286 @@
+package netsync
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sync"
+
+	"egwalker"
+)
+
+// Sync performs one round of anti-entropy between the local document
+// and a remote peer over a bidirectional stream. Both sides must call
+// Sync concurrently (each end of the connection runs the same
+// symmetric protocol):
+//
+//  1. exchange HELLO frames carrying each side's version;
+//  2. send the events the peer is missing (empty batches allowed);
+//  3. exchange DONE frames.
+//
+// On return, the local document contains the union of both histories.
+// Duplicate and already-known events are ignored, so Sync is idempotent
+// and safe to run repeatedly (e.g. on a timer, or after reconnecting).
+func Sync(doc *egwalker.Doc, conn io.ReadWriter) error {
+	bw := bufio.NewWriter(conn)
+	br := bufio.NewReader(conn)
+
+	// Writes run in a goroutine so the protocol works over unbuffered
+	// transports (both sides write their HELLO before either reads).
+	// The two send stages are sequenced through channels, so the writer
+	// is never used concurrently.
+	helloErr := make(chan error, 1)
+	go func() {
+		err := writeFrame(bw, msgHello, marshalVersion(doc.Version()))
+		if err == nil {
+			err = bw.Flush()
+		}
+		helloErr <- err
+	}()
+
+	typ, payload, err := readFrame(br)
+	if err != nil {
+		return fmt.Errorf("netsync: reading hello: %w", err)
+	}
+	if err := <-helloErr; err != nil {
+		return err
+	}
+	if typ != msgHello {
+		return fmt.Errorf("netsync: expected hello, got frame type %#x", typ)
+	}
+	theirVersion, err := unmarshalVersion(payload)
+	if err != nil {
+		return err
+	}
+
+	// Send what they are missing. Their version may reference events we
+	// have never seen; those can't anchor a graph diff, so fall back to
+	// the subset of their version we do know (extra events we send are
+	// deduplicated on their side).
+	known := theirVersion[:0:0]
+	for _, id := range theirVersion {
+		if doc.Knows(id) {
+			known = append(known, id)
+		}
+	}
+	missing, err := doc.EventsSince(known)
+	if err != nil {
+		return err
+	}
+	batch, err := Marshal(missing)
+	if err != nil {
+		return err
+	}
+	sendErr := make(chan error, 1)
+	go func() {
+		err := writeFrame(bw, msgEvents, batch)
+		if err == nil {
+			err = writeFrame(bw, msgDone, nil)
+		}
+		if err == nil {
+			err = bw.Flush()
+		}
+		sendErr <- err
+	}()
+	defer func() { <-sendErr }()
+
+	// Apply what we receive until their DONE.
+	for {
+		typ, payload, err := readFrame(br)
+		if err != nil {
+			return fmt.Errorf("netsync: reading events: %w", err)
+		}
+		switch typ {
+		case msgEvents:
+			events, err := Unmarshal(payload)
+			if err != nil {
+				return err
+			}
+			if _, err := doc.Apply(events); err != nil {
+				return err
+			}
+		case msgDone:
+			return nil
+		default:
+			return fmt.Errorf("netsync: unexpected frame type %#x", typ)
+		}
+	}
+}
+
+// Relay is a star-topology hub for live collaboration: peers connect,
+// receive the full current history, and thereafter every batch of
+// events a peer uploads is stored and fanned out to all other peers.
+// The relay itself is just another replica — it holds a Doc and
+// forwards events; it performs no transformation (the paper's "relay
+// server could store and forward messages", §2.1).
+type Relay struct {
+	mu    sync.Mutex
+	doc   *egwalker.Doc
+	peers map[int]chan []byte
+	next  int
+}
+
+// NewRelay returns a relay around the given document (which may already
+// contain history).
+func NewRelay(doc *egwalker.Doc) *Relay {
+	return &Relay{doc: doc, peers: make(map[int]chan []byte)}
+}
+
+// Doc returns the relay's replica (callers must not mutate it
+// concurrently with Serve).
+func (r *Relay) Doc() *egwalker.Doc {
+	return r.doc
+}
+
+// Serve handles one peer connection; it returns when the peer
+// disconnects. Run it in its own goroutine per peer.
+func (r *Relay) Serve(conn io.ReadWriter) error {
+	bw := bufio.NewWriter(conn)
+	br := bufio.NewReader(conn)
+
+	// Register the peer and snapshot the current history.
+	r.mu.Lock()
+	id := r.next
+	r.next++
+	outbox := make(chan []byte, 256)
+	r.peers[id] = outbox
+	snapshot := r.doc.Events()
+	r.mu.Unlock()
+	defer func() {
+		r.mu.Lock()
+		delete(r.peers, id)
+		r.mu.Unlock()
+	}()
+
+	batch, err := Marshal(snapshot)
+	if err != nil {
+		return err
+	}
+	if err := writeFrame(bw, msgEvents, batch); err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+
+	// Writer: drain the outbox.
+	writeErr := make(chan error, 1)
+	go func() {
+		for b := range outbox {
+			if err := writeFrame(bw, msgEvents, b); err != nil {
+				writeErr <- err
+				return
+			}
+			if err := bw.Flush(); err != nil {
+				writeErr <- err
+				return
+			}
+		}
+		writeErr <- nil
+	}()
+	defer close(outbox)
+
+	// Reader: ingest peer uploads and fan them out.
+	for {
+		select {
+		case err := <-writeErr:
+			return err
+		default:
+		}
+		typ, payload, err := readFrame(br)
+		if err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return err
+		}
+		switch typ {
+		case msgEvents:
+			events, err := Unmarshal(payload)
+			if err != nil {
+				return err
+			}
+			r.mu.Lock()
+			_, applyErr := r.doc.Apply(events)
+			var fanout [][]byte
+			if applyErr == nil {
+				for pid, ch := range r.peers {
+					if pid == id {
+						continue
+					}
+					select {
+					case ch <- payload:
+					default:
+						// Slow peer: drop; it will catch up via Sync.
+						_ = fanout
+					}
+				}
+			}
+			r.mu.Unlock()
+			if applyErr != nil {
+				return applyErr
+			}
+		case msgDone:
+			return nil
+		default:
+			return fmt.Errorf("netsync: relay: unexpected frame type %#x", typ)
+		}
+	}
+}
+
+// Client is the peer side of a Relay connection: it applies inbound
+// batches to the local document and uploads local edits.
+type Client struct {
+	doc *egwalker.Doc
+	bw  *bufio.Writer
+	br  *bufio.Reader
+	mu  sync.Mutex
+}
+
+// NewClient wraps a connection to a Relay.
+func NewClient(doc *egwalker.Doc, conn io.ReadWriter) *Client {
+	return &Client{doc: doc, bw: bufio.NewWriter(conn), br: bufio.NewReader(conn)}
+}
+
+// Push uploads local events (e.g. the result of Doc.EventsSince after
+// local edits).
+func (c *Client) Push(events []egwalker.Event) error {
+	batch, err := Marshal(events)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := writeFrame(c.bw, msgEvents, batch); err != nil {
+		return err
+	}
+	return c.bw.Flush()
+}
+
+// Receive blocks for the next inbound batch and applies it, returning
+// the patches applied to the local document. io.EOF signals an orderly
+// close.
+func (c *Client) Receive() ([]egwalker.Patch, error) {
+	typ, payload, err := readFrame(c.br)
+	if err != nil {
+		return nil, err
+	}
+	if typ != msgEvents {
+		return nil, fmt.Errorf("netsync: client: unexpected frame type %#x", typ)
+	}
+	events, err := Unmarshal(payload)
+	if err != nil {
+		return nil, err
+	}
+	return c.doc.Apply(events)
+}
+
+// Close sends an orderly DONE frame.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := writeFrame(c.bw, msgDone, nil); err != nil {
+		return err
+	}
+	return c.bw.Flush()
+}

@@ -1,0 +1,329 @@
+// Package netsync replicates egwalker documents over a network. It
+// implements the paper's replication layer (§2.1): a reliable protocol
+// that eventually delivers every event to every replica, on top of any
+// stream transport (TCP, net.Pipe, tls.Conn, ...).
+//
+// The wire format follows §3.8: when sending a subset of events,
+// references to parent events outside the subset are encoded as
+// (agent, seq) event IDs; parents inside the subset compress to
+// relative indexes, and runs of events by one agent share one ID entry.
+//
+// Two modes are provided:
+//
+//   - Sync: one-shot anti-entropy — two replicas exchange versions and
+//     the events the other is missing, then confirm convergence.
+//   - Relay: a hub that fans events out to connected peers for live
+//     collaboration (examples/tcp-pair shows both).
+package netsync
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"egwalker"
+)
+
+// Message types.
+const (
+	msgHello  = 0x01 // payload: version (list of event IDs)
+	msgEvents = 0x02 // payload: encoded event subset
+	msgDone   = 0x03 // payload: empty
+)
+
+// maxMessage bounds a single frame (defense against corrupt peers).
+const maxMessage = 64 << 20
+
+// writeFrame writes a length-prefixed, typed frame.
+func writeFrame(w io.Writer, typ byte, payload []byte) error {
+	var hdr [5]byte
+	if len(payload) > maxMessage {
+		return fmt.Errorf("netsync: frame too large (%d bytes)", len(payload))
+	}
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)))
+	hdr[4] = typ
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame reads one frame.
+func readFrame(r io.Reader) (byte, []byte, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:4])
+	if n > maxMessage {
+		return 0, nil, fmt.Errorf("netsync: oversized frame (%d bytes)", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	return hdr[4], payload, nil
+}
+
+// --- varint helpers -------------------------------------------------------
+
+func putUvarint(buf []byte, v uint64) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], v)
+	return append(buf, tmp[:n]...)
+}
+
+type byteReader struct {
+	buf []byte
+	off int
+}
+
+func (r *byteReader) ReadByte() (byte, error) {
+	if r.off >= len(r.buf) {
+		return 0, io.ErrUnexpectedEOF
+	}
+	b := r.buf[r.off]
+	r.off++
+	return b, nil
+}
+
+func (r *byteReader) uvarint() (uint64, error) {
+	return binary.ReadUvarint(r)
+}
+
+func (r *byteReader) bytes(n int) ([]byte, error) {
+	if n < 0 || r.off+n > len(r.buf) {
+		return nil, io.ErrUnexpectedEOF
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b, nil
+}
+
+// --- event subset encoding (§3.8, network form) ---------------------------
+
+// Marshal encodes a batch of events for the network. The batch must be
+// in causal order (parents precede children within the batch, as
+// Doc.Events / Doc.EventsSince produce). Parents pointing at events in
+// the batch are encoded as batch indexes; external parents as
+// (agent, seq) IDs.
+func Marshal(events []egwalker.Event) ([]byte, error) {
+	var buf []byte
+	// Agent name table.
+	agentIdx := map[string]int{}
+	var agents []string
+	intern := func(a string) int {
+		if i, ok := agentIdx[a]; ok {
+			return i
+		}
+		agentIdx[a] = len(agents)
+		agents = append(agents, a)
+		return len(agents) - 1
+	}
+	for _, ev := range events {
+		intern(ev.ID.Agent)
+		for _, p := range ev.Parents {
+			intern(p.Agent)
+		}
+	}
+	buf = putUvarint(buf, uint64(len(agents)))
+	for _, a := range agents {
+		buf = putUvarint(buf, uint64(len(a)))
+		buf = append(buf, a...)
+	}
+	// Index of IDs within the batch for relative parent references.
+	inBatch := make(map[egwalker.EventID]int, len(events))
+	buf = putUvarint(buf, uint64(len(events)))
+	for i, ev := range events {
+		buf = putUvarint(buf, uint64(agentIdx[ev.ID.Agent]))
+		buf = putUvarint(buf, uint64(ev.ID.Seq))
+		buf = putUvarint(buf, uint64(len(ev.Parents)))
+		for _, p := range ev.Parents {
+			if j, ok := inBatch[p]; ok {
+				// Relative reference: distance back within the batch,
+				// tagged with a 0 byte.
+				buf = putUvarint(buf, 0)
+				buf = putUvarint(buf, uint64(i-j))
+			} else {
+				buf = putUvarint(buf, 1)
+				buf = putUvarint(buf, uint64(agentIdx[p.Agent]))
+				buf = putUvarint(buf, uint64(p.Seq))
+			}
+		}
+		if ev.Insert {
+			if ev.Content > math.MaxInt32 || ev.Content < 0 {
+				return nil, fmt.Errorf("netsync: invalid rune %d in event %v", ev.Content, ev.ID)
+			}
+			buf = putUvarint(buf, 0)
+			buf = putUvarint(buf, uint64(ev.Pos))
+			buf = putUvarint(buf, uint64(ev.Content))
+		} else {
+			buf = putUvarint(buf, 1)
+			buf = putUvarint(buf, uint64(ev.Pos))
+		}
+		inBatch[ev.ID] = i
+	}
+	return buf, nil
+}
+
+// Unmarshal decodes a batch encoded by Marshal.
+func Unmarshal(data []byte) ([]egwalker.Event, error) {
+	r := &byteReader{buf: data}
+	nAgents, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if nAgents > uint64(len(data)) {
+		return nil, fmt.Errorf("netsync: agent table larger than payload")
+	}
+	agents := make([]string, nAgents)
+	for i := range agents {
+		ln, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		b, err := r.bytes(int(ln))
+		if err != nil {
+			return nil, err
+		}
+		agents[i] = string(b)
+	}
+	agentAt := func(i uint64) (string, error) {
+		if i >= uint64(len(agents)) {
+			return "", fmt.Errorf("netsync: agent index %d out of range", i)
+		}
+		return agents[i], nil
+	}
+	n, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(len(data)) {
+		return nil, fmt.Errorf("netsync: event count larger than payload")
+	}
+	events := make([]egwalker.Event, 0, n)
+	for i := uint64(0); i < n; i++ {
+		var ev egwalker.Event
+		ai, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		ev.ID.Agent, err = agentAt(ai)
+		if err != nil {
+			return nil, err
+		}
+		seq, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		ev.ID.Seq = int(seq)
+		nPar, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if nPar > 16 {
+			return nil, fmt.Errorf("netsync: event %v has %d parents", ev.ID, nPar)
+		}
+		for p := uint64(0); p < nPar; p++ {
+			tag, err := r.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			switch tag {
+			case 0:
+				back, err := r.uvarint()
+				if err != nil {
+					return nil, err
+				}
+				if back == 0 || back > i {
+					return nil, fmt.Errorf("netsync: bad relative parent in event %v", ev.ID)
+				}
+				ev.Parents = append(ev.Parents, events[i-back].ID)
+			case 1:
+				pai, err := r.uvarint()
+				if err != nil {
+					return nil, err
+				}
+				agent, err := agentAt(pai)
+				if err != nil {
+					return nil, err
+				}
+				pseq, err := r.uvarint()
+				if err != nil {
+					return nil, err
+				}
+				ev.Parents = append(ev.Parents, egwalker.EventID{Agent: agent, Seq: int(pseq)})
+			default:
+				return nil, fmt.Errorf("netsync: bad parent tag %d", tag)
+			}
+		}
+		kind, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		pos, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		ev.Pos = int(pos)
+		switch kind {
+		case 0:
+			ev.Insert = true
+			c, err := r.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			if c > math.MaxInt32 {
+				return nil, fmt.Errorf("netsync: invalid rune in event %v", ev.ID)
+			}
+			ev.Content = rune(c)
+		case 1:
+		default:
+			return nil, fmt.Errorf("netsync: bad op kind %d", kind)
+		}
+		events = append(events, ev)
+	}
+	return events, nil
+}
+
+// marshalVersion encodes a Version for HELLO frames.
+func marshalVersion(v egwalker.Version) []byte {
+	var buf []byte
+	buf = putUvarint(buf, uint64(len(v)))
+	for _, id := range v {
+		buf = putUvarint(buf, uint64(len(id.Agent)))
+		buf = append(buf, id.Agent...)
+		buf = putUvarint(buf, uint64(id.Seq))
+	}
+	return buf
+}
+
+func unmarshalVersion(data []byte) (egwalker.Version, error) {
+	r := &byteReader{buf: data}
+	n, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(len(data)) {
+		return nil, fmt.Errorf("netsync: version larger than payload")
+	}
+	v := make(egwalker.Version, 0, n)
+	for i := uint64(0); i < n; i++ {
+		ln, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		b, err := r.bytes(int(ln))
+		if err != nil {
+			return nil, err
+		}
+		seq, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		v = append(v, egwalker.EventID{Agent: string(b), Seq: int(seq)})
+	}
+	return v, nil
+}
