@@ -5,6 +5,7 @@
 // Usage:
 //
 //	egbench [-scale F] [-iters N] <table1|fig8|fig9|fig10|fig11|fig12|complexity|all>
+//	egbench sim [-sim-seed N] [-sim-replicas N] [-sim-events N] [-sim-faults LIST]
 //
 // -scale scales the trace sizes (1.0 = the paper's event counts;
 // default 0.05 so a full run finishes in minutes). EXPERIMENTS.md
@@ -46,6 +47,9 @@ func main() {
 	cmd := "all"
 	if flag.NArg() > 0 {
 		cmd = flag.Arg(0)
+	}
+	if maybeRunSim(cmd) {
+		return
 	}
 	ws, err := generate()
 	if err != nil {

@@ -1,0 +1,110 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"egwalker/internal/bench"
+	"egwalker/internal/sim"
+)
+
+// The sim subcommand runs internal/sim scenarios as benchmarks: the
+// same deterministic virtual network the tests use, at whatever scale
+// the flags ask for, with the convergence oracle verifying the result
+// before any numbers are reported. Usage:
+//
+//	egbench sim [-sim-seed N] [-sim-replicas N] [-sim-events N] [-sim-faults all|none|latency,drop,dup,partition]
+
+var (
+	simSeed     = flag.Int64("sim-seed", 1, "simulation seed")
+	simReplicas = flag.Int("sim-replicas", 8, "number of replicas")
+	simEvents   = flag.Int("sim-events", 2000, "total local edits to generate")
+	simFaults   = flag.String("sim-faults", "all", "fault modes: all, none, or comma list of latency,drop,dup,partition")
+	simNoOracle = flag.Bool("sim-no-oracle", false, "skip the convergence oracle (time the network only)")
+)
+
+func parseFaults(s string) (sim.Faults, error) {
+	switch s {
+	case "all":
+		return sim.Faults{Latency: true, Drop: true, Duplicate: true, Partition: true}, nil
+	case "none", "":
+		return sim.Faults{}, nil
+	}
+	var f sim.Faults
+	for _, mode := range strings.Split(s, ",") {
+		switch mode {
+		case "latency":
+			f.Latency = true
+		case "drop":
+			f.Drop = true
+		case "dup":
+			f.Duplicate = true
+		case "partition":
+			f.Partition = true
+		case "": // tolerate stray commas
+		default:
+			return f, fmt.Errorf("unknown fault mode %q", mode)
+		}
+	}
+	return f, nil
+}
+
+func runSim() error {
+	faults, err := parseFaults(*simFaults)
+	if err != nil {
+		return err
+	}
+	cfg := sim.Config{
+		Seed:       *simSeed,
+		Replicas:   *simReplicas,
+		Events:     *simEvents,
+		Faults:     faults,
+		SkipOracle: *simNoOracle,
+	}
+	fmt.Printf("\n== sim: %d replicas, %d events, seed %d, faults %s ==\n",
+		*simReplicas, *simEvents, *simSeed, *simFaults)
+	start := time.Now()
+	res, err := sim.Run(cfg)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	st := res.Stats
+	fmt.Printf("%-22s %s\n", "wall time", bench.FmtDuration(elapsed))
+	fmt.Printf("%-22s %d (%.0f events/s)\n", "events converged", res.Docs[0].NumEvents(),
+		float64(res.Docs[0].NumEvents())/elapsed.Seconds())
+	fmt.Printf("%-22s %d\n", "virtual ticks", st.Ticks)
+	fmt.Printf("%-22s %d sent, %d delivered\n", "message batches", st.Messages, st.Delivered)
+	fmt.Printf("%-22s %d dropped, %d retransmitted, %d duplicated, %d parked\n",
+		"fault injections", st.Dropped, st.Retransmits, st.Duplicates, st.Parked)
+	fmt.Printf("%-22s %d\n", "partition windows", st.Partitions)
+	fmt.Printf("%-22s %d runes\n", "final document", len([]rune(res.Text)))
+	if *simNoOracle {
+		fmt.Printf("%-22s skipped\n", "convergence oracle")
+	} else {
+		fmt.Printf("%-22s passed (%d replicas, reference replay, listcrdt, save/load, fork/merge)\n",
+			"convergence oracle", len(res.Docs))
+	}
+	return nil
+}
+
+// maybeRunSim intercepts the sim subcommand before trace generation
+// (sim scenarios generate their own workloads). Flags may follow the
+// subcommand — flag.Parse stops at the first positional argument, so
+// re-parse what it left behind.
+func maybeRunSim(cmd string) bool {
+	if cmd != "sim" {
+		return false
+	}
+	if err := flag.CommandLine.Parse(flag.Args()[1:]); err != nil {
+		os.Exit(2)
+	}
+	if err := runSim(); err != nil {
+		fmt.Fprintln(os.Stderr, "egbench:", err)
+		os.Exit(1)
+	}
+	return true
+}

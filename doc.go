@@ -34,4 +34,23 @@
 // Events can be shipped over any transport that eventually delivers
 // them; Apply buffers events whose parents have not arrived yet, so no
 // delivery-order guarantees are needed beyond eventual delivery.
+//
+// # Testing the convergence claim
+//
+// The central guarantee — replicas that have seen the same events hold
+// identical text — is exercised continuously by internal/sim: a
+// deterministic, seed-driven network simulator that drives N ≥ 8
+// replicas with randomized edit scripts and delivers their events
+// through a fault-injecting virtual transport (latency and reordering,
+// loss with retransmission, duplication, partitions that heal, and
+// long offline divergence). After each run a convergence oracle checks
+// every replica's text against the others, against an independent
+// replay of the merged event graph, and against the reference list
+// CRDT, and round-trips the state through Save/Load and Fork/Merge.
+// The same seed always reproduces the same run, so a failing seed
+// becomes a permanent regression test.
+//
+// Doc.Fingerprint supports the same pattern in production: replicas
+// can gossip fingerprints as a cheap convergence check and fall back
+// to netsync.Sync when they differ.
 package egwalker

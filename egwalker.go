@@ -2,7 +2,9 @@ package egwalker
 
 import (
 	"bytes"
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"sort"
 	"strings"
@@ -133,6 +135,33 @@ func (d *Doc) Fork(agent string) (*Doc, error) {
 // document's history.
 func (d *Doc) Knows(id EventID) bool {
 	return d.log.Graph.HasID(causal.RawID{Agent: id.Agent, Seq: id.Seq})
+}
+
+// Fingerprint returns a cheap digest of the replica's state: its
+// version (canonically ordered) and its text. Two replicas with equal
+// fingerprints have, with overwhelming probability, seen the same
+// events and hold identical text — gossiping fingerprints is a cheap
+// convergence check before falling back to a full comparison or sync.
+func (d *Doc) Fingerprint() uint64 {
+	h := fnv.New64a()
+	v := d.Version()
+	sort.Slice(v, func(i, j int) bool {
+		if v[i].Agent != v[j].Agent {
+			return v[i].Agent < v[j].Agent
+		}
+		return v[i].Seq < v[j].Seq
+	})
+	// Length-prefix the agent name so (agent, seq) pairs can never
+	// collide across different splits of the same bytes.
+	var num [binary.MaxVarintLen64]byte
+	for _, id := range v {
+		h.Write(num[:binary.PutUvarint(num[:], uint64(len(id.Agent)))])
+		io.WriteString(h, id.Agent)
+		h.Write(num[:binary.PutUvarint(num[:], uint64(id.Seq))])
+	}
+	h.Write([]byte{0xff})
+	io.WriteString(h, d.text.String())
+	return h.Sum64()
 }
 
 // Version returns the document's current version.

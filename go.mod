@@ -1,0 +1,3 @@
+module egwalker
+
+go 1.24.0

@@ -1,0 +1,163 @@
+package egwalker_test
+
+// Edge cases for the history-inspection API: TextAt and EventsSince at
+// the empty version, at versions referencing unknown agents, and at
+// frontiers that land mid-run (inside a multi-character insert, which
+// the oplog stores as one span).
+
+import (
+	"testing"
+
+	"egwalker"
+)
+
+func mustInsert(t *testing.T, d *egwalker.Doc, pos int, text string) {
+	t.Helper()
+	if err := d.Insert(pos, text); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTextAtEmptyVersion(t *testing.T) {
+	d := egwalker.NewDoc("a")
+	mustInsert(t, d, 0, "hello")
+	got, err := d.TextAt(egwalker.Version{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "" {
+		t.Fatalf("TextAt(empty) = %q, want empty document", got)
+	}
+	// On an empty doc too.
+	e := egwalker.NewDoc("b")
+	if got, err := e.TextAt(egwalker.Version{}); err != nil || got != "" {
+		t.Fatalf("TextAt(empty) on empty doc = %q, %v", got, err)
+	}
+}
+
+func TestTextAtUnknownAgent(t *testing.T) {
+	d := egwalker.NewDoc("a")
+	mustInsert(t, d, 0, "hello")
+	if _, err := d.TextAt(egwalker.Version{{Agent: "nobody", Seq: 0}}); err == nil {
+		t.Fatal("TextAt with unknown agent did not error")
+	}
+	// Known agent, out-of-range seq.
+	if _, err := d.TextAt(egwalker.Version{{Agent: "a", Seq: 999}}); err == nil {
+		t.Fatal("TextAt with out-of-range seq did not error")
+	}
+}
+
+func TestTextAtMidRunFrontier(t *testing.T) {
+	d := egwalker.NewDoc("a")
+	mustInsert(t, d, 0, "hello") // one 5-event run a/0..a/4
+	for seq, want := range map[int]string{
+		0: "h", 1: "he", 2: "hel", 3: "hell", 4: "hello",
+	} {
+		got, err := d.TextAt(egwalker.Version{{Agent: "a", Seq: seq}})
+		if err != nil {
+			t.Fatalf("TextAt(a/%d): %v", seq, err)
+		}
+		if got != want {
+			t.Fatalf("TextAt(a/%d) = %q, want %q", seq, got, want)
+		}
+	}
+}
+
+func TestTextAtMergedMidRun(t *testing.T) {
+	// Two concurrent runs; a frontier combining mid-run points of both.
+	a := egwalker.NewDoc("a")
+	mustInsert(t, a, 0, "aaaa")
+	b, err := a.Fork("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustInsert(t, b, 4, "bbbb")
+	mustInsert(t, a, 4, "cccc")
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	got, err := a.TextAt(egwalker.Version{{Agent: "a", Seq: 5}, {Agent: "b", Seq: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both runs extend position 4 concurrently; the tie-break orders the
+	// two chunks deterministically but the content is fixed: 4 a's plus
+	// two runes from each branch.
+	if len(got) != 8 {
+		t.Fatalf("TextAt(mid-run merge frontier) = %q, want 8 runes", got)
+	}
+	// A dominated frontier entry collapses to the dominator: a/5
+	// descends from a/3, so including both changes nothing.
+	got2, err := a.TextAt(egwalker.Version{{Agent: "a", Seq: 5}, {Agent: "a", Seq: 3}, {Agent: "b", Seq: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2 != got {
+		t.Fatalf("dominated frontier changed TextAt: %q vs %q", got2, got)
+	}
+}
+
+func TestEventsSinceEmptyVersion(t *testing.T) {
+	d := egwalker.NewDoc("a")
+	mustInsert(t, d, 0, "hey")
+	evs, err := d.EventsSince(egwalker.Version{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 3 {
+		t.Fatalf("EventsSince(empty) returned %d events, want 3 (the full history)", len(evs))
+	}
+	// And on an empty doc: nothing.
+	e := egwalker.NewDoc("b")
+	evs, err = e.EventsSince(egwalker.Version{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 0 {
+		t.Fatalf("EventsSince(empty) on empty doc returned %d events", len(evs))
+	}
+}
+
+func TestEventsSinceUnknownAgent(t *testing.T) {
+	d := egwalker.NewDoc("a")
+	mustInsert(t, d, 0, "hey")
+	if _, err := d.EventsSince(egwalker.Version{{Agent: "nobody", Seq: 0}}); err == nil {
+		t.Fatal("EventsSince with unknown agent did not error")
+	}
+}
+
+func TestEventsSinceMidRun(t *testing.T) {
+	d := egwalker.NewDoc("a")
+	mustInsert(t, d, 0, "hello")
+	evs, err := d.EventsSince(egwalker.Version{{Agent: "a", Seq: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 2 {
+		t.Fatalf("EventsSince(a/2) returned %d events, want 2", len(evs))
+	}
+	if evs[0].ID != (egwalker.EventID{Agent: "a", Seq: 3}) ||
+		evs[1].ID != (egwalker.EventID{Agent: "a", Seq: 4}) {
+		t.Fatalf("EventsSince(a/2) returned %v, %v", evs[0].ID, evs[1].ID)
+	}
+	// Applying just the tail onto a replica that has the prefix works.
+	other := egwalker.NewDoc("b")
+	all := d.Events()
+	if _, err := other.Apply(all[:3]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := other.Apply(evs); err != nil {
+		t.Fatal(err)
+	}
+	if other.Text() != "hello" {
+		t.Fatalf("prefix + EventsSince tail = %q, want %q", other.Text(), "hello")
+	}
+	// Current version: empty diff.
+	evs, err = d.EventsSince(d.Version())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 0 {
+		t.Fatalf("EventsSince(current version) returned %d events", len(evs))
+	}
+}

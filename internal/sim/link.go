@@ -1,0 +1,83 @@
+package sim
+
+import (
+	"io"
+	"sync"
+)
+
+// NewLink creates an in-memory bidirectional byte stream: the
+// injectable transport that lets netsync's Relay and Client run inside
+// tests and simulations with no OS sockets. Unlike net.Pipe it is
+// buffered, so protocols where both sides write before reading
+// (netsync.Sync's HELLO exchange, Relay's initial snapshot) do not
+// deadlock.
+//
+// Each returned end is safe for one concurrent reader plus one
+// concurrent writer. Closing either end makes reads on the peer return
+// io.EOF once buffered data is consumed, and writes on both ends fail —
+// modelling an orderly TCP shutdown.
+func NewLink() (client, server io.ReadWriteCloser) {
+	ab := newLinkBuf() // client writes, server reads
+	ba := newLinkBuf() // server writes, client reads
+	return &linkEnd{in: ba, out: ab}, &linkEnd{in: ab, out: ba}
+}
+
+// linkBuf is one direction: an unbounded buffer with blocking reads.
+type linkBuf struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	data   []byte
+	closed bool
+}
+
+func newLinkBuf() *linkBuf {
+	b := &linkBuf{}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *linkBuf) write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return 0, io.ErrClosedPipe
+	}
+	b.data = append(b.data, p...)
+	b.cond.Broadcast()
+	return len(p), nil
+}
+
+func (b *linkBuf) read(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for len(b.data) == 0 && !b.closed {
+		b.cond.Wait()
+	}
+	if len(b.data) == 0 {
+		return 0, io.EOF
+	}
+	n := copy(p, b.data)
+	b.data = b.data[n:]
+	return n, nil
+}
+
+func (b *linkBuf) close() {
+	b.mu.Lock()
+	b.closed = true
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}
+
+type linkEnd struct {
+	in, out *linkBuf
+}
+
+func (e *linkEnd) Read(p []byte) (int, error)  { return e.in.read(p) }
+func (e *linkEnd) Write(p []byte) (int, error) { return e.out.write(p) }
+
+// Close shuts down both directions of this end's link.
+func (e *linkEnd) Close() error {
+	e.out.close()
+	e.in.close()
+	return nil
+}

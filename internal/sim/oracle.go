@@ -1,0 +1,217 @@
+package sim
+
+import (
+	"bytes"
+	"fmt"
+
+	"egwalker"
+	"egwalker/internal/causal"
+	"egwalker/internal/core"
+	"egwalker/internal/listcrdt"
+	"egwalker/internal/oplog"
+)
+
+// This file is the convergence oracle: after a simulation quiesces,
+// every replica must agree — with each other, with an independent
+// replay of the merged event graph, and with the reference list CRDT —
+// and the state must survive Save/Load and Fork/Merge round-trips.
+
+// CheckAll runs every oracle check against the quiesced replicas.
+func CheckAll(docs []*egwalker.Doc) error {
+	if err := CheckConvergence(docs); err != nil {
+		return err
+	}
+	if err := CheckReferenceReplay(docs[0]); err != nil {
+		return err
+	}
+	if err := CheckListCRDT(docs[0]); err != nil {
+		return err
+	}
+	if err := CheckSaveLoad(docs[0]); err != nil {
+		return err
+	}
+	return CheckForkMerge(docs)
+}
+
+// CheckConvergence verifies that every replica holds the full history
+// and identical text. The fingerprint comparison runs first because it
+// is what a production deployment would gossip; the full-text comparison
+// backs it up so a fingerprint collision cannot mask divergence.
+func CheckConvergence(docs []*egwalker.Doc) error {
+	if len(docs) == 0 {
+		return fmt.Errorf("oracle: no replicas")
+	}
+	fp0 := docs[0].Fingerprint()
+	text0 := docs[0].Text()
+	for i, d := range docs {
+		if p := d.PendingEvents(); p != 0 {
+			return fmt.Errorf("oracle: replica %d still has %d pending events (missing parents never arrived)", i, p)
+		}
+		if d.NumEvents() != docs[0].NumEvents() {
+			return fmt.Errorf("oracle: replica %d has %d events, replica 0 has %d",
+				i, d.NumEvents(), docs[0].NumEvents())
+		}
+		if fp := d.Fingerprint(); fp != fp0 {
+			return fmt.Errorf("oracle: replica %d fingerprint %016x != replica 0 %016x", i, fp, fp0)
+		}
+		if t := d.Text(); t != text0 {
+			return divergence(i, t, text0)
+		}
+	}
+	return nil
+}
+
+// divergence reports where two texts first differ, which is far more
+// useful than dumping both documents.
+func divergence(i int, got, want string) error {
+	g, w := []rune(got), []rune(want)
+	at := 0
+	for at < len(g) && at < len(w) && g[at] == w[at] {
+		at++
+	}
+	lo, hiG, hiW := max(0, at-10), min(len(g), at+10), min(len(w), at+10)
+	return fmt.Errorf("oracle: replica %d text diverged at rune %d (len %d vs %d): %q vs %q",
+		i, at, len(g), len(w), string(g[lo:hiG]), string(w[lo:hiW]))
+}
+
+// logFromEvents rebuilds an oplog.Log from wire events (which Doc.Events
+// yields in causal order), independent of any Doc's internal state.
+func logFromEvents(events []egwalker.Event) (*oplog.Log, error) {
+	l := oplog.New()
+	lvOf := make(map[egwalker.EventID]causal.LV, len(events))
+	for _, ev := range events {
+		parents := make([]causal.LV, 0, len(ev.Parents))
+		for _, p := range ev.Parents {
+			lv, ok := lvOf[p]
+			if !ok {
+				return nil, fmt.Errorf("oracle: event %v references unseen parent %v", ev.ID, p)
+			}
+			parents = append(parents, lv)
+		}
+		op := oplog.Op{Kind: oplog.Delete, Pos: ev.Pos}
+		if ev.Insert {
+			op = oplog.Op{Kind: oplog.Insert, Pos: ev.Pos, Content: ev.Content}
+		}
+		sp, err := l.AddRemote(ev.ID.Agent, ev.ID.Seq, parents, []oplog.Op{op})
+		if err != nil {
+			return nil, fmt.Errorf("oracle: rebuilding log at event %v: %w", ev.ID, err)
+		}
+		lvOf[ev.ID] = sp.Start
+	}
+	return l, nil
+}
+
+// CheckReferenceReplay compares d's text against core.ReplayText over a
+// log rebuilt from d's exported events — a second, independent walk of
+// the whole event graph.
+func CheckReferenceReplay(d *egwalker.Doc) error {
+	l, err := logFromEvents(d.Events())
+	if err != nil {
+		return err
+	}
+	want, err := core.ReplayText(l)
+	if err != nil {
+		return fmt.Errorf("oracle: reference replay: %w", err)
+	}
+	if got := d.Text(); got != want {
+		return fmt.Errorf("oracle: incremental text (len %d) != full reference replay (len %d)", len(got), len(want))
+	}
+	return nil
+}
+
+// CheckListCRDT merges the same history through the reference list CRDT
+// (internal/listcrdt) and compares texts — a second-opinion model with
+// completely different internals.
+func CheckListCRDT(d *egwalker.Doc) error {
+	l, err := logFromEvents(d.Events())
+	if err != nil {
+		return err
+	}
+	ops, err := listcrdt.FromLog(l)
+	if err != nil {
+		return fmt.Errorf("oracle: listcrdt conversion: %w", err)
+	}
+	crdt := listcrdt.New()
+	if err := crdt.Merge(ops); err != nil {
+		return fmt.Errorf("oracle: listcrdt merge: %w", err)
+	}
+	if got, want := crdt.Text(), d.Text(); got != want {
+		return fmt.Errorf("oracle: listcrdt text (len %d) != egwalker text (len %d)", len(got), len(want))
+	}
+	return nil
+}
+
+// CheckSaveLoad round-trips d through every persistence mode.
+func CheckSaveLoad(d *egwalker.Doc) error {
+	want := d.Text()
+	for _, opts := range []egwalker.SaveOptions{
+		{},
+		{CacheFinalDoc: true},
+		{Compress: true},
+		{CacheFinalDoc: true, Compress: true},
+		{OmitDeletedContent: true, CacheFinalDoc: true},
+	} {
+		var buf bytes.Buffer
+		if err := d.Save(&buf, opts); err != nil {
+			return fmt.Errorf("oracle: save %+v: %w", opts, err)
+		}
+		loaded, err := egwalker.Load(&buf, "oracle-loader")
+		if err != nil {
+			return fmt.Errorf("oracle: load %+v: %w", opts, err)
+		}
+		if loaded.Text() != want {
+			return fmt.Errorf("oracle: save/load %+v changed the text", opts)
+		}
+		if loaded.NumEvents() != d.NumEvents() {
+			return fmt.Errorf("oracle: save/load %+v changed event count: %d != %d",
+				opts, loaded.NumEvents(), d.NumEvents())
+		}
+	}
+	return nil
+}
+
+// CheckForkMerge forks two fresh replicas off docs[0], lets them diverge
+// with fixed edits, and merges them both ways: both orders must agree,
+// and merging a replica that has seen everything must be a no-op.
+func CheckForkMerge(docs []*egwalker.Doc) error {
+	a, err := docs[0].Fork("oracle-fork-a")
+	if err != nil {
+		return fmt.Errorf("oracle: fork a: %w", err)
+	}
+	b, err := docs[0].Fork("oracle-fork-b")
+	if err != nil {
+		return fmt.Errorf("oracle: fork b: %w", err)
+	}
+	if a.Text() != docs[0].Text() {
+		return fmt.Errorf("oracle: fork changed the text")
+	}
+	if err := a.Insert(0, "fork-a!"); err != nil {
+		return err
+	}
+	if err := b.Insert(b.Len(), "fork-b!"); err != nil {
+		return err
+	}
+	if b.Len() > 0 {
+		if err := b.Delete(0, 1); err != nil {
+			return err
+		}
+	}
+	if err := a.Merge(b); err != nil {
+		return fmt.Errorf("oracle: merge b into a: %w", err)
+	}
+	if err := b.Merge(a); err != nil {
+		return fmt.Errorf("oracle: merge a into b: %w", err)
+	}
+	if a.Text() != b.Text() {
+		return divergence(1, b.Text(), a.Text())
+	}
+	// Idempotence: merging again changes nothing.
+	before := a.Text()
+	if err := a.Merge(b); err != nil {
+		return err
+	}
+	if a.Text() != before {
+		return fmt.Errorf("oracle: repeated merge changed the text")
+	}
+	return nil
+}

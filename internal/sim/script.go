@@ -1,0 +1,98 @@
+package sim
+
+import (
+	"math/rand"
+
+	"egwalker"
+)
+
+// ScriptConfig shapes the randomized edit scripts that drive each
+// replica. The zero value gets sensible defaults from withDefaults.
+type ScriptConfig struct {
+	// InsertWeight and DeleteWeight set the insert:delete ratio
+	// (defaults 4:1, roughly the ratio in the paper's real traces).
+	InsertWeight, DeleteWeight int
+	// Unicode mixes multi-byte runes (accents, CJK, emoji) into the
+	// inserted text instead of plain ASCII.
+	Unicode bool
+	// WordProb is the chance an insert is a multi-rune word rather than
+	// a single character (default 0.2); words are 2–8 runes.
+	WordProb float64
+	// MaxBurst is the largest number of edits one replica performs in a
+	// single tick (default 4). Large bursts model fast typists and
+	// paste operations.
+	MaxBurst int
+	// OfflineProb is the per-tick chance the editing replica drops
+	// offline for OfflineLen ticks while continuing to edit (long
+	// divergence). Zero disables offline sessions.
+	OfflineProb float64
+	OfflineLen  int
+}
+
+func (c ScriptConfig) withDefaults() ScriptConfig {
+	if c.InsertWeight == 0 && c.DeleteWeight == 0 {
+		c.InsertWeight, c.DeleteWeight = 4, 1
+	}
+	if c.WordProb == 0 {
+		c.WordProb = 0.2
+	}
+	if c.MaxBurst == 0 {
+		c.MaxBurst = 4
+	}
+	if c.OfflineProb > 0 && c.OfflineLen == 0 {
+		c.OfflineLen = 100
+	}
+	return c
+}
+
+const (
+	asciiAlphabet   = "abcdefghijklmnopqrstuvwxyz ABCDEFGHIJKLMNOPQRSTUVWXYZ.,!?\n"
+	unicodeAlphabet = asciiAlphabet + "éüßñçø漢字文章テスト한글текст🙂🚀✏️Ωπλ"
+)
+
+// script generates edits for one replica. All randomness comes from the
+// simulation's shared RNG, so scripts are part of the deterministic run.
+type script struct {
+	cfg      ScriptConfig
+	rng      *rand.Rand
+	alphabet []rune
+}
+
+func newScript(cfg ScriptConfig, rng *rand.Rand) *script {
+	a := asciiAlphabet
+	if cfg.Unicode {
+		a = unicodeAlphabet
+	}
+	return &script{cfg: cfg, rng: rng, alphabet: []rune(a)}
+}
+
+func (s *script) burstSize() int {
+	return 1 + s.rng.Intn(s.cfg.MaxBurst)
+}
+
+// apply performs one random edit on d and returns how many events it
+// generated (a k-rune insert is k events).
+func (s *script) apply(d *egwalker.Doc) (int, error) {
+	n := d.Len()
+	w := s.cfg.InsertWeight + s.cfg.DeleteWeight
+	del := n > 0 && s.rng.Intn(w) < s.cfg.DeleteWeight
+	if del {
+		pos := s.rng.Intn(n)
+		count := 1
+		// Occasionally delete a short range, like selecting and cutting.
+		if max := n - pos; max > 1 && s.rng.Float64() < 0.2 {
+			count = 1 + s.rng.Intn(min(max, 6)-1+1)
+		}
+		return count, d.Delete(pos, count)
+	}
+	pos := s.rng.Intn(n + 1)
+	count := 1
+	if s.rng.Float64() < s.cfg.WordProb {
+		count = 2 + s.rng.Intn(7)
+	}
+	runes := make([]rune, count)
+	for i := range runes {
+		runes[i] = s.alphabet[s.rng.Intn(len(s.alphabet))]
+	}
+	return count, d.Insert(pos, string(runes))
+}

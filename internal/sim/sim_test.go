@@ -1,0 +1,178 @@
+package sim
+
+import (
+	"testing"
+
+	"egwalker"
+)
+
+// The scenario table: every fault mode alone under several seeds, all
+// faults combined, plus workload variations (unicode, delete-heavy,
+// larger swarms, long offline divergence). Each scenario runs the full
+// convergence oracle. Together they push well past 10k events through
+// the virtual network; adding a failing seed here is how a bug found in
+// the wild becomes a permanent regression test.
+
+var scenarios = []struct {
+	name string
+	cfg  Config
+}{
+	// Perfect network: a baseline that isolates generator/oracle bugs
+	// from fault-injection bugs.
+	{"perfect-net", Config{Seed: 1, Replicas: 8, Events: 400}},
+
+	// Latency + reorder alone, three seeds.
+	{"latency-s1", Config{Seed: 101, Replicas: 8, Events: 400, Faults: Faults{Latency: true}}},
+	{"latency-s2", Config{Seed: 102, Replicas: 8, Events: 400, Faults: Faults{Latency: true}}},
+	{"latency-s3", Config{Seed: 103, Replicas: 8, Events: 400, Faults: Faults{Latency: true, Duplicate: false}, MaxLatency: 50}},
+
+	// Drop with retransmission, three seeds (one lossy, one very lossy).
+	{"drop-s1", Config{Seed: 201, Replicas: 8, Events: 400, Faults: Faults{Drop: true}}},
+	{"drop-s2", Config{Seed: 202, Replicas: 8, Events: 400, Faults: Faults{Drop: true}, DropProb: 0.6, MaxAttempts: 8}},
+	{"drop-s3", Config{Seed: 203, Replicas: 8, Events: 400, Faults: Faults{Drop: true, Latency: true}}},
+
+	// Duplication, three seeds (one flooding every other message).
+	{"dup-s1", Config{Seed: 301, Replicas: 8, Events: 400, Faults: Faults{Duplicate: true}}},
+	{"dup-s2", Config{Seed: 302, Replicas: 8, Events: 400, Faults: Faults{Duplicate: true}, DupProb: 0.5}},
+	{"dup-s3", Config{Seed: 303, Replicas: 8, Events: 400, Faults: Faults{Duplicate: true, Latency: true}}},
+
+	// Partition / heal, three seeds (one with long partitions).
+	{"partition-s1", Config{Seed: 401, Replicas: 8, Events: 400, Faults: Faults{Partition: true}}},
+	{"partition-s2", Config{Seed: 402, Replicas: 8, Events: 400, Faults: Faults{Partition: true}, PartitionCount: 5, PartitionLen: 80}},
+	{"partition-s3", Config{Seed: 403, Replicas: 8, Events: 400, Faults: Faults{Partition: true, Latency: true}}},
+
+	// Everything at once, four seeds.
+	{"all-faults-s1", Config{Seed: 501, Replicas: 8, Events: 800, Faults: Faults{Latency: true, Drop: true, Duplicate: true, Partition: true}}},
+	{"all-faults-s2", Config{Seed: 502, Replicas: 8, Events: 800, Faults: Faults{Latency: true, Drop: true, Duplicate: true, Partition: true}}},
+	{"all-faults-s3", Config{Seed: 503, Replicas: 8, Events: 800, Faults: Faults{Latency: true, Drop: true, Duplicate: true, Partition: true}}},
+	{"all-faults-s4", Config{Seed: 504, Replicas: 8, Events: 800, Faults: Faults{Latency: true, Drop: true, Duplicate: true, Partition: true}}},
+
+	// Workload variations under all faults.
+	{"unicode", Config{Seed: 601, Replicas: 8, Events: 600,
+		Script: ScriptConfig{Unicode: true},
+		Faults: Faults{Latency: true, Drop: true, Duplicate: true, Partition: true}}},
+	{"delete-heavy", Config{Seed: 602, Replicas: 8, Events: 600,
+		Script: ScriptConfig{InsertWeight: 1, DeleteWeight: 1},
+		Faults: Faults{Latency: true, Drop: true, Duplicate: true, Partition: true}}},
+	{"swarm-12", Config{Seed: 603, Replicas: 12, Events: 600,
+		Faults: Faults{Latency: true, Drop: true, Duplicate: true, Partition: true}}},
+	{"offline-divergence", Config{Seed: 604, Replicas: 8, Events: 800,
+		Script: ScriptConfig{OfflineProb: 0.05, OfflineLen: 200, Unicode: true},
+		Faults: Faults{Latency: true, Partition: true}}},
+	{"bursty-flush", Config{Seed: 605, Replicas: 8, Events: 600, FlushEvery: 25,
+		Faults: Faults{Latency: true, Drop: true, Duplicate: true, Partition: true}}},
+	// Offline sessions with no partition: parked messages must be
+	// released mid-run when the replica returns, not at final drain.
+	{"offline-only", Config{Seed: 606, Replicas: 8, Events: 600,
+		Script: ScriptConfig{OfflineProb: 0.08, OfflineLen: 80},
+		Faults: Faults{Latency: true}}},
+}
+
+func TestScenarios(t *testing.T) {
+	totalEvents := 0
+	for _, sc := range scenarios {
+		totalEvents += sc.cfg.withDefaults().Events
+	}
+	if len(scenarios) < 20 {
+		t.Fatalf("scenario table shrank to %d entries; keep >= 20", len(scenarios))
+	}
+	if totalEvents < 10000 {
+		t.Fatalf("scenario table generates %d events; keep >= 10000", totalEvents)
+	}
+	for _, sc := range scenarios {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			t.Parallel()
+			res, err := Run(sc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Stats.Edits < sc.cfg.Events {
+				t.Fatalf("generated %d edits, wanted >= %d", res.Stats.Edits, sc.cfg.Events)
+			}
+			if res.Docs[0].NumEvents() < sc.cfg.Events {
+				t.Fatalf("converged history has %d events, wanted >= %d", res.Docs[0].NumEvents(), sc.cfg.Events)
+			}
+			// Fault modes must actually have fired.
+			if sc.cfg.Faults.Drop && res.Stats.Dropped == 0 {
+				t.Error("drop mode never dropped a message")
+			}
+			if sc.cfg.Faults.Duplicate && res.Stats.Duplicates == 0 {
+				t.Error("duplicate mode never duplicated a message")
+			}
+			if sc.cfg.Faults.Partition && res.Stats.Partitions == 0 {
+				t.Error("partition mode never partitioned the network")
+			}
+		})
+	}
+}
+
+// TestDeterminism re-runs scenarios with identical configs and demands
+// bit-identical delivery logs, stats, and final texts: the property that
+// makes every failing seed replayable.
+func TestDeterminism(t *testing.T) {
+	for _, sc := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"all-faults", Config{Seed: 7777, Replicas: 8, Events: 500,
+			Faults: Faults{Latency: true, Drop: true, Duplicate: true, Partition: true}}},
+		{"offline-unicode", Config{Seed: 8888, Replicas: 9, Events: 400,
+			Script: ScriptConfig{Unicode: true, OfflineProb: 0.05},
+			Faults: Faults{Latency: true, Partition: true}}},
+	} {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			t.Parallel()
+			r1, err := Run(sc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r2, err := Run(sc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r1.Text != r2.Text {
+				t.Fatalf("same seed produced different texts (%d vs %d bytes)", len(r1.Text), len(r2.Text))
+			}
+			if r1.Stats != r2.Stats {
+				t.Fatalf("same seed produced different stats:\n%+v\n%+v", r1.Stats, r2.Stats)
+			}
+			if len(r1.DeliveryLog) != len(r2.DeliveryLog) {
+				t.Fatalf("same seed produced different delivery counts: %d vs %d", len(r1.DeliveryLog), len(r2.DeliveryLog))
+			}
+			for i := range r1.DeliveryLog {
+				if r1.DeliveryLog[i] != r2.DeliveryLog[i] {
+					t.Fatalf("delivery log diverged at %d: %q vs %q", i, r1.DeliveryLog[i], r2.DeliveryLog[i])
+				}
+			}
+		})
+	}
+}
+
+// TestOracleCatchesDivergence makes sure the oracle is not vacuously
+// green: hand it replicas that genuinely diverged and it must object.
+func TestOracleCatchesDivergence(t *testing.T) {
+	a := egwalker.NewDoc("a")
+	b := egwalker.NewDoc("b")
+	if err := a.Insert(0, "hello world"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Insert(0, "hello world"); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckConvergence([]*egwalker.Doc{a, b}); err == nil {
+		t.Fatal("oracle accepted replicas with disjoint histories")
+	}
+	// Same event count, different content: the fingerprint/text check
+	// must fire, not just the counts.
+	if err := b.Delete(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Delete(10, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckConvergence([]*egwalker.Doc{a, b}); err == nil {
+		t.Fatal("oracle accepted diverged texts")
+	}
+}

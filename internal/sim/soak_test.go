@@ -1,0 +1,51 @@
+//go:build soak
+
+package sim
+
+import (
+	"flag"
+	"math/rand"
+	"testing"
+)
+
+// Long randomized soak: many fresh seeds per run, bigger histories,
+// bigger swarms. Not part of the regular suite — run with
+//
+//	go test -tags soak ./internal/sim -run Soak -v [-soak-seeds N] [-soak-seed S]
+//
+// A failing seed should be copied into the scenario table in
+// sim_test.go as a permanent regression test.
+
+var (
+	soakSeeds = flag.Int("soak-seeds", 10, "number of randomized soak iterations")
+	soakSeed  = flag.Int64("soak-seed", 0, "master seed (0 = fixed default)")
+)
+
+func TestSoak(t *testing.T) {
+	master := rand.New(rand.NewSource(*soakSeed))
+	for i := 0; i < *soakSeeds; i++ {
+		seed := master.Int63()
+		cfg := Config{
+			Seed:     seed,
+			Replicas: 8 + master.Intn(9), // 8..16
+			Events:   2000 + master.Intn(3000),
+			Script: ScriptConfig{
+				Unicode:     master.Intn(2) == 0,
+				OfflineProb: float64(master.Intn(2)) * 0.03,
+			},
+			Faults: Faults{
+				Latency:   master.Intn(2) == 0,
+				Drop:      master.Intn(2) == 0,
+				Duplicate: master.Intn(2) == 0,
+				Partition: master.Intn(2) == 0,
+			},
+			FlushEvery: 1 + master.Intn(30),
+		}
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("soak iteration %d failed — add this config to the scenario table:\n%+v\nerror: %v", i, cfg, err)
+		}
+		t.Logf("iter %d: seed=%d replicas=%d events=%d faults=%+v msgs=%d text=%d runes",
+			i, seed, cfg.Replicas, cfg.Events, cfg.Faults, res.Stats.Messages, len([]rune(res.Text)))
+	}
+}

@@ -146,10 +146,13 @@ func (r *Relay) Serve(conn io.ReadWriter) error {
 	r.peers[id] = outbox
 	snapshot := r.doc.Events()
 	r.mu.Unlock()
+	// Deregister before closing the outbox: fanout (under mu) may still
+	// hold a reference, and a send on a closed channel would panic.
 	defer func() {
 		r.mu.Lock()
 		delete(r.peers, id)
 		r.mu.Unlock()
+		close(outbox)
 	}()
 
 	batch, err := Marshal(snapshot)
@@ -178,7 +181,6 @@ func (r *Relay) Serve(conn io.ReadWriter) error {
 		}
 		writeErr <- nil
 	}()
-	defer close(outbox)
 
 	// Reader: ingest peer uploads and fan them out.
 	for {
@@ -202,7 +204,6 @@ func (r *Relay) Serve(conn io.ReadWriter) error {
 			}
 			r.mu.Lock()
 			_, applyErr := r.doc.Apply(events)
-			var fanout [][]byte
 			if applyErr == nil {
 				for pid, ch := range r.peers {
 					if pid == id {
@@ -212,7 +213,6 @@ func (r *Relay) Serve(conn io.ReadWriter) error {
 					case ch <- payload:
 					default:
 						// Slow peer: drop; it will catch up via Sync.
-						_ = fanout
 					}
 				}
 			}
