@@ -6,6 +6,7 @@
 //
 //	egbench [-scale F] [-iters N] <table1|fig8|fig9|fig10|fig11|fig12|complexity|all>
 //	egbench sim [-sim-seed N] [-sim-replicas N] [-sim-events N] [-sim-faults LIST]
+//	egbench store [-store-events N] [-store-batch N] [-store-dir D]
 //
 // -scale scales the trace sizes (1.0 = the paper's event counts;
 // default 0.05 so a full run finishes in minutes). EXPERIMENTS.md
@@ -49,6 +50,9 @@ func main() {
 		cmd = flag.Arg(0)
 	}
 	if maybeRunSim(cmd) {
+		return
+	}
+	if maybeRunStore(cmd) {
 		return
 	}
 	ws, err := generate()

@@ -16,20 +16,20 @@ import (
 // the flags ask for, with the convergence oracle verifying the result
 // before any numbers are reported. Usage:
 //
-//	egbench sim [-sim-seed N] [-sim-replicas N] [-sim-events N] [-sim-faults all|none|latency,drop,dup,partition]
+//	egbench sim [-sim-seed N] [-sim-replicas N] [-sim-events N] [-sim-faults all|none|latency,drop,dup,partition,crash]
 
 var (
 	simSeed     = flag.Int64("sim-seed", 1, "simulation seed")
 	simReplicas = flag.Int("sim-replicas", 8, "number of replicas")
 	simEvents   = flag.Int("sim-events", 2000, "total local edits to generate")
-	simFaults   = flag.String("sim-faults", "all", "fault modes: all, none, or comma list of latency,drop,dup,partition")
+	simFaults   = flag.String("sim-faults", "all", "fault modes: all, none, or comma list of latency,drop,dup,partition,crash")
 	simNoOracle = flag.Bool("sim-no-oracle", false, "skip the convergence oracle (time the network only)")
 )
 
 func parseFaults(s string) (sim.Faults, error) {
 	switch s {
 	case "all":
-		return sim.Faults{Latency: true, Drop: true, Duplicate: true, Partition: true}, nil
+		return sim.Faults{Latency: true, Drop: true, Duplicate: true, Partition: true, CrashRestart: true}, nil
 	case "none", "":
 		return sim.Faults{}, nil
 	}
@@ -44,6 +44,8 @@ func parseFaults(s string) (sim.Faults, error) {
 			f.Duplicate = true
 		case "partition":
 			f.Partition = true
+		case "crash":
+			f.CrashRestart = true
 		case "": // tolerate stray commas
 		default:
 			return f, fmt.Errorf("unknown fault mode %q", mode)
@@ -64,6 +66,14 @@ func runSim() error {
 		Faults:     faults,
 		SkipOracle: *simNoOracle,
 	}
+	if faults.CrashRestart {
+		dir, err := os.MkdirTemp("", "egbench-sim-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		cfg.PersistDir = dir
+	}
 	fmt.Printf("\n== sim: %d replicas, %d events, seed %d, faults %s ==\n",
 		*simReplicas, *simEvents, *simSeed, *simFaults)
 	start := time.Now()
@@ -81,6 +91,9 @@ func runSim() error {
 	fmt.Printf("%-22s %d dropped, %d retransmitted, %d duplicated, %d parked\n",
 		"fault injections", st.Dropped, st.Retransmits, st.Duplicates, st.Parked)
 	fmt.Printf("%-22s %d\n", "partition windows", st.Partitions)
+	if faults.CrashRestart {
+		fmt.Printf("%-22s %d (replayed %d events from disk)\n", "crash-restarts", st.Crashes, st.ReplayedEvents)
+	}
 	fmt.Printf("%-22s %d runes\n", "final document", len([]rune(res.Text)))
 	if *simNoOracle {
 		fmt.Printf("%-22s skipped\n", "convergence oracle")

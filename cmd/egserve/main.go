@@ -1,0 +1,118 @@
+// Command egserve hosts durable collaborative documents over TCP: the
+// paper's relay server (§2.1) with the store subsystem underneath.
+// One process serves any number of documents from one data directory;
+// clients name the document they want with a doc-ID hello frame
+// (netsync.WriteDocHello / netsync.NewClientForDoc) and then speak the
+// ordinary relay protocol. Every batch a client uploads is journaled
+// to the document's write-ahead log before fan-out; fsyncs are batched
+// on -flush, snapshots and compaction run in the background, and a
+// restart recovers every document from snapshot + WAL tail.
+//
+// Usage:
+//
+//	egserve [-addr :4222] [-data DIR] [-flush 50ms] [-max-open 64] [-snapshot-every 8192]
+//
+// Client sketch:
+//
+//	conn, _ := net.Dial("tcp", "localhost:4222")
+//	doc := egwalker.NewDoc("alice")
+//	c, _ := netsync.NewClientForDoc(doc, conn, "notes/todo")
+//	// c.Receive() delivers the hosted history + live edits;
+//	// c.Push(doc.EventsSince(...)) uploads local ones.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
+
+	"egwalker/store"
+)
+
+var (
+	addr     = flag.String("addr", ":4222", "TCP listen address")
+	dataDir  = flag.String("data", "egserve-data", "store root directory")
+	flush    = flag.Duration("flush", 50*time.Millisecond, "group-commit fsync interval (negative: fsync every append)")
+	maxOpen  = flag.Int("max-open", 64, "documents kept materialized (LRU)")
+	snapshot = flag.Int("snapshot-every", 8192, "events per document between background compactions (0: never)")
+)
+
+func main() {
+	flag.Parse()
+	log.SetPrefix("egserve: ")
+	log.SetFlags(log.LstdFlags | log.Lmsgprefix)
+
+	srv, err := store.NewServer(*dataDir, store.ServerOptions{
+		MaxOpenDocs:   *maxOpen,
+		FlushInterval: *flush,
+		SnapshotEvery: *snapshot,
+		Logf:          log.Printf,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if ids, err := srv.DocIDs(); err == nil && len(ids) > 0 {
+		log.Printf("recovered %d documents from %s", len(ids), *dataDir)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("listening on %s (data: %s, flush: %v, lru: %d)", ln.Addr(), *dataDir, *flush, *maxOpen)
+
+	// Track live connections so shutdown can sever them: ServeConn
+	// blocks reading its peer, and an idle client would otherwise keep
+	// wg.Wait() (and the final document sync) hostage forever.
+	var mu sync.Mutex
+	conns := make(map[net.Conn]struct{})
+	var wg sync.WaitGroup
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return // listener closed
+			}
+			mu.Lock()
+			conns[conn] = struct{}{}
+			mu.Unlock()
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() {
+					mu.Lock()
+					delete(conns, conn)
+					mu.Unlock()
+					conn.Close()
+				}()
+				if err := srv.ServeConn(conn); err != nil {
+					log.Printf("conn %s: %v", conn.RemoteAddr(), err)
+				}
+			}()
+		}
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Fprintln(os.Stderr)
+	log.Printf("shutting down")
+	ln.Close()
+	mu.Lock()
+	for conn := range conns {
+		conn.Close() // unblocks ServeConn's read
+	}
+	mu.Unlock()
+	wg.Wait()
+	if err := srv.Close(); err != nil {
+		log.Printf("close: %v", err)
+		os.Exit(1)
+	}
+	log.Printf("all documents synced")
+}

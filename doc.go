@@ -53,4 +53,25 @@
 // Doc.Fingerprint supports the same pattern in production: replicas
 // can gossip fingerprints as a cheap convergence check and fall back
 // to netsync.Sync when they differ.
+//
+// # Persistence
+//
+// Save/Load write and read whole documents in the paper's compact
+// columnar format (§3.8); SaveSince writes just the events newer than
+// a version as a self-delimiting, checksummed delta block, so a saved
+// file can be extended incrementally (ReadDelta/ApplyDelta on the
+// other side) instead of rewritten.
+//
+// Package store builds the durable layer on those primitives: each
+// document gets an append-only, segmented write-ahead log of delta
+// blocks (CRC-protected, torn tails truncated on reopen), periodic
+// snapshots via Doc.Save with the final text cached, and compaction
+// that folds sealed segments into a fresh snapshot — steady state on
+// disk is one snapshot plus the active WAL tail. store.Server hosts
+// many documents behind string IDs with an LRU of materialized Docs
+// and batched fsyncs, and cmd/egserve exposes it over TCP: clients
+// join a hosted document with netsync.NewClientForDoc(doc, conn, id)
+// and then push/receive events exactly as against a netsync.Relay.
+// Crash recovery is exercised by randomized kill-point tests and by
+// internal/sim's crash-restart fault mode.
 package egwalker

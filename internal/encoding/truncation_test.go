@@ -1,0 +1,57 @@
+package encoding
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"egwalker/internal/oplog"
+)
+
+// Truncated input must surface io.ErrUnexpectedEOF (so WAL/file reopen
+// paths can treat it as a torn tail and truncate), while structural
+// corruption must not masquerade as truncation.
+func TestDecodeTruncationVsCorruption(t *testing.T) {
+	l := oplog.New()
+	if _, err := l.AddInsert("agent", nil, 0, "hello truncation world"); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Encode(&buf, l, Options{CacheFinalDoc: true}, "hello truncation world", nil); err != nil {
+		t.Fatal(err)
+	}
+	whole := buf.Bytes()
+
+	for cut := 5; cut < len(whole); cut++ {
+		_, err := Decode(whole[:cut])
+		if err == nil {
+			// A prefix that happens to parse (e.g. cut exactly after a
+			// self-consistent column set) is impossible here because the
+			// trailing doc column is length-prefixed; be strict.
+			t.Fatalf("cut %d: truncated file decoded successfully", cut)
+		}
+		if !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("cut %d: error %v does not wrap io.ErrUnexpectedEOF", cut, err)
+		}
+	}
+
+	// Structural corruption: a bad op tag inside an intact file must not
+	// read as truncation. The ops column starts right after the 5-byte
+	// head + event-count varint + its own length varint; its first byte
+	// is the run tag (0 = insert). 0x7f is not a valid tag.
+	mut := append([]byte(nil), whole...)
+	// head(5) + uvarint(n)=1 byte (22 events) + ops column length varint
+	// (1 byte) puts the tag at offset 7.
+	if mut[7] != 0 {
+		t.Fatalf("test layout assumption broken: ops tag byte is %#x, want 0", mut[7])
+	}
+	mut[7] = 0x7f
+	_, err := Decode(mut)
+	if err == nil {
+		t.Fatal("corrupt op tag accepted")
+	}
+	if errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("structural corruption reported as truncation: %v", err)
+	}
+}

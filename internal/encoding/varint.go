@@ -37,6 +37,18 @@ func (r *reader) fail(format string, args ...any) {
 	}
 }
 
+// failTruncated records a partial-read failure: the input stopped short
+// of a complete structure. Unlike structural corruption (bad tags,
+// mismatched counts), truncation is what a torn write at the end of a
+// file produces, so these errors wrap io.ErrUnexpectedEOF — callers
+// like the store's WAL reopen path check errors.Is(err,
+// io.ErrUnexpectedEOF) to decide that truncating the tail is safe.
+func (r *reader) failTruncated(what string) {
+	if r.err == nil {
+		r.err = fmt.Errorf("encoding: truncated %s at offset %d: %w", what, r.off, io.ErrUnexpectedEOF)
+	}
+}
+
 func (r *reader) uvarint() uint64 {
 	if r.err != nil {
 		return 0
@@ -45,7 +57,7 @@ func (r *reader) uvarint() uint64 {
 	var shift uint
 	for {
 		if r.off >= len(r.buf) {
-			r.fail("encoding: truncated varint at offset %d", r.off)
+			r.failTruncated("varint")
 			return 0
 		}
 		b := r.buf[r.off]
@@ -72,7 +84,7 @@ func (r *reader) bytes(n int) []byte {
 		return nil
 	}
 	if n < 0 || r.off+n > len(r.buf) {
-		r.fail("encoding: truncated byte run (%d at %d/%d)", n, r.off, len(r.buf))
+		r.failTruncated(fmt.Sprintf("byte run (%d wanted, %d left)", n, len(r.buf)-r.off))
 		return nil
 	}
 	b := r.buf[r.off : r.off+n]

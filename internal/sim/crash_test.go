@@ -1,0 +1,96 @@
+package sim
+
+import (
+	"testing"
+)
+
+// Crash-restart scenarios: replicas journal to real on-disk stores
+// (segmented WAL + snapshots, package store), get killed mid-run —
+// losing whatever they had not fsynced — and recover from disk, then
+// the full convergence oracle plus a cold store-recovery check run.
+// These live apart from the main table because each run needs its own
+// persistence directory.
+var crashScenarios = []struct {
+	name string
+	cfg  Config
+}{
+	{"crash-basic", Config{Seed: 701, Replicas: 6, Events: 500,
+		Faults: Faults{CrashRestart: true}}},
+	{"crash-latency", Config{Seed: 702, Replicas: 6, Events: 500,
+		Faults: Faults{CrashRestart: true, Latency: true}}},
+	{"crash-lossy", Config{Seed: 703, Replicas: 6, Events: 500,
+		Faults: Faults{CrashRestart: true, Drop: true, Duplicate: true}}},
+	{"crash-partition", Config{Seed: 704, Replicas: 6, Events: 600,
+		Faults: Faults{CrashRestart: true, Partition: true, Latency: true}}},
+	{"crash-everything", Config{Seed: 705, Replicas: 8, Events: 800,
+		Faults: Faults{CrashRestart: true, Latency: true, Drop: true, Duplicate: true, Partition: true}}},
+	{"crash-many", Config{Seed: 706, Replicas: 6, Events: 700, CrashCount: 5, CrashDowntime: 15,
+		Faults: Faults{CrashRestart: true, Latency: true}}},
+	{"crash-long-downtime", Config{Seed: 707, Replicas: 6, Events: 600, CrashDowntime: 150,
+		Faults: Faults{CrashRestart: true, Latency: true, Duplicate: true}}},
+	{"crash-unicode-bursty", Config{Seed: 708, Replicas: 6, Events: 600, FlushEvery: 15,
+		Script: ScriptConfig{Unicode: true},
+		Faults: Faults{CrashRestart: true, Latency: true}}},
+}
+
+func TestCrashRestartScenarios(t *testing.T) {
+	for _, sc := range crashScenarios {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			t.Parallel()
+			cfg := sc.cfg
+			cfg.PersistDir = t.TempDir()
+			res, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Stats.Crashes == 0 {
+				t.Fatal("crash-restart mode never crashed a replica")
+			}
+			if res.Stats.Edits < cfg.Events {
+				t.Fatalf("generated %d edits, wanted >= %d", res.Stats.Edits, cfg.Events)
+			}
+		})
+	}
+}
+
+// TestCrashRestartDeterminism: with a fresh persistence dir each time,
+// identical configs must replay bit-identically — disk state is a pure
+// function of the seed too.
+func TestCrashRestartDeterminism(t *testing.T) {
+	cfg := Config{Seed: 7878, Replicas: 6, Events: 500,
+		Faults: Faults{CrashRestart: true, Latency: true, Drop: true}}
+	run := func() *Result {
+		c := cfg
+		c.PersistDir = t.TempDir()
+		res, err := Run(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Text != b.Text {
+		t.Fatalf("texts differ across identical crash runs")
+	}
+	if a.Stats != b.Stats {
+		t.Fatalf("stats differ: %+v vs %+v", a.Stats, b.Stats)
+	}
+	if len(a.DeliveryLog) != len(b.DeliveryLog) {
+		t.Fatalf("delivery logs differ in length: %d vs %d", len(a.DeliveryLog), len(b.DeliveryLog))
+	}
+	for i := range a.DeliveryLog {
+		if a.DeliveryLog[i] != b.DeliveryLog[i] {
+			t.Fatalf("delivery logs diverge at %d: %q vs %q", i, a.DeliveryLog[i], b.DeliveryLog[i])
+		}
+	}
+}
+
+// TestCrashRequiresPersistDir: misconfiguration must fail loudly, not
+// silently run without durability.
+func TestCrashRequiresPersistDir(t *testing.T) {
+	_, err := Run(Config{Seed: 1, Replicas: 4, Events: 50, Faults: Faults{CrashRestart: true}})
+	if err == nil {
+		t.Fatal("CrashRestart without PersistDir was accepted")
+	}
+}

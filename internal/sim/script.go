@@ -2,8 +2,6 @@ package sim
 
 import (
 	"math/rand"
-
-	"egwalker"
 )
 
 // ScriptConfig shapes the randomized edit scripts that drive each
@@ -50,6 +48,14 @@ const (
 	unicodeAlphabet = asciiAlphabet + "éüßñçø漢字文章テスト한글текст🙂🚀✏️Ωπλ"
 )
 
+// replica is the editing surface a script drives: a bare *egwalker.Doc,
+// or a *store.DocStore journaling every edit in crash-restart mode.
+type replica interface {
+	Len() int
+	Insert(pos int, text string) error
+	Delete(pos, count int) error
+}
+
 // script generates edits for one replica. All randomness comes from the
 // simulation's shared RNG, so scripts are part of the deterministic run.
 type script struct {
@@ -72,7 +78,7 @@ func (s *script) burstSize() int {
 
 // apply performs one random edit on d and returns how many events it
 // generated (a k-rune insert is k events).
-func (s *script) apply(d *egwalker.Doc) (int, error) {
+func (s *script) apply(d replica) (int, error) {
 	n := d.Len()
 	w := s.cfg.InsertWeight + s.cfg.DeleteWeight
 	del := n > 0 && s.rng.Intn(w) < s.cfg.DeleteWeight

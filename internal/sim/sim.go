@@ -23,8 +23,10 @@ package sim
 import (
 	"fmt"
 	"math/rand"
+	"path/filepath"
 
 	"egwalker"
+	"egwalker/store"
 )
 
 // Faults selects which failure modes the virtual network injects.
@@ -47,6 +49,14 @@ type Faults struct {
 	// the run. Messages across the cut are parked and delivered when
 	// the partition heals (TCP reconnect + replay).
 	Partition bool
+	// CrashRestart gives every replica a durable store (package store:
+	// segmented WAL + snapshots) and kills replicas at scheduled points
+	// in the run: a crash loses everything written since the replica's
+	// last fsync (which happens when it broadcasts), the process stays
+	// down for CrashDowntime ticks, then restarts by recovering
+	// snapshot + WAL tail from disk and running reconnect anti-entropy
+	// with its peers. Requires Config.PersistDir.
+	CrashRestart bool
 }
 
 // Config fully determines a simulation run.
@@ -78,6 +88,15 @@ type Config struct {
 	// broadcasting them (default 3). Larger values mean burstier,
 	// longer-diverged histories.
 	FlushEvery int
+
+	// CrashCount/CrashDowntime control the crash-restart schedule when
+	// Faults.CrashRestart is set: CrashCount crashes (default 2) fire
+	// as edit progress crosses evenly spaced thresholds, each keeping
+	// the victim down for CrashDowntime ticks (default 30). PersistDir
+	// is the directory replica stores live under (a fresh temp dir per
+	// run; the caller owns cleanup).
+	CrashCount, CrashDowntime int
+	PersistDir                string
 
 	// SkipOracle runs the network without convergence checking
 	// (used by benchmarks that time the run itself).
@@ -121,6 +140,12 @@ func (c Config) withDefaults() Config {
 	if c.FlushEvery == 0 {
 		c.FlushEvery = 3
 	}
+	if c.CrashCount == 0 {
+		c.CrashCount = 2
+	}
+	if c.CrashDowntime == 0 {
+		c.CrashDowntime = 30
+	}
 	c.Script = c.Script.withDefaults()
 	return c
 }
@@ -136,6 +161,10 @@ type Stats struct {
 	Duplicates  int
 	Parked      int // batches held back by a partition
 	Partitions  int // partition windows opened
+	Crashes     int // crash-restart cycles (crash-restart mode)
+	// ReplayedEvents counts events recovered from disk across all
+	// crash restarts (snapshot events excluded).
+	ReplayedEvents int
 }
 
 // Result is what a simulation run produced.
@@ -225,6 +254,11 @@ type Sim struct {
 	lastBroadcast []egwalker.Version
 	offlineUntil  []int64
 
+	// Crash-restart state (nil / unused unless Faults.CrashRestart):
+	// stores[i] journals replica i; docs[i] aliases stores[i].Doc().
+	stores       []*store.DocStore
+	crashedUntil []int64
+
 	// Partition state: group[i] in {0,1}; healAt is when it ends.
 	partitioned bool
 	group       []int
@@ -236,27 +270,80 @@ type Sim struct {
 }
 
 // New prepares a simulation from cfg (missing fields get defaults).
+// With Faults.CrashRestart set, NewPersistent must be used instead
+// (store opening can fail); New panics in that case to catch misuse.
 func New(cfg Config) *Sim {
+	s, err := NewPersistent(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// NewPersistent prepares a simulation, opening per-replica durable
+// stores when Faults.CrashRestart is set.
+func NewPersistent(cfg Config) (*Sim, error) {
 	cfg = cfg.withDefaults()
 	s := &Sim{
 		cfg: cfg,
 		rng: rand.New(rand.NewSource(cfg.Seed)),
 	}
+	if cfg.Faults.CrashRestart && cfg.PersistDir == "" {
+		return nil, fmt.Errorf("sim: CrashRestart requires Config.PersistDir")
+	}
 	for i := 0; i < cfg.Replicas; i++ {
-		d := egwalker.NewDoc(fmt.Sprintf("r%d", i))
-		s.docs = append(s.docs, d)
+		agent := fmt.Sprintf("r%d", i)
+		if cfg.Faults.CrashRestart {
+			ds, err := store.Open(s.storeRoot(i), "doc", agent, s.storeOptions())
+			if err != nil {
+				return nil, fmt.Errorf("sim: opening store for replica %d: %w", i, err)
+			}
+			s.stores = append(s.stores, ds)
+			s.docs = append(s.docs, ds.Doc())
+			s.crashedUntil = append(s.crashedUntil, 0)
+		} else {
+			s.docs = append(s.docs, egwalker.NewDoc(agent))
+		}
 		s.scripts = append(s.scripts, newScript(cfg.Script, s.rng))
 		s.lastBroadcast = append(s.lastBroadcast, egwalker.Version{})
 		s.offlineUntil = append(s.offlineUntil, 0)
 	}
-	return s
+	return s, nil
+}
+
+// storeRoot is replica i's private store root under PersistDir.
+func (s *Sim) storeRoot(i int) string {
+	return filepath.Join(s.cfg.PersistDir, fmt.Sprintf("r%d", i))
+}
+
+// storeOptions exercises the whole store machinery at simulation
+// scale: small segments force rotation, low SnapshotEvery forces
+// snapshot + compaction cycles mid-run.
+func (s *Sim) storeOptions() store.Options {
+	return store.Options{SegmentMaxBytes: 16 << 10, SnapshotEvery: 400}
+}
+
+// Close releases the durable stores (crash-restart mode); the on-disk
+// state remains for inspection.
+func (s *Sim) Close() error {
+	var err error
+	for _, ds := range s.stores {
+		if cerr := ds.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
 }
 
 // Run executes the whole scenario: the active phase generates cfg.Events
 // local edits under the configured faults, then the network is drained
 // to quiescence and (unless cfg.SkipOracle) the convergence oracle runs.
 func Run(cfg Config) (*Result, error) {
-	s := New(cfg)
+	s, err := NewPersistent(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer s.Close()
 	if err := s.RunToQuiescence(); err != nil {
 		return nil, err
 	}
@@ -271,8 +358,44 @@ func Run(cfg Config) (*Result, error) {
 		if err := CheckAll(s.docs); err != nil {
 			return res, fmt.Errorf("sim: seed %d: %w", s.cfg.Seed, err)
 		}
+		if err := s.checkStoreRecovery(); err != nil {
+			return res, fmt.Errorf("sim: seed %d: %w", s.cfg.Seed, err)
+		}
 	}
 	return res, nil
+}
+
+// checkStoreRecovery is the crash-restart oracle extension: after
+// quiescence, a cold recovery of every replica's on-disk state
+// (snapshot + WAL tail, as a freshly restarted process would see it)
+// must reproduce the replica's converged document exactly.
+func (s *Sim) checkStoreRecovery() error {
+	for i, ds := range s.stores {
+		if err := ds.Sync(); err != nil {
+			return fmt.Errorf("oracle: store %d sync: %w", i, err)
+		}
+		// Close first (the store holds an inter-process lock on its
+		// directory), then recover cold; the in-memory doc stays valid
+		// for comparison.
+		if err := ds.Close(); err != nil {
+			return fmt.Errorf("oracle: store %d close: %w", i, err)
+		}
+		re, err := store.Open(s.storeRoot(i), "doc", fmt.Sprintf("r%d", i), s.storeOptions())
+		if err != nil {
+			return fmt.Errorf("oracle: cold recovery of replica %d: %w", i, err)
+		}
+		s.stores[i] = re // Sim.Close releases it
+		text, events := re.Text(), re.NumEvents()
+		if text != s.docs[i].Text() {
+			return fmt.Errorf("oracle: replica %d recovered text (len %d) != live text (len %d)",
+				i, len(text), len(s.docs[i].Text()))
+		}
+		if events != s.docs[i].NumEvents() {
+			return fmt.Errorf("oracle: replica %d recovered %d events, live has %d",
+				i, events, s.docs[i].NumEvents())
+		}
+	}
+	return nil
 }
 
 // RunToQuiescence drives the simulation until every generated event has
@@ -292,6 +415,9 @@ func (s *Sim) Step() error {
 	s.now++
 	s.stats.Ticks = s.now
 	s.stepPartition()
+	if err := s.stepCrash(); err != nil {
+		return err
+	}
 	s.releaseDeliverable()
 	if err := s.deliverDue(); err != nil {
 		return err
@@ -299,21 +425,24 @@ func (s *Sim) Step() error {
 
 	// Edits: each tick one randomly chosen replica performs a burst of
 	// local edits (replicas currently offline edit too — that is the
-	// point of offline divergence).
+	// point of offline divergence; crashed replicas cannot edit).
 	if s.stats.Edits < s.cfg.Events {
-		i := s.rng.Intn(len(s.docs))
-		burst := s.scripts[i].burstSize()
-		for b := 0; b < burst && s.stats.Edits < s.cfg.Events; b++ {
-			n, err := s.scripts[i].apply(s.docs[i])
-			if err != nil {
-				return fmt.Errorf("sim: replica %d local edit: %w", i, err)
+		// A crashed editor skips its burst (it is dead); the flush phase
+		// below must still run for everyone else.
+		if i := s.rng.Intn(len(s.docs)); !s.isCrashed(i) {
+			burst := s.scripts[i].burstSize()
+			for b := 0; b < burst && s.stats.Edits < s.cfg.Events; b++ {
+				n, err := s.scripts[i].apply(s.editTarget(i))
+				if err != nil {
+					return fmt.Errorf("sim: replica %d local edit: %w", i, err)
+				}
+				s.stats.Edits += n
 			}
-			s.stats.Edits += n
-		}
-		// Bursty offline sessions: occasionally a replica drops off the
-		// network for a stretch, accumulating a long-diverged branch.
-		if s.cfg.Script.OfflineProb > 0 && s.rng.Float64() < s.cfg.Script.OfflineProb {
-			s.offlineUntil[i] = s.now + int64(s.cfg.Script.OfflineLen)
+			// Bursty offline sessions: occasionally a replica drops off the
+			// network for a stretch, accumulating a long-diverged branch.
+			if s.cfg.Script.OfflineProb > 0 && s.rng.Float64() < s.cfg.Script.OfflineProb {
+				s.offlineUntil[i] = s.now + int64(s.cfg.Script.OfflineLen)
+			}
 		}
 	}
 
@@ -321,8 +450,8 @@ func (s *Sim) Step() error {
 	// broadcast (their own edits plus gossip of others').
 	if s.now%int64(s.cfg.FlushEvery) == 0 {
 		for i := range s.docs {
-			if s.now < s.offlineUntil[i] {
-				continue // offline: buffer locally
+			if s.now < s.offlineUntil[i] || s.isCrashed(i) {
+				continue // offline: buffer locally; crashed: dead
 			}
 			if err := s.flush(i); err != nil {
 				return err
@@ -332,7 +461,24 @@ func (s *Sim) Step() error {
 	return nil
 }
 
-// flush broadcasts replica i's news to every peer.
+// editTarget is where replica i's local edits go: straight to the doc,
+// or through the journaling store in crash-restart mode.
+func (s *Sim) editTarget(i int) replica {
+	if s.stores != nil {
+		return s.stores[i]
+	}
+	return s.docs[i]
+}
+
+func (s *Sim) isCrashed(i int) bool {
+	return s.crashedUntil != nil && s.now < s.crashedUntil[i]
+}
+
+// flush broadcasts replica i's news to every peer. In crash-restart
+// mode the replica fsyncs first — write-ahead-of-send, so a broadcast
+// event can never be lost by the sender's own crash (peers would
+// otherwise hold events their origin no longer remembers, and the
+// origin could mint conflicting IDs for new edits).
 func (s *Sim) flush(i int) error {
 	evs, err := s.docs[i].EventsSince(s.lastBroadcast[i])
 	if err != nil {
@@ -340,6 +486,11 @@ func (s *Sim) flush(i int) error {
 	}
 	if len(evs) == 0 {
 		return nil
+	}
+	if s.stores != nil {
+		if err := s.stores[i].Sync(); err != nil {
+			return fmt.Errorf("sim: replica %d WAL sync: %w", i, err)
+		}
 	}
 	s.lastBroadcast[i] = s.docs[i].Version()
 	for j := range s.docs {
@@ -384,7 +535,7 @@ func (s *Sim) deliverDue() error {
 			s.stats.Parked++
 			continue
 		}
-		if s.now < s.offlineUntil[m.to] {
+		if s.now < s.offlineUntil[m.to] || s.isCrashed(m.to) {
 			s.parked = append(s.parked, m)
 			s.stats.Parked++
 			continue
@@ -407,14 +558,97 @@ func (s *Sim) deliverDue() error {
 	return nil
 }
 
-// apply delivers a batch to its destination replica and logs it.
+// apply delivers a batch to its destination replica and logs it. In
+// crash-restart mode delivery goes through the store so received
+// events are journaled (durable at the next fsync).
 func (s *Sim) apply(m *message) error {
-	if _, err := s.docs[m.to].Apply(m.events); err != nil {
+	var err error
+	if s.stores != nil {
+		_, err = s.stores[m.to].Apply(m.events)
+	} else {
+		_, err = s.docs[m.to].Apply(m.events)
+	}
+	if err != nil {
 		return fmt.Errorf("sim: delivering %d->%d: %w", m.from, m.to, err)
 	}
 	s.stats.Delivered++
 	s.log = append(s.log, fmt.Sprintf("t%d %d->%d %s+%d",
 		s.now, m.from, m.to, m.events[0].ID, len(m.events)))
+	return nil
+}
+
+// stepCrash runs the crash-restart schedule: crashes fire as edit
+// progress crosses evenly spaced thresholds (like partitions, so short
+// and long runs alike get crashed), one victim down at a time. The
+// crash itself happens immediately — the store truncates to its fsync
+// horizon and recovers from disk, exactly as DocStore.Crash defines —
+// but the replica stays dark until its downtime ends, whereupon peers
+// run reconnect anti-entropy to refill whatever the crash ate.
+func (s *Sim) stepCrash() error {
+	if !s.cfg.Faults.CrashRestart {
+		return nil
+	}
+	// Restarts due this tick: rejoin the network.
+	for i := range s.crashedUntil {
+		if s.crashedUntil[i] != 0 && s.now >= s.crashedUntil[i] {
+			s.crashedUntil[i] = 0
+			if err := s.resync(i); err != nil {
+				return err
+			}
+		}
+	}
+	if s.stats.Crashes >= s.cfg.CrashCount {
+		return nil
+	}
+	for i := range s.crashedUntil {
+		if s.crashedUntil[i] != 0 {
+			return nil // one victim at a time
+		}
+	}
+	threshold := (s.stats.Crashes + 1) * s.cfg.Events / (s.cfg.CrashCount + 1)
+	if s.stats.Edits < threshold {
+		return nil
+	}
+	i := s.rng.Intn(len(s.docs))
+	s.stats.Crashes++
+	s.crashedUntil[i] = s.now + int64(s.cfg.CrashDowntime)
+	recovered, err := s.stores[i].Crash()
+	if err != nil {
+		return fmt.Errorf("sim: replica %d crash-recover: %w", i, err)
+	}
+	s.stores[i] = recovered
+	s.docs[i] = recovered.Doc()
+	s.stats.ReplayedEvents += recovered.Recovery().EventsReplayed
+	// The recovered replica may have lost (unsynced) events its old
+	// broadcast cursor referenced; start re-announcing from scratch —
+	// receivers deduplicate.
+	s.lastBroadcast[i] = egwalker.Version{}
+	return nil
+}
+
+// resync models the anti-entropy a restarted replica runs against its
+// peers on reconnect (netsync.Sync's role in the real stack): each
+// peer pushes the events the recovered replica is missing, through the
+// normal faulty network.
+func (s *Sim) resync(i int) error {
+	for j := range s.docs {
+		if j == i {
+			continue
+		}
+		known := egwalker.Version{}
+		for _, id := range s.docs[i].Version() {
+			if s.docs[j].Knows(id) {
+				known = append(known, id)
+			}
+		}
+		evs, err := s.docs[j].EventsSince(known)
+		if err != nil {
+			return fmt.Errorf("sim: resync %d->%d: %w", j, i, err)
+		}
+		if len(evs) > 0 {
+			s.send(j, i, evs)
+		}
+	}
 	return nil
 }
 
@@ -467,7 +701,8 @@ func (s *Sim) releaseDeliverable() {
 	}
 	keep := s.parked[:0]
 	for _, m := range s.parked {
-		if (s.partitioned && s.group[m.from] != s.group[m.to]) || s.now < s.offlineUntil[m.to] {
+		if (s.partitioned && s.group[m.from] != s.group[m.to]) ||
+			s.now < s.offlineUntil[m.to] || s.isCrashed(m.to) {
 			keep = append(keep, m)
 			continue
 		}
@@ -490,6 +725,15 @@ func (s *Sim) drain() error {
 		}
 		for i := range s.offlineUntil {
 			s.offlineUntil[i] = 0
+		}
+		// Crashed replicas restart now and run reconnect anti-entropy.
+		for i := range s.crashedUntil {
+			if s.crashedUntil[i] != 0 {
+				s.crashedUntil[i] = 0
+				if err := s.resync(i); err != nil {
+					return err
+				}
+			}
 		}
 		s.releaseDeliverable()
 		for len(s.queue) > 0 {

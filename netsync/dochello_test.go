@@ -1,0 +1,121 @@
+package netsync
+
+import (
+	"bytes"
+	"encoding/binary"
+	"strings"
+	"testing"
+
+	"egwalker"
+)
+
+func TestDocHelloRoundTrip(t *testing.T) {
+	for _, id := range []string{"a", "notes/alpha", strings.Repeat("x", maxDocID)} {
+		var buf bytes.Buffer
+		if err := WriteDocHello(&buf, id); err != nil {
+			t.Fatalf("WriteDocHello(%q): %v", id, err)
+		}
+		got, err := ReadDocHello(&buf)
+		if err != nil || got != id {
+			t.Fatalf("ReadDocHello = %q, %v; want %q", got, err, id)
+		}
+	}
+}
+
+func TestDocHelloRejectsBadIDs(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteDocHello(&buf, ""); err == nil {
+		t.Error("empty doc ID accepted")
+	}
+	if err := WriteDocHello(&buf, strings.Repeat("x", maxDocID+1)); err == nil {
+		t.Error("oversized doc ID accepted")
+	}
+	// A hello frame whose uvarint claims a huge ID length must be
+	// rejected by the length check, not trusted.
+	payload := binary.AppendUvarint(nil, 1<<40)
+	payload = append(payload, "short"...)
+	buf.Reset()
+	if err := writeFrame(&buf, msgDocHello, payload); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadDocHello(&buf); err == nil {
+		t.Error("hostile doc-ID length accepted")
+	}
+	// Wrong first frame type.
+	buf.Reset()
+	if err := writeFrame(&buf, msgEvents, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadDocHello(&buf); err == nil {
+		t.Error("non-hello first frame accepted")
+	}
+}
+
+// TestFrameCapBoundsAllocation: a corrupt or hostile peer advertising
+// an enormous frame must be refused at the header, before any payload
+// allocation — the 16 MiB cap.
+func TestFrameCapBoundsAllocation(t *testing.T) {
+	var hdr [5]byte
+	binary.BigEndian.PutUint32(hdr[:4], maxFrame+1)
+	hdr[4] = msgEvents
+	_, _, err := readFrame(bytes.NewReader(hdr[:]))
+	if err == nil {
+		t.Fatal("frame over the cap accepted")
+	}
+	if !strings.Contains(err.Error(), "oversized") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	// Exactly at the cap with a truncated body: accepted by the header
+	// check, then fails on the short read — never a success.
+	binary.BigEndian.PutUint32(hdr[:4], maxFrame)
+	if _, _, err := readFrame(bytes.NewReader(hdr[:])); err == nil {
+		t.Fatal("truncated max-size frame accepted")
+	}
+	// The writer enforces the same cap.
+	if err := writeFrame(&bytes.Buffer{}, msgEvents, make([]byte, maxFrame+1)); err == nil {
+		t.Fatal("writeFrame accepted an over-cap payload")
+	}
+}
+
+// TestChunkedEventsSend: batches beyond the per-frame chunk size split
+// into multiple frames and reassemble losslessly on the other side.
+func TestChunkedEventsSend(t *testing.T) {
+	src := egwalker.NewDoc("bulk")
+	text := strings.Repeat("0123456789abcdef", (egwalker.MaxEventsPerBlock+100)/16+1)
+	if err := src.Insert(0, text); err != nil {
+		t.Fatal(err)
+	}
+	events := src.Events()
+	if len(events) <= egwalker.MaxEventsPerBlock {
+		t.Fatalf("test batch too small: %d events", len(events))
+	}
+	var buf bytes.Buffer
+	if err := writeEventsChunked(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	dst := egwalker.NewDoc("recv")
+	frames := 0
+	for buf.Len() > 0 {
+		typ, payload, err := readFrame(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if typ != msgEvents {
+			t.Fatalf("frame %d: type %#x", frames, typ)
+		}
+		evs, err := Unmarshal(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := dst.Apply(evs); err != nil {
+			t.Fatal(err)
+		}
+		frames++
+	}
+	if frames < 2 {
+		t.Fatalf("large batch went out in %d frame(s), want several", frames)
+	}
+	if dst.Text() != src.Text() {
+		t.Fatal("chunked transfer corrupted the document")
+	}
+}

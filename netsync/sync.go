@@ -67,13 +67,9 @@ func Sync(doc *egwalker.Doc, conn io.ReadWriter) error {
 	if err != nil {
 		return err
 	}
-	batch, err := Marshal(missing)
-	if err != nil {
-		return err
-	}
 	sendErr := make(chan error, 1)
 	go func() {
-		err := writeFrame(bw, msgEvents, batch)
+		err := writeEventsChunked(bw, missing)
 		if err == nil {
 			err = writeFrame(bw, msgDone, nil)
 		}
@@ -155,11 +151,7 @@ func (r *Relay) Serve(conn io.ReadWriter) error {
 		close(outbox)
 	}()
 
-	batch, err := Marshal(snapshot)
-	if err != nil {
-		return err
-	}
-	if err := writeFrame(bw, msgEvents, batch); err != nil {
+	if err := writeEventsChunked(bw, snapshot); err != nil {
 		return err
 	}
 	if err := bw.Flush(); err != nil {
@@ -228,59 +220,132 @@ func (r *Relay) Serve(conn io.ReadWriter) error {
 	}
 }
 
+// PeerConn is the frame-level view of one replication connection. It
+// is the building block external hosts use to speak the relay protocol
+// without reimplementing framing: store.Server serves many documents by
+// reading a doc-ID hello and then driving a PeerConn per connection.
+// Send methods are safe for concurrent use with each other; Recv must
+// be called from a single goroutine.
+type PeerConn struct {
+	mu sync.Mutex
+	bw *bufio.Writer
+	br *bufio.Reader
+}
+
+// NewPeerConn wraps a stream connection for frame-level use.
+func NewPeerConn(conn io.ReadWriter) *PeerConn {
+	return &PeerConn{bw: bufio.NewWriter(conn), br: bufio.NewReader(conn)}
+}
+
+// SendDocHello names the document this connection is about. Call once,
+// before any other frame, when talking to a multiplexing host.
+func (p *PeerConn) SendDocHello(docID string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := WriteDocHello(p.bw, docID); err != nil {
+		return err
+	}
+	return p.bw.Flush()
+}
+
+// SendEvents uploads a batch, splitting it into multiple frames if it
+// exceeds the frame cap.
+func (p *PeerConn) SendEvents(events []egwalker.Event) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := writeEventsChunked(p.bw, events); err != nil {
+		return err
+	}
+	return p.bw.Flush()
+}
+
+// SendRaw forwards an already-marshalled event batch (as returned in
+// Recv's raw result) without re-encoding — the fan-out fast path.
+func (p *PeerConn) SendRaw(batch []byte) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := writeFrame(p.bw, msgEvents, batch); err != nil {
+		return err
+	}
+	return p.bw.Flush()
+}
+
+// SendDone sends an orderly end-of-stream frame.
+func (p *PeerConn) SendDone() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := writeFrame(p.bw, msgDone, nil); err != nil {
+		return err
+	}
+	return p.bw.Flush()
+}
+
+// Recv blocks for the next frame. It returns the decoded events plus
+// the raw batch payload (for re-forwarding), or done=true on an orderly
+// DONE frame. io.EOF reports the peer hanging up without one.
+func (p *PeerConn) Recv() (events []egwalker.Event, raw []byte, done bool, err error) {
+	typ, payload, err := readFrame(p.br)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	switch typ {
+	case msgEvents:
+		events, err = Unmarshal(payload)
+		if err != nil {
+			return nil, nil, false, err
+		}
+		return events, payload, false, nil
+	case msgDone:
+		return nil, nil, true, nil
+	default:
+		return nil, nil, false, fmt.Errorf("netsync: unexpected frame type %#x", typ)
+	}
+}
+
 // Client is the peer side of a Relay connection: it applies inbound
 // batches to the local document and uploads local edits.
 type Client struct {
 	doc *egwalker.Doc
-	bw  *bufio.Writer
-	br  *bufio.Reader
-	mu  sync.Mutex
+	pc  *PeerConn
 }
 
 // NewClient wraps a connection to a Relay.
 func NewClient(doc *egwalker.Doc, conn io.ReadWriter) *Client {
-	return &Client{doc: doc, bw: bufio.NewWriter(conn), br: bufio.NewReader(conn)}
+	return &Client{doc: doc, pc: NewPeerConn(conn)}
+}
+
+// NewClientForDoc wraps a connection to a multi-document host
+// (store.Server): it first sends the doc-ID hello naming which hosted
+// document to join, then behaves exactly like a Relay client.
+func NewClientForDoc(doc *egwalker.Doc, conn io.ReadWriter, docID string) (*Client, error) {
+	c := &Client{doc: doc, pc: NewPeerConn(conn)}
+	if err := c.pc.SendDocHello(docID); err != nil {
+		return nil, err
+	}
+	return c, nil
 }
 
 // Push uploads local events (e.g. the result of Doc.EventsSince after
 // local edits).
 func (c *Client) Push(events []egwalker.Event) error {
-	batch, err := Marshal(events)
-	if err != nil {
-		return err
-	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if err := writeFrame(c.bw, msgEvents, batch); err != nil {
-		return err
-	}
-	return c.bw.Flush()
+	return c.pc.SendEvents(events)
 }
 
 // Receive blocks for the next inbound batch and applies it, returning
-// the patches applied to the local document. io.EOF signals an orderly
-// close.
+// the patches applied to the local document. io.EOF signals a close
+// (orderly or not).
 func (c *Client) Receive() ([]egwalker.Patch, error) {
-	typ, payload, err := readFrame(c.br)
+	events, _, done, err := c.pc.Recv()
 	if err != nil {
 		return nil, err
 	}
-	if typ != msgEvents {
-		return nil, fmt.Errorf("netsync: client: unexpected frame type %#x", typ)
-	}
-	events, err := Unmarshal(payload)
-	if err != nil {
-		return nil, err
+	if done {
+		return nil, io.EOF
 	}
 	return c.doc.Apply(events)
 }
 
 // Close sends an orderly DONE frame.
 func (c *Client) Close() error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if err := writeFrame(c.bw, msgDone, nil); err != nil {
-		return err
-	}
-	return c.bw.Flush()
+	return c.pc.SendDone()
 }

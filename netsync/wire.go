@@ -7,6 +7,9 @@
 // references to parent events outside the subset are encoded as
 // (agent, seq) event IDs; parents inside the subset compress to
 // relative indexes, and runs of events by one agent share one ID entry.
+// The batch codec itself lives in the root package (MarshalEvents /
+// UnmarshalEvents) so the durable store's write-ahead log and the
+// network share one encoding; Marshal/Unmarshal here are aliases.
 //
 // Two modes are provided:
 //
@@ -14,31 +17,42 @@
 //     the events the other is missing, then confirm convergence.
 //   - Relay: a hub that fans events out to connected peers for live
 //     collaboration (examples/tcp-pair shows both).
+//
+// A connection may optionally begin with a doc-ID hello frame
+// (WriteDocHello/ReadDocHello) so that one listener can multiplex many
+// documents: the client names the document it wants, the server routes
+// the rest of the stream to that document's relay (see store.Server).
 package netsync
 
 import (
 	"encoding/binary"
 	"fmt"
 	"io"
-	"math"
 
 	"egwalker"
 )
 
 // Message types.
 const (
-	msgHello  = 0x01 // payload: version (list of event IDs)
-	msgEvents = 0x02 // payload: encoded event subset
-	msgDone   = 0x03 // payload: empty
+	msgHello    = 0x01 // payload: version (list of event IDs)
+	msgEvents   = 0x02 // payload: encoded event subset
+	msgDone     = 0x03 // payload: empty
+	msgDocHello = 0x04 // payload: uvarint-length-prefixed document ID
 )
 
-// maxMessage bounds a single frame (defense against corrupt peers).
-const maxMessage = 64 << 20
+// maxFrame bounds a single frame's payload. The cap is checked before
+// any allocation, so a corrupt or hostile peer advertising a huge
+// length prefix cannot trigger an unbounded allocation. Event batches
+// larger than this are split (see writeEventsChunked).
+const maxFrame = 16 << 20
+
+// maxDocID bounds the document ID in a doc-hello frame.
+const maxDocID = 4096
 
 // writeFrame writes a length-prefixed, typed frame.
 func writeFrame(w io.Writer, typ byte, payload []byte) error {
 	var hdr [5]byte
-	if len(payload) > maxMessage {
+	if len(payload) > maxFrame {
 		return fmt.Errorf("netsync: frame too large (%d bytes)", len(payload))
 	}
 	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)))
@@ -50,21 +64,119 @@ func writeFrame(w io.Writer, typ byte, payload []byte) error {
 	return err
 }
 
-// readFrame reads one frame.
+// readFrame reads one frame, validating the advertised length before
+// allocating.
 func readFrame(r io.Reader) (byte, []byte, error) {
 	var hdr [5]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return 0, nil, err
 	}
 	n := binary.BigEndian.Uint32(hdr[:4])
-	if n > maxMessage {
-		return 0, nil, fmt.Errorf("netsync: oversized frame (%d bytes)", n)
+	if n > maxFrame {
+		return 0, nil, fmt.Errorf("netsync: oversized frame (%d bytes, cap %d)", n, maxFrame)
 	}
 	payload := make([]byte, n)
 	if _, err := io.ReadFull(r, payload); err != nil {
 		return 0, nil, err
 	}
 	return hdr[4], payload, nil
+}
+
+// writeEventsChunked writes a batch as one or more msgEvents frames,
+// splitting so no frame exceeds the cap. Receivers apply frames
+// independently; within one batch later chunks may reference earlier
+// chunks' events as external parents, which Apply resolves (they are
+// already admitted by the time the later chunk arrives).
+func writeEventsChunked(w io.Writer, events []egwalker.Event) error {
+	if len(events) == 0 {
+		// Always emit at least one frame: receivers treat the first
+		// events frame as the snapshot/anti-entropy payload even when
+		// there is nothing to send.
+		batch, err := Marshal(nil)
+		if err != nil {
+			return err
+		}
+		return writeFrame(w, msgEvents, batch)
+	}
+	batches, err := MarshalChunks(events)
+	if err != nil {
+		return err
+	}
+	for _, batch := range batches {
+		if err := writeFrame(w, msgEvents, batch); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MarshalChunks encodes a batch as one or more frame-sized payloads:
+// split by event count first, then — for pathological event sizes
+// (maximal agent names, very wide frontiers) — by halving until each
+// payload fits under the frame cap. Multi-document hosts use it to
+// build fan-out payloads that any peer connection can carry.
+func MarshalChunks(events []egwalker.Event) ([][]byte, error) {
+	var out [][]byte
+	var emit func(evs []egwalker.Event) error
+	emit = func(evs []egwalker.Event) error {
+		batch, err := Marshal(evs)
+		if err != nil {
+			return err
+		}
+		if len(batch) > maxFrame && len(evs) > 1 {
+			if err := emit(evs[:len(evs)/2]); err != nil {
+				return err
+			}
+			return emit(evs[len(evs)/2:])
+		}
+		out = append(out, batch)
+		return nil
+	}
+	for _, chunk := range egwalker.ChunkEvents(events) {
+		if err := emit(chunk); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// WriteDocHello sends the frame that names which document the rest of
+// the connection is about. A client talking to a multi-document host
+// (store.Server) sends it once, immediately after connecting, before
+// any other frame.
+func WriteDocHello(w io.Writer, docID string) error {
+	if len(docID) == 0 || len(docID) > maxDocID {
+		return fmt.Errorf("netsync: bad doc ID length %d", len(docID))
+	}
+	var payload []byte
+	payload = putUvarint(payload, uint64(len(docID)))
+	payload = append(payload, docID...)
+	return writeFrame(w, msgDocHello, payload)
+}
+
+// ReadDocHello reads the doc-ID hello frame a multiplexing listener
+// expects as the first frame of every connection.
+func ReadDocHello(r io.Reader) (string, error) {
+	typ, payload, err := readFrame(r)
+	if err != nil {
+		return "", err
+	}
+	if typ != msgDocHello {
+		return "", fmt.Errorf("netsync: expected doc hello, got frame type %#x", typ)
+	}
+	br := &byteReader{buf: payload}
+	n, err := br.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n == 0 || n > maxDocID {
+		return "", fmt.Errorf("netsync: bad doc ID length %d", n)
+	}
+	b, err := br.bytes(int(n))
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
 }
 
 // --- varint helpers -------------------------------------------------------
@@ -106,186 +218,15 @@ func (r *byteReader) bytes(n int) ([]byte, error) {
 
 // Marshal encodes a batch of events for the network. The batch must be
 // in causal order (parents precede children within the batch, as
-// Doc.Events / Doc.EventsSince produce). Parents pointing at events in
-// the batch are encoded as batch indexes; external parents as
-// (agent, seq) IDs.
+// Doc.Events / Doc.EventsSince produce). It is egwalker.MarshalEvents;
+// the alias remains for compatibility and symmetry with Unmarshal.
 func Marshal(events []egwalker.Event) ([]byte, error) {
-	var buf []byte
-	// Agent name table.
-	agentIdx := map[string]int{}
-	var agents []string
-	intern := func(a string) int {
-		if i, ok := agentIdx[a]; ok {
-			return i
-		}
-		agentIdx[a] = len(agents)
-		agents = append(agents, a)
-		return len(agents) - 1
-	}
-	for _, ev := range events {
-		intern(ev.ID.Agent)
-		for _, p := range ev.Parents {
-			intern(p.Agent)
-		}
-	}
-	buf = putUvarint(buf, uint64(len(agents)))
-	for _, a := range agents {
-		buf = putUvarint(buf, uint64(len(a)))
-		buf = append(buf, a...)
-	}
-	// Index of IDs within the batch for relative parent references.
-	inBatch := make(map[egwalker.EventID]int, len(events))
-	buf = putUvarint(buf, uint64(len(events)))
-	for i, ev := range events {
-		buf = putUvarint(buf, uint64(agentIdx[ev.ID.Agent]))
-		buf = putUvarint(buf, uint64(ev.ID.Seq))
-		buf = putUvarint(buf, uint64(len(ev.Parents)))
-		for _, p := range ev.Parents {
-			if j, ok := inBatch[p]; ok {
-				// Relative reference: distance back within the batch,
-				// tagged with a 0 byte.
-				buf = putUvarint(buf, 0)
-				buf = putUvarint(buf, uint64(i-j))
-			} else {
-				buf = putUvarint(buf, 1)
-				buf = putUvarint(buf, uint64(agentIdx[p.Agent]))
-				buf = putUvarint(buf, uint64(p.Seq))
-			}
-		}
-		if ev.Insert {
-			if ev.Content > math.MaxInt32 || ev.Content < 0 {
-				return nil, fmt.Errorf("netsync: invalid rune %d in event %v", ev.Content, ev.ID)
-			}
-			buf = putUvarint(buf, 0)
-			buf = putUvarint(buf, uint64(ev.Pos))
-			buf = putUvarint(buf, uint64(ev.Content))
-		} else {
-			buf = putUvarint(buf, 1)
-			buf = putUvarint(buf, uint64(ev.Pos))
-		}
-		inBatch[ev.ID] = i
-	}
-	return buf, nil
+	return egwalker.MarshalEvents(events)
 }
 
 // Unmarshal decodes a batch encoded by Marshal.
 func Unmarshal(data []byte) ([]egwalker.Event, error) {
-	r := &byteReader{buf: data}
-	nAgents, err := r.uvarint()
-	if err != nil {
-		return nil, err
-	}
-	if nAgents > uint64(len(data)) {
-		return nil, fmt.Errorf("netsync: agent table larger than payload")
-	}
-	agents := make([]string, nAgents)
-	for i := range agents {
-		ln, err := r.uvarint()
-		if err != nil {
-			return nil, err
-		}
-		b, err := r.bytes(int(ln))
-		if err != nil {
-			return nil, err
-		}
-		agents[i] = string(b)
-	}
-	agentAt := func(i uint64) (string, error) {
-		if i >= uint64(len(agents)) {
-			return "", fmt.Errorf("netsync: agent index %d out of range", i)
-		}
-		return agents[i], nil
-	}
-	n, err := r.uvarint()
-	if err != nil {
-		return nil, err
-	}
-	if n > uint64(len(data)) {
-		return nil, fmt.Errorf("netsync: event count larger than payload")
-	}
-	events := make([]egwalker.Event, 0, n)
-	for i := uint64(0); i < n; i++ {
-		var ev egwalker.Event
-		ai, err := r.uvarint()
-		if err != nil {
-			return nil, err
-		}
-		ev.ID.Agent, err = agentAt(ai)
-		if err != nil {
-			return nil, err
-		}
-		seq, err := r.uvarint()
-		if err != nil {
-			return nil, err
-		}
-		ev.ID.Seq = int(seq)
-		nPar, err := r.uvarint()
-		if err != nil {
-			return nil, err
-		}
-		if nPar > 16 {
-			return nil, fmt.Errorf("netsync: event %v has %d parents", ev.ID, nPar)
-		}
-		for p := uint64(0); p < nPar; p++ {
-			tag, err := r.uvarint()
-			if err != nil {
-				return nil, err
-			}
-			switch tag {
-			case 0:
-				back, err := r.uvarint()
-				if err != nil {
-					return nil, err
-				}
-				if back == 0 || back > i {
-					return nil, fmt.Errorf("netsync: bad relative parent in event %v", ev.ID)
-				}
-				ev.Parents = append(ev.Parents, events[i-back].ID)
-			case 1:
-				pai, err := r.uvarint()
-				if err != nil {
-					return nil, err
-				}
-				agent, err := agentAt(pai)
-				if err != nil {
-					return nil, err
-				}
-				pseq, err := r.uvarint()
-				if err != nil {
-					return nil, err
-				}
-				ev.Parents = append(ev.Parents, egwalker.EventID{Agent: agent, Seq: int(pseq)})
-			default:
-				return nil, fmt.Errorf("netsync: bad parent tag %d", tag)
-			}
-		}
-		kind, err := r.uvarint()
-		if err != nil {
-			return nil, err
-		}
-		pos, err := r.uvarint()
-		if err != nil {
-			return nil, err
-		}
-		ev.Pos = int(pos)
-		switch kind {
-		case 0:
-			ev.Insert = true
-			c, err := r.uvarint()
-			if err != nil {
-				return nil, err
-			}
-			if c > math.MaxInt32 {
-				return nil, fmt.Errorf("netsync: invalid rune in event %v", ev.ID)
-			}
-			ev.Content = rune(c)
-		case 1:
-		default:
-			return nil, fmt.Errorf("netsync: bad op kind %d", kind)
-		}
-		events = append(events, ev)
-	}
-	return events, nil
+	return egwalker.UnmarshalEvents(data)
 }
 
 // marshalVersion encodes a Version for HELLO frames.

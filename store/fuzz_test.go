@@ -1,0 +1,111 @@
+package store
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"egwalker"
+)
+
+// validSegment builds a well-formed segment from a few edits — the
+// fuzz baseline the mutator works from.
+func validSegment(tb testing.TB) []byte {
+	var buf bytes.Buffer
+	buf.Write(segMagic[:])
+	buf.WriteByte(segVersion)
+	d := egwalker.NewDoc("seed")
+	last := egwalker.Version{}
+	steps := []func() error{
+		func() error { return d.Insert(0, "hello fuzz") },
+		func() error { return d.Delete(2, 3) },
+		func() error { return d.Insert(d.Len(), " — tail✓") },
+	}
+	for _, step := range steps {
+		if err := step(); err != nil {
+			tb.Fatal(err)
+		}
+		evs, err := d.EventsSince(last)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		if err := egwalker.WriteDelta(&buf, evs); err != nil {
+			tb.Fatal(err)
+		}
+		last = d.Version()
+	}
+	return buf.Bytes()
+}
+
+// FuzzSegmentReplay: replaySegment must never panic on arbitrary
+// bytes, must accept what it reports as valid (applying the recovered
+// batches to a fresh doc), and truncating a segment at its reported
+// validLen must replay to the same state (the torn-tail repair is a
+// fixed point).
+func FuzzSegmentReplay(f *testing.F) {
+	good := validSegment(f)
+	f.Add(good)
+	f.Add(good[:len(good)-3])                    // torn tail
+	f.Add([]byte{})                              // empty file
+	f.Add([]byte{'E', 'G', 'W', 'S', segVersion}) // header only
+	f.Add([]byte("not a segment at all"))
+
+	replayTo := func(t *testing.T, path string) (string, int64, bool) {
+		res, err := replaySegment(path)
+		if err != nil {
+			return "", 0, false
+		}
+		doc := egwalker.NewDoc("fuzz")
+		for _, evs := range res.batches {
+			if _, err := doc.Apply(evs); err != nil {
+				// Checksummed but structurally hostile events (e.g.
+				// positions out of range) are rejected by Apply; that is
+				// the correct outcome, not a replay.
+				return "", 0, false
+			}
+		}
+		return doc.Text(), res.validLen, true
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		path := filepath.Join(dir, "wal-00000001.seg")
+		if err := os.WriteFile(path, data, 0o666); err != nil {
+			t.Skip()
+		}
+		text, validLen, ok := replayTo(t, path)
+		if !ok {
+			return
+		}
+		if validLen > int64(len(data)) {
+			t.Fatalf("validLen %d > file size %d", validLen, len(data))
+		}
+		if validLen < segHeaderLen {
+			// Segment torn inside its header: recovery recreates it
+			// rather than truncating; nothing further to check here.
+			return
+		}
+		// Repair fixed point: truncating to validLen must replay to the
+		// identical state with no remaining tail error.
+		if err := os.Truncate(path, validLen); err != nil {
+			t.Fatal(err)
+		}
+		res2, err := replaySegment(path)
+		if err != nil {
+			t.Fatalf("replay after truncation to validLen failed: %v", err)
+		}
+		if res2.tail != nil {
+			t.Fatalf("tail error survived truncation to validLen: %v", res2.tail)
+		}
+		doc := egwalker.NewDoc("fuzz")
+		for _, evs := range res2.batches {
+			if _, err := doc.Apply(evs); err != nil {
+				t.Fatalf("truncated replay rejected events the full replay accepted: %v", err)
+			}
+		}
+		if doc.Text() != text {
+			t.Fatalf("truncated replay text %q != original %q", doc.Text(), text)
+		}
+	})
+}

@@ -1,0 +1,11 @@
+//go:build !unix
+
+package store
+
+import "os"
+
+// Non-unix platforms get no inter-process lock; single-process use
+// (one Server per store root) remains safe via in-process locking.
+func lockDir(dir string) (*os.File, error) { return nil, nil }
+
+func unlockDir(f *os.File) {}

@@ -1,0 +1,181 @@
+// Package store persists egwalker documents durably and hosts many of
+// them at once: the "Smaller" side of the paper made operational. Each
+// document gets a directory holding
+//
+//   - an append-only, segmented write-ahead log: wal-<seq>.seg files of
+//     CRC-protected delta blocks (egwalker.WriteDelta — the same §3.8
+//     batch encoding used on the network), rotated at a size threshold;
+//   - snapshots: snap-<seq>.egw files written with Doc.Save
+//     (CacheFinalDoc), where <seq> is the first WAL segment NOT covered
+//     by the snapshot;
+//   - compaction: once a snapshot covers them, sealed segments and
+//     older snapshots are deleted.
+//
+// Crash recovery loads the newest loadable snapshot and replays every
+// surviving WAL segment at or after it. A torn tail — a partial frame
+// left by a crash mid-append — is detected (checksum mismatch or a
+// block cut short, surfacing io.ErrUnexpectedEOF) and truncated away;
+// replay is idempotent because Doc.Apply drops duplicate events, so a
+// snapshot taken mid-segment simply re-skips what it already contains.
+//
+// DocStore is one durable document; Server (server.go) hosts many
+// behind string document IDs with an LRU of materialized docs, batched
+// fsyncs, and background compaction.
+package store
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"egwalker"
+)
+
+// Segment file layout: a 5-byte header (magic + format version), then
+// zero or more delta blocks appended over time.
+var segMagic = [4]byte{'E', 'G', 'W', 'S'}
+
+const (
+	segVersion   = 1
+	segHeaderLen = 5
+)
+
+// errBadSegment reports a file that is not a WAL segment at all (bad
+// magic or unknown version) — unlike a torn tail, this is never safe to
+// repair by truncation.
+var errBadSegment = errors.New("store: not a WAL segment")
+
+// writeSegmentHeader starts a fresh segment file.
+func writeSegmentHeader(f *os.File) error {
+	hdr := append(append([]byte(nil), segMagic[:]...), segVersion)
+	_, err := f.Write(hdr)
+	return err
+}
+
+// replayResult is what scanning one segment yields.
+type replayResult struct {
+	batches [][]egwalker.Event
+	// validLen is the byte offset after the last cleanly parsed block;
+	// everything beyond it failed to parse.
+	validLen int64
+	// tail is non-nil when parsing stopped before the end of the file:
+	// the reason the remaining bytes are unusable. A torn tail (crash
+	// mid-append) surfaces io.ErrUnexpectedEOF or
+	// egwalker.ErrCorruptDelta here.
+	tail error
+}
+
+// replaySegment scans a segment file's delta blocks. It returns an
+// error only for damage that truncation cannot repair (unreadable file,
+// bad magic); per-block damage is reported via replayResult.tail so the
+// caller can decide whether truncating is appropriate.
+func replaySegment(path string) (*replayResult, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < segHeaderLen {
+		// Crashing between file creation and header write leaves a short
+		// file; treat as an empty segment with a torn tail.
+		return &replayResult{validLen: 0, tail: fmt.Errorf("store: segment header cut short: %w", io.ErrUnexpectedEOF)}, nil
+	}
+	if string(data[:4]) != string(segMagic[:]) {
+		return nil, fmt.Errorf("%w: bad magic %q in %s", errBadSegment, data[:4], path)
+	}
+	if data[4] != segVersion {
+		return nil, fmt.Errorf("%w: unknown version %d in %s", errBadSegment, data[4], path)
+	}
+	res := &replayResult{validLen: segHeaderLen}
+	rd := &countingReader{data: data, off: segHeaderLen}
+	for {
+		evs, err := egwalker.ReadDelta(rd)
+		if err == io.EOF {
+			return res, nil
+		}
+		if err != nil {
+			res.tail = err
+			return res, nil
+		}
+		res.batches = append(res.batches, evs)
+		res.validLen = int64(rd.off)
+	}
+}
+
+// countingReader tracks the offset so replay knows where the last good
+// block ended.
+type countingReader struct {
+	data []byte
+	off  int
+}
+
+func (r *countingReader) Read(p []byte) (int, error) {
+	if r.off >= len(r.data) {
+		return 0, io.EOF
+	}
+	n := copy(p, r.data[r.off:])
+	r.off += n
+	return n, nil
+}
+
+func (r *countingReader) ReadByte() (byte, error) {
+	if r.off >= len(r.data) {
+		return 0, io.EOF
+	}
+	b := r.data[r.off]
+	r.off++
+	return b, nil
+}
+
+// tornTail reports whether a replay stopped for damage of the kind a
+// crash mid-append (or tail bit rot) produces — a block cut short, a
+// checksum mismatch, a mangled length prefix — which is safe to repair
+// by truncating the *last* segment to validLen. A structurally
+// impossible but checksummed block is not classified torn: it means a
+// writer bug, and recovery refuses to silently discard it.
+func tornTail(err error) bool {
+	return errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, egwalker.ErrCorruptDelta)
+}
+
+// --- document ID <-> directory names --------------------------------------
+
+// escapeDocID maps an arbitrary document ID to a safe directory name:
+// alphanumerics, '.', '_' and '-' pass through (except leading dots);
+// everything else becomes %XX. The mapping is invertible so Server can
+// enumerate hosted documents from the filesystem.
+func escapeDocID(id string) string {
+	var b strings.Builder
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '_', c == '-', c == '.' && i > 0:
+			b.WriteByte(c)
+		default:
+			fmt.Fprintf(&b, "%%%02X", c)
+		}
+	}
+	return b.String()
+}
+
+func unescapeDocID(name string) (string, error) {
+	var b strings.Builder
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		if c != '%' {
+			b.WriteByte(c)
+			continue
+		}
+		if i+2 >= len(name) {
+			return "", fmt.Errorf("store: truncated escape in %q", name)
+		}
+		var v int
+		if _, err := fmt.Sscanf(name[i+1:i+3], "%02X", &v); err != nil {
+			return "", fmt.Errorf("store: bad escape in %q: %w", name, err)
+		}
+		b.WriteByte(byte(v))
+		i += 2
+	}
+	return b.String(), nil
+}

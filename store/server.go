@@ -1,0 +1,547 @@
+package store
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"egwalker"
+	"egwalker/netsync"
+)
+
+// ServerOptions tune a multi-document host.
+type ServerOptions struct {
+	// MaxOpenDocs caps how many documents stay materialized in memory
+	// (default 64). Beyond it, the least-recently-used idle document is
+	// synced, closed, and evicted; reopening replays snapshot + WAL
+	// tail on demand. Documents with live connections are never
+	// evicted.
+	MaxOpenDocs int
+	// FlushInterval is the group-commit cadence (default 50ms): appends
+	// return after the OS write, and a background flusher fsyncs every
+	// open document's WAL on this interval — one fsync absorbs any
+	// number of appends. Negative means fsync on every commit
+	// (strongest durability, lowest throughput).
+	FlushInterval time.Duration
+	// SnapshotEvery triggers background compaction once a document has
+	// journaled that many events since its last snapshot (default
+	// 8192; 0 disables automatic compaction).
+	SnapshotEvery int
+	// Agent names the server's replicas (default "server"). Servers
+	// never edit, so the name only matters for debugging.
+	Agent string
+	// DocOptions are passed to each document's DocStore.
+	DocOptions Options
+	// Logf, when set, receives operational warnings the background
+	// loops cannot return to a caller (fsync failures, compaction
+	// failures). Point it at log.Printf in a server binary.
+	Logf func(format string, args ...any)
+}
+
+func (o ServerOptions) withDefaults() ServerOptions {
+	if o.MaxOpenDocs <= 0 {
+		o.MaxOpenDocs = 64
+	}
+	if o.FlushInterval == 0 {
+		o.FlushInterval = 50 * time.Millisecond
+	}
+	if o.SnapshotEvery == 0 {
+		o.SnapshotEvery = 8192
+	}
+	if o.Agent == "" {
+		o.Agent = "server"
+	}
+	if o.FlushInterval < 0 {
+		o.DocOptions.SyncEveryCommit = true
+	}
+	return o
+}
+
+// entry is one materialized document plus its connected peers. ds is
+// nil until ready is closed (the document is still being materialized
+// by the goroutine that created the entry); openErr records a failed
+// materialization.
+type entry struct {
+	id      string
+	ready   chan struct{}
+	openErr error
+	ds      *DocStore
+	// mu serializes apply+fanout against snapshot+subscribe, so a
+	// joining peer misses no events between its snapshot and its first
+	// forwarded batch.
+	mu       sync.Mutex
+	peers    map[int]chan []byte
+	nextPeer int
+
+	refs       int
+	elem       *list.Element
+	compacting bool
+}
+
+// Server hosts many durable documents behind string doc IDs: the
+// paper's relay server grown a database. One Server owns one store
+// root directory; connections multiplex by document via the netsync
+// doc-ID hello frame (ServeConn), and an LRU keeps only hot documents
+// materialized.
+type Server struct {
+	mu   sync.Mutex
+	root string
+	opts ServerOptions
+	open map[string]*entry
+	lru  *list.List // front = most recently used; values are *entry
+
+	compactCh chan *entry
+	done      chan struct{}
+	wg        sync.WaitGroup
+	closed    bool
+}
+
+// NewServer opens (creating if needed) a store root directory and
+// starts the background flusher and compactor.
+func NewServer(root string, opts ServerOptions) (*Server, error) {
+	if err := os.MkdirAll(root, 0o777); err != nil {
+		return nil, err
+	}
+	s := &Server{
+		root:      root,
+		opts:      opts.withDefaults(),
+		open:      make(map[string]*entry),
+		lru:       list.New(),
+		compactCh: make(chan *entry, 64),
+		done:      make(chan struct{}),
+	}
+	s.wg.Add(2)
+	go s.flusher()
+	go s.compactor()
+	return s, nil
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.opts.Logf != nil {
+		s.opts.Logf(format, args...)
+	}
+}
+
+// acquire pins the document's entry, materializing it (snapshot + WAL
+// replay) if it is not open. The disk work happens outside the server
+// lock — a cold open of one large document must not stall appends to
+// every other document — with an opening latch so concurrent acquires
+// of the same document share one materialization. Callers must
+// release.
+func (s *Server) acquire(docID string) (*entry, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("store: server closed")
+	}
+	if e, ok := s.open[docID]; ok {
+		e.refs++
+		s.lru.MoveToFront(e.elem)
+		s.mu.Unlock()
+		<-e.ready
+		if e.openErr != nil {
+			s.release(e)
+			return nil, e.openErr
+		}
+		return e, nil
+	}
+	e := &entry{id: docID, ready: make(chan struct{}), peers: make(map[int]chan []byte), refs: 1}
+	e.elem = s.lru.PushFront(e)
+	s.open[docID] = e
+	s.mu.Unlock()
+
+	// A just-evicted store for this document may still be fsync-closing
+	// (eviction closes outside the server lock); its directory flock
+	// clears momentarily, so retry briefly rather than failing.
+	var ds *DocStore
+	var err error
+	for attempt := 0; ; attempt++ {
+		ds, err = Open(s.root, docID, s.opts.Agent, s.opts.DocOptions)
+		if err == nil || !errors.Is(err, ErrLocked) || attempt >= 100 {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	s.mu.Lock()
+	if err == nil && s.closed {
+		ds.Close()
+		ds, err = nil, fmt.Errorf("store: server closed")
+	}
+	if err != nil {
+		e.openErr = err
+		delete(s.open, docID)
+		s.lru.Remove(e.elem)
+		s.mu.Unlock()
+		close(e.ready)
+		return nil, err
+	}
+	e.ds = ds
+	victims := s.evictLocked()
+	s.mu.Unlock()
+	close(e.ready)
+	closeVictims(victims)
+	return e, nil
+}
+
+func (s *Server) release(e *entry) {
+	s.mu.Lock()
+	e.refs--
+	victims := s.evictLocked()
+	s.mu.Unlock()
+	closeVictims(victims)
+}
+
+// evictLocked unlinks least-recently-used idle documents until the LRU
+// cap is met and returns their stores; the caller closes them after
+// dropping s.mu (Close fsyncs, and a disk sync must not stall the
+// whole server). Pinned documents (live connections, in-flight work)
+// are skipped, so the map may transiently exceed the cap.
+func (s *Server) evictLocked() []*DocStore {
+	var victims []*DocStore
+	for s.lru.Len() > s.opts.MaxOpenDocs {
+		var victim *entry
+		for el := s.lru.Back(); el != nil; el = el.Prev() {
+			if e := el.Value.(*entry); e.refs == 0 && e.ds != nil {
+				victim = e
+				break
+			}
+		}
+		if victim == nil {
+			break
+		}
+		s.lru.Remove(victim.elem)
+		delete(s.open, victim.id)
+		victims = append(victims, victim.ds)
+	}
+	return victims
+}
+
+// closeVictims syncs and closes evicted stores; the documents remain
+// recoverable on disk.
+func closeVictims(victims []*DocStore) {
+	for _, ds := range victims {
+		ds.Close()
+	}
+}
+
+// OpenCount reports how many documents are currently materialized.
+func (s *Server) OpenCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.open)
+}
+
+// With runs fn against the (pinned) document, materializing it if
+// needed.
+func (s *Server) With(docID string, fn func(*DocStore) error) error {
+	e, err := s.acquire(docID)
+	if err != nil {
+		return err
+	}
+	defer s.release(e)
+	return fn(e.ds)
+}
+
+// Append merges events into the document, journals them, and fans them
+// out to any peers connected to it.
+func (s *Server) Append(docID string, events []egwalker.Event) error {
+	e, err := s.acquire(docID)
+	if err != nil {
+		return err
+	}
+	defer s.release(e)
+	return e.applyAndFanout(events, nil, -1)
+}
+
+// Text returns the document's current text, materializing it if
+// needed.
+func (s *Server) Text(docID string) (string, error) {
+	var text string
+	err := s.With(docID, func(ds *DocStore) error {
+		text = ds.Text()
+		return nil
+	})
+	return text, err
+}
+
+// DocIDs lists every document the store root holds, open or not.
+func (s *Server) DocIDs() ([]string, error) {
+	entries, err := os.ReadDir(s.root)
+	if err != nil {
+		return nil, err
+	}
+	var ids []string
+	for _, ent := range entries {
+		if !ent.IsDir() {
+			continue
+		}
+		id, err := unescapeDocID(ent.Name())
+		if err != nil {
+			continue
+		}
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids, nil
+}
+
+// applyAndFanout journals a batch and forwards the raw payload to
+// every peer except the sender. raw may be nil (API appends); it is
+// then re-marshalled in frame-sized chunks.
+func (e *entry) applyAndFanout(events []egwalker.Event, raw []byte, fromPeer int) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, err := e.ds.Apply(events); err != nil {
+		return err
+	}
+	var raws [][]byte
+	if raw != nil {
+		raws = [][]byte{raw}
+	} else {
+		var err error
+		raws, err = netsync.MarshalChunks(events)
+		if err != nil {
+			return err
+		}
+	}
+	for pid, ch := range e.peers {
+		if pid == fromPeer {
+			continue
+		}
+		for _, b := range raws {
+			select {
+			case ch <- b:
+			default:
+				// Slow peer: its outbox is full, so it would silently
+				// miss these events forever (the live protocol has no
+				// anti-entropy). Sever it instead — closing the outbox
+				// ends its writer, which severs the connection, and the
+				// client reconnects for a fresh snapshot.
+				delete(e.peers, pid)
+				close(ch)
+			}
+			if _, ok := e.peers[pid]; !ok {
+				break
+			}
+		}
+	}
+	return nil
+}
+
+// subscribe registers a peer and returns its ID, outbox, and a
+// consistent snapshot of the document's events: nothing applied after
+// the snapshot escapes the outbox.
+func (e *entry) subscribe() (int, chan []byte, []egwalker.Event) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	id := e.nextPeer
+	e.nextPeer++
+	outbox := make(chan []byte, 256)
+	e.peers[id] = outbox
+	snapshot := e.ds.Events()
+	return id, outbox, snapshot
+}
+
+// severConn force-closes a peer connection when the transport supports
+// it, unblocking any read pending on it.
+func severConn(conn io.ReadWriter) {
+	if c, ok := conn.(io.Closer); ok {
+		c.Close()
+	}
+}
+
+func (e *entry) unsubscribe(id int) {
+	e.mu.Lock()
+	ch := e.peers[id]
+	delete(e.peers, id)
+	e.mu.Unlock()
+	if ch != nil {
+		close(ch)
+	}
+}
+
+// ServeConn handles one client connection: it reads the doc-ID hello
+// frame naming which hosted document the peer wants, sends the full
+// current history, and thereafter journals and fans out every batch
+// the peer uploads — netsync.Relay semantics, multiplexed over every
+// document in the store and durable across restarts. Run it in its own
+// goroutine per connection; it returns when the peer disconnects.
+func (s *Server) ServeConn(conn io.ReadWriter) error {
+	docID, err := netsync.ReadDocHello(conn)
+	if err != nil {
+		return err
+	}
+	pc := netsync.NewPeerConn(conn)
+	e, err := s.acquire(docID)
+	if err != nil {
+		return err
+	}
+	defer s.release(e)
+
+	id, outbox, snapshot := e.subscribe()
+	defer e.unsubscribe(id)
+
+	if err := pc.SendEvents(snapshot); err != nil {
+		return err
+	}
+
+	writeErr := make(chan error, 1)
+	go func() {
+		for b := range outbox {
+			if err := pc.SendRaw(b); err != nil {
+				writeErr <- err
+				severConn(conn)
+				return
+			}
+		}
+		// Outbox closed: normal teardown, or the peer was dropped as
+		// too slow (applyAndFanout). Sever the connection so a Recv
+		// blocked on an idle diverged client unblocks and the client
+		// reconnects for a fresh snapshot.
+		writeErr <- nil
+		severConn(conn)
+	}()
+
+	for {
+		select {
+		case err := <-writeErr:
+			return err
+		default:
+		}
+		events, raw, done, err := pc.Recv()
+		if err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return err
+		}
+		if done {
+			return nil
+		}
+		if err := e.applyAndFanout(events, raw, id); err != nil {
+			return err
+		}
+	}
+}
+
+// flusher is the group-commit loop: one fsync per open document per
+// interval, amortizing durability across every append in the window.
+// It runs even when FlushInterval is negative (per-commit fsync mode,
+// where Sync below is a no-op) because it is also what feeds
+// compaction pressure to the background compactor.
+func (s *Server) flusher() {
+	defer s.wg.Done()
+	interval := s.opts.FlushInterval
+	if interval < 0 {
+		interval = time.Second
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.done:
+			return
+		case <-t.C:
+			s.flushOnce()
+		}
+	}
+}
+
+func (s *Server) flushOnce() {
+	s.mu.Lock()
+	var pinned []*entry
+	for _, e := range s.open {
+		if e.ds == nil {
+			continue // still materializing
+		}
+		e.refs++
+		pinned = append(pinned, e)
+	}
+	s.mu.Unlock()
+	for _, e := range pinned {
+		// A failed fsync turns the DocStore fail-stop (sticky write
+		// error); surface it here too so the operator learns before the
+		// next append bounces.
+		if err := e.ds.Sync(); err != nil {
+			s.logf("store: fsync %q: %v", e.id, err)
+		}
+		if s.opts.SnapshotEvery > 0 && e.ds.UnsnapshottedEvents() >= s.opts.SnapshotEvery {
+			s.scheduleCompact(e) // takes its own pin
+		}
+		s.release(e)
+	}
+}
+
+// scheduleCompact hands a document to the background compactor, at
+// most one outstanding request per document.
+func (s *Server) scheduleCompact(e *entry) {
+	s.mu.Lock()
+	if s.closed || e.compacting {
+		s.mu.Unlock()
+		return
+	}
+	e.compacting = true
+	e.refs++
+	s.mu.Unlock()
+	select {
+	case s.compactCh <- e:
+	default: // compactor saturated; retry next flush
+		s.mu.Lock()
+		e.compacting = false
+		e.refs--
+		s.mu.Unlock()
+	}
+}
+
+func (s *Server) compactor() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.done:
+			return
+		case e := <-s.compactCh:
+			if err := e.ds.Compact(); err != nil {
+				s.logf("store: compacting %q: %v", e.id, err)
+			}
+			s.mu.Lock()
+			e.compacting = false
+			s.mu.Unlock()
+			s.release(e)
+		}
+	}
+}
+
+// Close stops the background loops and syncs and closes every open
+// document.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.done)
+	s.wg.Wait()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var err error
+	for _, e := range s.open {
+		if e.ds == nil {
+			continue // in-flight opener observes s.closed and cleans up
+		}
+		if cerr := e.ds.Close(); err == nil {
+			err = cerr
+		}
+	}
+	s.open = map[string]*entry{}
+	s.lru.Init()
+	return err
+}

@@ -1,0 +1,629 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"egwalker"
+)
+
+// ErrLocked reports a document directory already open by another
+// DocStore (usually another process; also a concurrent evicted store
+// whose close has not finished).
+var ErrLocked = errors.New("store: document directory is locked by another store")
+
+// Options tune one durable document.
+type Options struct {
+	// SegmentMaxBytes is the WAL rotation threshold (default 1 MiB): a
+	// commit that pushes the active segment past it seals the segment
+	// and starts a new one.
+	SegmentMaxBytes int64
+	// SnapshotEvery, when > 0, takes a snapshot + compaction
+	// synchronously after that many events have been committed since
+	// the last snapshot. Leave 0 when a Server's background compactor
+	// manages snapshots instead.
+	SnapshotEvery int
+	// SyncEveryCommit fsyncs after every commit. Durable but slow;
+	// leave false to let the caller batch fsyncs via Sync (what
+	// Server's group-commit flusher does).
+	SyncEveryCommit bool
+	// Save controls snapshot encoding. CacheFinalDoc is forced on so
+	// cold opens need no replay of the snapshot itself.
+	Save egwalker.SaveOptions
+}
+
+func (o Options) withDefaults() Options {
+	if o.SegmentMaxBytes <= 0 {
+		o.SegmentMaxBytes = 1 << 20
+	}
+	o.Save.CacheFinalDoc = true
+	return o
+}
+
+// RecoveryInfo reports what Open had to do to bring a document back.
+type RecoveryInfo struct {
+	// SnapshotSeq is the segment seq of the snapshot loaded (0: none,
+	// recovery started from an empty document).
+	SnapshotSeq uint64
+	// SkippedSnapshots counts newer snapshots that were unreadable or
+	// corrupt and were passed over for an older one.
+	SkippedSnapshots int
+	// SegmentsReplayed and EventsReplayed measure the WAL tail replay.
+	SegmentsReplayed int
+	EventsReplayed   int
+	// TruncatedBytes is how much torn tail was cut from the final
+	// segment (0 for a clean shutdown).
+	TruncatedBytes int64
+}
+
+// DocStore is one durable document: an egwalker.Doc whose every change
+// is appended to a segmented write-ahead log, checkpointed by
+// snapshots. All methods are safe for concurrent use.
+type DocStore struct {
+	mu    sync.Mutex
+	root  string // store root; this doc lives in root/<escaped docID>/
+	dir   string
+	docID string
+	agent string
+	opts  Options
+
+	doc *egwalker.Doc
+
+	lock       *os.File // inter-process flock on the doc directory
+	active     *os.File
+	activeSeq  uint64
+	activeSize int64
+	syncedSize int64 // bytes of the active segment known fsynced
+
+	snapSeq         uint64 // newest snapshot covers segments < snapSeq
+	persisted       egwalker.Version
+	eventsSinceSnap int
+	sealedSinceSnap int // sealed segments not yet covered by a snapshot
+
+	recovery RecoveryInfo
+	werr     error // sticky write error; the store refuses further writes
+	closed   bool
+}
+
+func segName(seq uint64) string  { return fmt.Sprintf("wal-%08d.seg", seq) }
+func snapName(seq uint64) string { return fmt.Sprintf("snap-%08d.egw", seq) }
+
+func parseSeq(name, prefix, suffix string) (uint64, bool) {
+	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+		return 0, false
+	}
+	mid := name[len(prefix) : len(name)-len(suffix)]
+	seq, err := strconv.ParseUint(mid, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return seq, true
+}
+
+// Open materializes (or creates) the document docID under the store
+// root, recovering snapshot + WAL tail from disk. The agent names this
+// replica for future local edits, exactly as in egwalker.Load.
+func Open(root, docID, agent string, opts Options) (*DocStore, error) {
+	opts = opts.withDefaults()
+	dir := filepath.Join(root, escapeDocID(docID))
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		return nil, err
+	}
+	lock, err := lockDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	opened := false
+	defer func() {
+		if !opened {
+			unlockDir(lock)
+		}
+	}()
+	s := &DocStore{root: root, dir: dir, docID: docID, agent: agent, opts: opts, lock: lock}
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var snaps, segs []uint64
+	for _, e := range entries {
+		if seq, ok := parseSeq(e.Name(), "snap-", ".egw"); ok {
+			snaps = append(snaps, seq)
+		}
+		if seq, ok := parseSeq(e.Name(), "wal-", ".seg"); ok {
+			segs = append(segs, seq)
+		}
+	}
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i] < snaps[j] })
+	sort.Slice(segs, func(i, j int) bool { return segs[i] < segs[j] })
+
+	// Newest loadable snapshot wins; unreadable ones (torn by a crash
+	// mid-rename, or bit-rotted) are skipped in favour of older ones —
+	// the WAL segments they covered replay the difference.
+	for i := len(snaps) - 1; i >= 0; i-- {
+		f, err := os.Open(filepath.Join(dir, snapName(snaps[i])))
+		if err != nil {
+			s.recovery.SkippedSnapshots++
+			continue
+		}
+		doc, err := egwalker.Load(f, agent)
+		f.Close()
+		if err != nil {
+			s.recovery.SkippedSnapshots++
+			continue
+		}
+		s.doc = doc
+		s.snapSeq = snaps[i]
+		s.recovery.SnapshotSeq = snaps[i]
+		break
+	}
+	if s.doc == nil {
+		s.doc = egwalker.NewDoc(agent)
+	}
+
+	// Replay WAL segments the snapshot does not cover, oldest first.
+	lastRemoved := false
+	for i, seq := range segs {
+		if seq < s.snapSeq {
+			continue
+		}
+		path := filepath.Join(dir, segName(seq))
+		res, err := replaySegment(path)
+		if err != nil {
+			return nil, err
+		}
+		last := i == len(segs)-1
+		if res.tail != nil {
+			if !last || !tornTail(res.tail) {
+				return nil, fmt.Errorf("store: segment %s corrupt: %w", path, res.tail)
+			}
+			// Torn tail from a crash mid-append: cut it off. A segment
+			// torn inside its own header is recreated from scratch — a
+			// headerless file must never be appended to.
+			fi, err := os.Stat(path)
+			if err != nil {
+				return nil, err
+			}
+			s.recovery.TruncatedBytes = fi.Size() - res.validLen
+			if res.validLen < segHeaderLen {
+				if err := os.Remove(path); err != nil {
+					return nil, err
+				}
+				lastRemoved = true
+			} else if err := os.Truncate(path, res.validLen); err != nil {
+				return nil, err
+			}
+		}
+		for _, evs := range res.batches {
+			if _, err := s.doc.Apply(evs); err != nil {
+				return nil, fmt.Errorf("store: replaying %s: %w", path, err)
+			}
+			s.recovery.EventsReplayed += len(evs)
+		}
+		s.recovery.SegmentsReplayed++
+	}
+	if p := s.doc.PendingEvents(); p > 0 {
+		return nil, fmt.Errorf("store: recovery left %d events with missing parents (WAL gap: a segment the snapshot needed is gone)", p)
+	}
+
+	// Reopen (or create) the active segment.
+	switch {
+	case len(segs) > 0 && !lastRemoved:
+		s.activeSeq = segs[len(segs)-1]
+		f, err := os.OpenFile(filepath.Join(dir, segName(s.activeSeq)), os.O_RDWR, 0)
+		if err != nil {
+			return nil, err
+		}
+		size, err := f.Seek(0, io.SeekEnd)
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		s.active, s.activeSize = f, size
+	default:
+		s.activeSeq = s.snapSeq
+		if len(segs) > 0 {
+			s.activeSeq = segs[len(segs)-1]
+		}
+		if s.activeSeq == 0 {
+			s.activeSeq = 1
+		}
+		if err := s.createActive(); err != nil {
+			return nil, err
+		}
+	}
+	s.syncedSize = s.activeSize
+	s.persisted = s.doc.Version()
+	s.eventsSinceSnap = s.recovery.EventsReplayed
+	s.sealedSinceSnap = s.recovery.SegmentsReplayed - 1
+	if s.sealedSinceSnap < 0 {
+		s.sealedSinceSnap = 0
+	}
+	opened = true
+	return s, nil
+}
+
+// createActive makes wal-<activeSeq>.seg with a fresh header and
+// fsyncs it (plus the directory) so the segment survives a crash.
+func (s *DocStore) createActive() error {
+	f, err := os.OpenFile(filepath.Join(s.dir, segName(s.activeSeq)), os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o666)
+	if err != nil {
+		return err
+	}
+	if err := writeSegmentHeader(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	syncDir(s.dir)
+	s.active = f
+	s.activeSize = segHeaderLen
+	s.syncedSize = segHeaderLen
+	return nil
+}
+
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync() // best effort: not all filesystems support directory fsync
+		d.Close()
+	}
+}
+
+// DocID returns the hosted document's ID.
+func (s *DocStore) DocID() string { return s.docID }
+
+// Recovery reports what Open did (snapshot chosen, events replayed,
+// torn bytes truncated).
+func (s *DocStore) Recovery() RecoveryInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.recovery
+}
+
+// Doc exposes the underlying replica for reads (Events, EventsSince,
+// Fingerprint, TextAt...). Mutate only through DocStore methods, or the
+// changes will not be journaled.
+func (s *DocStore) Doc() *egwalker.Doc { return s.doc }
+
+// Text returns the current document text.
+func (s *DocStore) Text() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.doc.Text()
+}
+
+// Len returns the document length in runes.
+func (s *DocStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.doc.Len()
+}
+
+// Version returns the document's current version.
+func (s *DocStore) Version() egwalker.Version {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.doc.Version()
+}
+
+// NumEvents returns the number of events in the document's history.
+func (s *DocStore) NumEvents() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.doc.NumEvents()
+}
+
+// Events returns the full history in causal order (see Doc.Events).
+func (s *DocStore) Events() []egwalker.Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.doc.Events()
+}
+
+// EventsSince returns the events not within v (see Doc.EventsSince).
+func (s *DocStore) EventsSince(v egwalker.Version) ([]egwalker.Event, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.doc.EventsSince(v)
+}
+
+// UnsnapshottedEvents reports how many events have been journaled
+// since the last snapshot — the compaction-pressure signal Server's
+// flusher watches.
+func (s *DocStore) UnsnapshottedEvents() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.eventsSinceSnap
+}
+
+// Insert applies a local insert and journals it.
+func (s *DocStore) Insert(pos int, text string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.writable(); err != nil {
+		return err
+	}
+	if err := s.doc.Insert(pos, text); err != nil {
+		return err
+	}
+	return s.commitLocked()
+}
+
+// Delete applies a local delete and journals it.
+func (s *DocStore) Delete(pos, count int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.writable(); err != nil {
+		return err
+	}
+	if err := s.doc.Delete(pos, count); err != nil {
+		return err
+	}
+	return s.commitLocked()
+}
+
+// Apply merges remote events (as Doc.Apply) and journals whatever was
+// admitted. Events still waiting for missing parents are buffered in
+// memory only — a causal gap lost in a crash is recovered the same way
+// a message lost on the network is: by anti-entropy with peers.
+func (s *DocStore) Apply(events []egwalker.Event) ([]egwalker.Patch, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.writable(); err != nil {
+		return nil, err
+	}
+	patches, err := s.doc.Apply(events)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.commitLocked(); err != nil {
+		return nil, err
+	}
+	return patches, nil
+}
+
+func (s *DocStore) writable() error {
+	if s.closed {
+		return fmt.Errorf("store: %s is closed", s.docID)
+	}
+	return s.werr
+}
+
+// commitLocked journals everything the doc knows beyond the persisted
+// version as delta blocks on the active segment, then rotates and
+// snapshots per policy. Called with s.mu held after every mutation, so
+// the WAL is always a complete journal of the admitted history.
+func (s *DocStore) commitLocked() error {
+	evs, err := s.doc.EventsSince(s.persisted)
+	if err != nil {
+		return err
+	}
+	if len(evs) == 0 {
+		return nil
+	}
+	// Encode first: a batch the codec rejects writes no bytes and does
+	// not poison the store. DeltaBlocks splits by count and, for
+	// pathological event sizes, by bytes, so a legal batch always
+	// encodes.
+	blocks, err := egwalker.DeltaBlocks(evs)
+	if err != nil {
+		return fmt.Errorf("store: encoding WAL batch: %w", err)
+	}
+	for _, block := range blocks {
+		n, err := s.active.Write(block)
+		s.activeSize += int64(n)
+		if err != nil {
+			// A partial write leaves a torn tail exactly like a crash;
+			// refuse further writes so it stays at the tail.
+			s.werr = fmt.Errorf("store: WAL append failed (reopen to recover): %w", err)
+			return s.werr
+		}
+	}
+	s.persisted = s.doc.Version()
+	s.eventsSinceSnap += len(evs)
+	if s.opts.SyncEveryCommit {
+		if err := s.syncLocked(); err != nil {
+			return err
+		}
+	}
+	if s.activeSize >= s.opts.SegmentMaxBytes {
+		if err := s.rotateLocked(); err != nil {
+			return err
+		}
+	}
+	if s.opts.SnapshotEvery > 0 && s.eventsSinceSnap >= s.opts.SnapshotEvery {
+		return s.compactLocked()
+	}
+	return nil
+}
+
+// Sync fsyncs the active segment: everything committed so far becomes
+// crash-durable. Callers serving many appends batch their fsyncs by
+// calling Sync on a timer or per client round-trip (see Server).
+func (s *DocStore) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("store: %s is closed", s.docID)
+	}
+	return s.syncLocked()
+}
+
+func (s *DocStore) syncLocked() error {
+	if s.syncedSize == s.activeSize {
+		return nil
+	}
+	if err := s.active.Sync(); err != nil {
+		s.werr = err
+		return err
+	}
+	s.syncedSize = s.activeSize
+	return nil
+}
+
+// rotateLocked seals the active segment (fsync + close) and starts the
+// next one.
+func (s *DocStore) rotateLocked() error {
+	if err := s.syncLocked(); err != nil {
+		return err
+	}
+	if err := s.active.Close(); err != nil {
+		return err
+	}
+	s.activeSeq++
+	s.sealedSinceSnap++
+	return s.createActive()
+}
+
+// Snapshot checkpoints the document: the active segment is sealed, and
+// a full Doc.Save (with the final text cached) is written atomically as
+// snap-<seq>.egw covering every sealed segment. Compact removes what
+// the snapshot made redundant.
+func (s *DocStore) Snapshot() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.writable(); err != nil {
+		return err
+	}
+	return s.snapshotLocked()
+}
+
+func (s *DocStore) snapshotLocked() error {
+	if err := s.rotateLocked(); err != nil {
+		return err
+	}
+	final := filepath.Join(s.dir, snapName(s.activeSeq))
+	tmp := final + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o666)
+	if err != nil {
+		return err
+	}
+	err = s.doc.Save(f, s.opts.Save)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		return err
+	}
+	syncDir(s.dir)
+	s.snapSeq = s.activeSeq
+	s.eventsSinceSnap = 0
+	s.sealedSinceSnap = 0
+	return nil
+}
+
+// Compact folds the log down: ensures a snapshot covers all sealed
+// segments, then deletes those segments and all older snapshots. The
+// surviving on-disk state is one snapshot plus the active WAL tail —
+// the paper's compact file format, incrementally maintained.
+func (s *DocStore) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.writable(); err != nil {
+		return err
+	}
+	return s.compactLocked()
+}
+
+func (s *DocStore) compactLocked() error {
+	if s.eventsSinceSnap > 0 || s.sealedSinceSnap > 0 || s.snapSeq == 0 {
+		if err := s.snapshotLocked(); err != nil {
+			return err
+		}
+	}
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if seq, ok := parseSeq(e.Name(), "wal-", ".seg"); ok && seq < s.snapSeq {
+			os.Remove(filepath.Join(s.dir, e.Name()))
+		}
+		if seq, ok := parseSeq(e.Name(), "snap-", ".egw"); ok && seq < s.snapSeq {
+			os.Remove(filepath.Join(s.dir, e.Name()))
+		}
+	}
+	syncDir(s.dir)
+	return nil
+}
+
+// DiskUsage reports the document's on-disk footprint: snapshot bytes,
+// WAL bytes, and file count.
+func (s *DocStore) DiskUsage() (snapBytes, walBytes int64, files int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return 0, 0, 0
+	}
+	for _, e := range entries {
+		fi, err := e.Info()
+		if err != nil {
+			continue
+		}
+		if _, ok := parseSeq(e.Name(), "snap-", ".egw"); ok {
+			snapBytes += fi.Size()
+			files++
+		}
+		if _, ok := parseSeq(e.Name(), "wal-", ".seg"); ok {
+			walBytes += fi.Size()
+			files++
+		}
+	}
+	return snapBytes, walBytes, files
+}
+
+// Close syncs and releases the store. The document stays fully
+// recoverable from disk.
+func (s *DocStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	err := s.syncLocked()
+	if cerr := s.active.Close(); err == nil {
+		err = cerr
+	}
+	unlockDir(s.lock)
+	return err
+}
+
+// Crash simulates an OS-level crash for tests and the fault-injecting
+// simulator: every byte written since the last fsync is lost (the
+// active segment is truncated back to its synced length), the
+// in-memory state is dropped, and the document is recovered from disk
+// exactly as a restarted process would. The receiver is unusable
+// afterwards; use the returned store.
+func (s *DocStore) Crash() (*DocStore, error) {
+	s.mu.Lock()
+	s.closed = true
+	path := filepath.Join(s.dir, segName(s.activeSeq))
+	synced := s.syncedSize
+	s.active.Close()
+	unlockDir(s.lock)
+	root, docID, agent, opts := s.root, s.docID, s.agent, s.opts
+	s.mu.Unlock()
+	if err := os.Truncate(path, synced); err != nil && !errors.Is(err, os.ErrNotExist) {
+		return nil, err
+	}
+	return Open(root, docID, agent, opts)
+}
