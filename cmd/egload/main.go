@@ -1,0 +1,168 @@
+// Command egload is an open-loop load generator for egserve: it drives
+// many concurrent clients across many documents over real TCP, measures
+// what the paper's server story needs measured — apply/fan-out latency
+// under load, reconnect catch-up cost — and writes a machine-readable
+// BENCH_server.json so every run extends a comparable perf trajectory.
+//
+// Usage:
+//
+//	egload [-addr 127.0.0.1:4222] [-docs 4] [-writers 2] [-rate 100]
+//	       [-duration 10s] [-mix seq,burst,trace,resume,hotdoc]
+//	       [-out BENCH_server.json] [-metrics-url http://127.0.0.1:4223/metrics]
+//	       [-seed 1] [-doc-prefix NAME]
+//
+// Workload mixes (each runs for -duration against its own fresh set of
+// documents):
+//
+//   - seq: one writer per document typing sequentially — the fast path,
+//     a linear event graph per document.
+//   - burst: -writers concurrent writers per document editing at once;
+//     constant short-lived branches force real merge work on the server
+//     and on every subscriber.
+//   - trace: like burst, but writers type with the C1 benchmark trace's
+//     calibrated statistics (internal/trace.TypistFromSpec) instead of
+//     the default mix.
+//   - resume: steady single-writer traffic plus one churn client per
+//     document that repeatedly disconnects and reconnects presenting
+//     its version (netsync resume hello), measuring catch-up latency
+//     and how many events each catch-up shipped versus the full
+//     history a snapshot join would have sent.
+//   - hotdoc: writers are assigned to documents by a Zipf draw, so a
+//     few documents absorb most of the fleet — per-document lock and
+//     outbox contention under skew.
+//
+// Every mix reports send/deliver throughput (events/sec) and the
+// client-observed fan-out latency distribution (p50/p95/p99): the time
+// from a writer handing a batch to the TCP stack until a subscriber of
+// the same document has it. Writers and readers live in one process,
+// so timestamps share a clock. With -metrics-url, the server's own
+// /metrics snapshot (apply latency, fsync stalls, group-commit batch
+// sizes, outbox depths, sever/resume counters) is fetched after the
+// last mix and embedded in the report.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+)
+
+var (
+	addr       = flag.String("addr", "127.0.0.1:4222", "egserve TCP address")
+	docs       = flag.Int("docs", 4, "documents per mix")
+	writers    = flag.Int("writers", 2, "writers per document (burst/trace/hotdoc mixes)")
+	rate       = flag.Float64("rate", 100, "target events/second per writer (open loop)")
+	duration   = flag.Duration("duration", 10*time.Second, "run time per mix")
+	mixFlag    = flag.String("mix", "seq,burst,resume", "comma-separated workload mixes (seq,burst,trace,resume,hotdoc)")
+	out        = flag.String("out", "BENCH_server.json", "report path")
+	metricsURL = flag.String("metrics-url", "", "egserve metrics endpoint to embed in the report")
+	seed       = flag.Int64("seed", 1, "base RNG seed (edit streams are deterministic per seed)")
+	docPrefix  = flag.String("doc-prefix", "", "document ID prefix (default load-<pid>-<unix>, so each run gets fresh docs)")
+)
+
+// report is the BENCH_server.json schema. The schema string is bumped
+// on breaking changes so trajectory tooling can tell runs apart.
+type report struct {
+	Schema        string          `json:"schema"`
+	GeneratedAt   string          `json:"generated_at"`
+	Addr          string          `json:"addr"`
+	Config        runConfig       `json:"config"`
+	Mixes         []mixResult     `json:"mixes"`
+	ServerMetrics json.RawMessage `json:"server_metrics,omitempty"`
+}
+
+type runConfig struct {
+	Docs        int     `json:"docs"`
+	Writers     int     `json:"writers_per_doc"`
+	RateEPS     float64 `json:"target_rate_events_per_sec_per_writer"`
+	DurationSec float64 `json:"duration_sec_per_mix"`
+	Seed        int64   `json:"seed"`
+}
+
+func main() {
+	flag.Parse()
+	if *docPrefix == "" {
+		*docPrefix = fmt.Sprintf("load-%d-%d", os.Getpid(), time.Now().Unix())
+	}
+	names := strings.Split(*mixFlag, ",")
+	rep := report{
+		Schema:      "egload/v1",
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Addr:        *addr,
+		Config: runConfig{
+			Docs:        *docs,
+			Writers:     *writers,
+			RateEPS:     *rate,
+			DurationSec: duration.Seconds(),
+			Seed:        *seed,
+		},
+	}
+	for i, name := range names {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		spec, err := mixByName(name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "egload:", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "egload: mix %q (%d/%d) for %v...\n", name, i+1, len(names), *duration)
+		res, err := runMix(spec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "egload:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "egload: mix %q: sent %d ev (%.0f ev/s), delivered %d, fanout p50=%s p99=%s\n",
+			name, res.EventsSent, res.SendEPS, res.EventsDelivered,
+			time.Duration(res.FanoutNs.P50), time.Duration(res.FanoutNs.P99))
+		rep.Mixes = append(rep.Mixes, res)
+	}
+	if *metricsURL != "" {
+		if m, err := fetchMetrics(*metricsURL); err != nil {
+			fmt.Fprintf(os.Stderr, "egload: fetching server metrics: %v\n", err)
+		} else {
+			rep.ServerMetrics = m
+		}
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "egload:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err == nil {
+		err = f.Close()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "egload:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "egload: wrote %s (%d mixes)\n", *out, len(rep.Mixes))
+}
+
+func fetchMetrics(url string) (json.RawMessage, error) {
+	c := &http.Client{Timeout: 5 * time.Second}
+	resp, err := c.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("metrics endpoint: %s", resp.Status)
+	}
+	b, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return nil, err
+	}
+	if !json.Valid(b) {
+		return nil, fmt.Errorf("metrics endpoint returned invalid JSON")
+	}
+	return json.RawMessage(b), nil
+}

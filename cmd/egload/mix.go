@@ -1,0 +1,419 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"egwalker"
+	"egwalker/internal/metrics"
+	"egwalker/internal/trace"
+	"egwalker/netsync"
+)
+
+// mixSpec shapes one workload: how many writers edit each document,
+// how they are distributed, how they type, and whether reconnect churn
+// runs alongside.
+type mixSpec struct {
+	name          string
+	writersPerDoc int
+	zipf          bool // assign writers to documents by Zipf draw
+	churn         bool // run one resume-reconnect churner per document
+	newTypist     func(writer int) *trace.Typist
+}
+
+func mixByName(name string) (mixSpec, error) {
+	plain := func(w int) *trace.Typist {
+		return trace.NewTypist(trace.TypistOptions{Seed: *seed + int64(w)})
+	}
+	switch name {
+	case "seq":
+		return mixSpec{name: name, writersPerDoc: 1, newTypist: plain}, nil
+	case "burst":
+		return mixSpec{name: name, writersPerDoc: *writers, newTypist: plain}, nil
+	case "trace":
+		return mixSpec{name: name, writersPerDoc: *writers, newTypist: func(w int) *trace.Typist {
+			return trace.TypistFromSpec(trace.C1, *seed+int64(w))
+		}}, nil
+	case "resume":
+		return mixSpec{name: name, writersPerDoc: 1, churn: true, newTypist: plain}, nil
+	case "hotdoc":
+		return mixSpec{name: name, writersPerDoc: *writers, zipf: true, newTypist: plain}, nil
+	default:
+		return mixSpec{}, fmt.Errorf("unknown mix %q (want seq, burst, trace, resume, hotdoc)", name)
+	}
+}
+
+// mixResult is one mix's row in BENCH_server.json.
+type mixResult struct {
+	Name            string                    `json:"name"`
+	DurationSec     float64                   `json:"duration_sec"`
+	Docs            int                       `json:"docs"`
+	Writers         int                       `json:"writers_total"`
+	EventsSent      int64                     `json:"events_sent"`
+	EventsDelivered int64                     `json:"events_delivered"`
+	SendEPS         float64                   `json:"send_events_per_sec"`
+	DeliverEPS      float64                   `json:"deliver_events_per_sec"`
+	FanoutNs        metrics.HistogramSnapshot `json:"fanout_latency_ns"`
+	SendStalls      int64                     `json:"send_stalls"`
+	WriterErrors    int64                     `json:"writer_errors"`
+	Undelivered     int64                     `json:"undelivered_at_drain"`
+	Resume          *resumeResult             `json:"resume,omitempty"`
+}
+
+// resumeResult summarizes the reconnect churners of the resume mix.
+// CatchupLatencyNs is dial → first catch-up batch decoded;
+// CatchupEventsTotal over Reconnects is the average transfer per
+// reconnect, to compare against HistoryEventsTotal (what full-snapshot
+// joins would have shipped every time).
+type resumeResult struct {
+	Reconnects         int64                     `json:"reconnects"`
+	DialErrors         int64                     `json:"dial_errors"`
+	CatchupEventsTotal int64                     `json:"catchup_events_total"`
+	HistoryEventsTotal int64                     `json:"history_events_total"`
+	CatchupLatencyNs   metrics.HistogramSnapshot `json:"catchup_latency_ns"`
+}
+
+// tracker matches events sent by writers with their arrival at the
+// per-document reader: writers stamp the tail event ID of every batch,
+// the reader observes the latency and removes the stamp.
+type tracker struct {
+	m    sync.Map // egwalker.EventID -> time.Time
+	hist metrics.Histogram
+}
+
+func (t *tracker) stamp(id egwalker.EventID) { t.m.Store(id, time.Now()) }
+
+func (t *tracker) observe(id egwalker.EventID) {
+	if v, ok := t.m.LoadAndDelete(id); ok {
+		t.hist.Observe(time.Since(v.(time.Time)).Nanoseconds())
+	}
+}
+
+// loadWriter is one simulated user: a replica, its connection, and the
+// paced edit loop. mu serializes the edit loop against the inbound
+// apply loop (an egwalker.Doc is not concurrency-safe).
+type loadWriter struct {
+	mu   sync.Mutex
+	doc  *egwalker.Doc
+	pc   *netsync.PeerConn
+	conn net.Conn
+	ty   *trace.Typist
+
+	sent   *atomic.Int64 // per-doc sent counter, shared with the drain
+	stalls atomic.Int64
+	failed atomic.Bool
+}
+
+// run paces bursts on an absolute open-loop schedule: the next send
+// time advances by burst/rate regardless of how long the send took, so
+// a slow server shows up as schedule slip (stalls), not a silently
+// reduced offered load.
+func (w *loadWriter) run(lat *tracker, perSec float64, stop <-chan struct{}) {
+	next := time.Now()
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		w.mu.Lock()
+		pre := w.doc.Version()
+		e := w.ty.Next(w.doc.Len())
+		var err error
+		var n int
+		if e.Delete {
+			err = w.doc.Delete(e.Pos, e.Len)
+			n = e.Len
+		} else {
+			err = w.doc.Insert(e.Pos, e.Text)
+			n = len(e.Text)
+		}
+		var evs []egwalker.Event
+		if err == nil {
+			evs, err = w.doc.EventsSince(pre)
+		}
+		w.mu.Unlock()
+		if err != nil {
+			w.failed.Store(true)
+			return
+		}
+		if len(evs) > 0 {
+			lat.stamp(evs[len(evs)-1].ID)
+			if err := w.pc.SendEvents(evs); err != nil {
+				w.failed.Store(true)
+				return
+			}
+			w.sent.Add(int64(len(evs)))
+		}
+		next = next.Add(time.Duration(float64(n) / perSec * float64(time.Second)))
+		if d := time.Until(next); d > 0 {
+			select {
+			case <-stop:
+				return
+			case <-time.After(d):
+			}
+		} else {
+			w.stalls.Add(1)
+			next = time.Now() // re-anchor so one long stall isn't counted forever
+		}
+	}
+}
+
+// inbound drains fan-out from the server (other writers' edits) so the
+// writer's outbox never fills and its view stays current. It exits
+// when the connection closes.
+func (w *loadWriter) inbound() {
+	for {
+		evs, _, done, err := w.pc.Recv()
+		if err != nil || done {
+			return
+		}
+		w.mu.Lock()
+		_, err = w.doc.Apply(evs)
+		w.mu.Unlock()
+		if err != nil {
+			w.failed.Store(true)
+			return
+		}
+	}
+}
+
+// loadReader is the per-document measurement subscriber: it never
+// writes, counts every delivered event, and resolves latency stamps.
+type loadReader struct {
+	doc       *egwalker.Doc
+	pc        *netsync.PeerConn
+	conn      net.Conn
+	delivered atomic.Int64
+}
+
+func (r *loadReader) run(lat *tracker) {
+	for {
+		evs, _, done, err := r.pc.Recv()
+		if err != nil || done {
+			return
+		}
+		for _, ev := range evs {
+			lat.observe(ev.ID)
+		}
+		r.delivered.Add(int64(len(evs)))
+		if _, err := r.doc.Apply(evs); err != nil {
+			return
+		}
+	}
+}
+
+// churner models a flaky client: it repeatedly connects with a resume
+// hello presenting its current version, measures the catch-up, lingers
+// briefly on the live feed, and drops the connection.
+func churner(docID string, agent string, res *resumeAgg, stop <-chan struct{}) {
+	doc := egwalker.NewDoc(agent)
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		start := time.Now()
+		conn, err := net.DialTimeout("tcp", *addr, 2*time.Second)
+		if err != nil {
+			res.dialErrors.Add(1)
+			time.Sleep(100 * time.Millisecond)
+			continue
+		}
+		pc := netsync.NewPeerConn(conn)
+		// Bound the whole reconnect: a stalled server must not wedge
+		// the churner past the mix's stop signal.
+		conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+		err = pc.SendDocHelloResume(docID, doc.Version())
+		if err == nil {
+			// The first frame is the catch-up (live batches follow). A
+			// catch-up over 64k events would span frames; churn cadences
+			// keep it far below that.
+			evs, _, done, rerr := pc.Recv()
+			if rerr == nil && !done {
+				res.catchupNs.Observe(time.Since(start).Nanoseconds())
+				res.reconnects.Add(1)
+				res.catchupEvents.Add(int64(len(evs)))
+				if _, aerr := doc.Apply(evs); aerr == nil {
+					// Linger on the live feed, then sever abruptly.
+					conn.SetReadDeadline(time.Now().Add(80 * time.Millisecond))
+					for {
+						evs, _, done, err := pc.Recv()
+						if err != nil || done {
+							break
+						}
+						if _, err := doc.Apply(evs); err != nil {
+							break
+						}
+					}
+				}
+			}
+		}
+		conn.Close()
+		select {
+		case <-stop:
+			return
+		case <-time.After(40 * time.Millisecond):
+		}
+	}
+}
+
+type resumeAgg struct {
+	reconnects    atomic.Int64
+	dialErrors    atomic.Int64
+	catchupEvents atomic.Int64
+	catchupNs     metrics.Histogram
+}
+
+func runMix(spec mixSpec) (mixResult, error) {
+	lat := &tracker{}
+	docIDs := make([]string, *docs)
+	for i := range docIDs {
+		docIDs[i] = fmt.Sprintf("%s/%s/doc-%03d", *docPrefix, spec.name, i)
+	}
+
+	// Readers first, so every event a writer sends is fanned out to a
+	// measuring subscriber.
+	readers := make([]*loadReader, len(docIDs))
+	var readerWG sync.WaitGroup
+	for i, id := range docIDs {
+		conn, err := net.DialTimeout("tcp", *addr, 5*time.Second)
+		if err != nil {
+			return mixResult{}, fmt.Errorf("dialing reader for %s: %w", id, err)
+		}
+		r := &loadReader{doc: egwalker.NewDoc(fmt.Sprintf("rd-%s-%d", spec.name, i)), pc: netsync.NewPeerConn(conn), conn: conn}
+		if err := r.pc.SendDocHello(id); err != nil {
+			conn.Close()
+			return mixResult{}, err
+		}
+		readers[i] = r
+		readerWG.Add(1)
+		go func() { defer readerWG.Done(); r.run(lat) }()
+	}
+
+	// Writers: round-robin across documents, or Zipf-skewed so a few
+	// documents take most of the load.
+	total := *docs * spec.writersPerDoc
+	rng := rand.New(rand.NewSource(*seed))
+	var zipf *rand.Zipf
+	if spec.zipf && *docs > 1 {
+		zipf = rand.NewZipf(rng, 1.4, 1, uint64(*docs-1))
+	}
+	sentPerDoc := make([]atomic.Int64, len(docIDs))
+	ws := make([]*loadWriter, 0, total)
+	stop := make(chan struct{})
+	var writerWG sync.WaitGroup
+	for i := 0; i < total; i++ {
+		di := i % *docs
+		if zipf != nil {
+			di = int(zipf.Uint64())
+		}
+		conn, err := net.DialTimeout("tcp", *addr, 5*time.Second)
+		if err != nil {
+			close(stop)
+			return mixResult{}, fmt.Errorf("dialing writer %d: %w", i, err)
+		}
+		w := &loadWriter{
+			doc:  egwalker.NewDoc(fmt.Sprintf("w-%s-%d", spec.name, i)),
+			pc:   netsync.NewPeerConn(conn),
+			conn: conn,
+			ty:   spec.newTypist(i),
+			sent: &sentPerDoc[di],
+		}
+		if err := w.pc.SendDocHello(docIDs[di]); err != nil {
+			conn.Close()
+			close(stop)
+			return mixResult{}, err
+		}
+		ws = append(ws, w)
+		go w.inbound()
+		writerWG.Add(1)
+		go func() { defer writerWG.Done(); w.run(lat, *rate, stop) }()
+	}
+
+	var churnWG sync.WaitGroup
+	var res *resumeAgg
+	if spec.churn {
+		res = &resumeAgg{}
+		for i, id := range docIDs {
+			churnWG.Add(1)
+			go func(id string, i int) {
+				defer churnWG.Done()
+				churner(id, fmt.Sprintf("ch-%s-%d", spec.name, i), res, stop)
+			}(id, i)
+		}
+	}
+
+	start := time.Now()
+	time.Sleep(*duration)
+	close(stop)
+	writerWG.Wait()
+	churnWG.Wait()
+	elapsed := time.Since(start)
+
+	// Drain: the fan-out pipeline may still be flushing; give every
+	// reader a bounded window to catch up with what was sent to its
+	// document.
+	deadline := time.Now().Add(5 * time.Second)
+	var sent, delivered, undelivered int64
+	for {
+		sent, delivered, undelivered = 0, 0, 0
+		for i := range readers {
+			s, d := sentPerDoc[i].Load(), readers[i].delivered.Load()
+			sent += s
+			delivered += d
+			if d < s {
+				undelivered += s - d
+			}
+		}
+		if undelivered == 0 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	for _, w := range ws {
+		w.conn.Close()
+	}
+	for _, r := range readers {
+		r.conn.Close()
+	}
+	readerWG.Wait()
+
+	result := mixResult{
+		Name:            spec.name,
+		DurationSec:     elapsed.Seconds(),
+		Docs:            *docs,
+		Writers:         total,
+		EventsSent:      sent,
+		EventsDelivered: delivered,
+		SendEPS:         float64(sent) / elapsed.Seconds(),
+		DeliverEPS:      float64(delivered) / elapsed.Seconds(),
+		FanoutNs:        lat.hist.Snapshot(),
+		Undelivered:     undelivered,
+	}
+	for _, w := range ws {
+		result.SendStalls += w.stalls.Load()
+		if w.failed.Load() {
+			result.WriterErrors++
+		}
+	}
+	if res != nil {
+		var history int64
+		for _, r := range readers {
+			history += int64(r.doc.NumEvents())
+		}
+		result.Resume = &resumeResult{
+			Reconnects:         res.reconnects.Load(),
+			DialErrors:         res.dialErrors.Load(),
+			CatchupEventsTotal: res.catchupEvents.Load(),
+			HistoryEventsTotal: history,
+			CatchupLatencyNs:   res.catchupNs.Snapshot(),
+		}
+	}
+	return result, nil
+}

@@ -11,6 +11,15 @@
 // Usage:
 //
 //	egserve [-addr :4222] [-data DIR] [-flush 50ms] [-max-open 64] [-snapshot-every 8192]
+//	        [-metrics-addr :4223] [-metrics-every 0]
+//
+// Observability: -metrics-addr serves the store.Server metrics
+// snapshot (apply/fsync latency histograms with p50/p95/p99,
+// group-commit batch sizes, outbox depths, sever/eviction/resume
+// counters) as JSON on GET /metrics; -metrics-every additionally logs
+// the same JSON on an interval. cmd/egload drives this server under
+// configurable workload mixes and folds the endpoint's snapshot into
+// its BENCH_server.json report.
 //
 // Client sketch:
 //
@@ -22,10 +31,12 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"sync"
@@ -36,11 +47,13 @@ import (
 )
 
 var (
-	addr     = flag.String("addr", ":4222", "TCP listen address")
-	dataDir  = flag.String("data", "egserve-data", "store root directory")
-	flush    = flag.Duration("flush", 50*time.Millisecond, "group-commit fsync interval (negative: fsync every append)")
-	maxOpen  = flag.Int("max-open", 64, "documents kept materialized (LRU)")
-	snapshot = flag.Int("snapshot-every", 8192, "events per document between background compactions (0: never)")
+	addr        = flag.String("addr", ":4222", "TCP listen address")
+	dataDir     = flag.String("data", "egserve-data", "store root directory")
+	flush       = flag.Duration("flush", 50*time.Millisecond, "group-commit fsync interval (negative: fsync every append)")
+	maxOpen     = flag.Int("max-open", 64, "documents kept materialized (LRU)")
+	snapshot    = flag.Int("snapshot-every", 8192, "events per document between background compactions (0: never)")
+	metricsAddr = flag.String("metrics-addr", "", "serve GET /metrics (JSON snapshot) on this address (empty: off)")
+	metricsLog  = flag.Duration("metrics-every", 0, "log a metrics JSON snapshot on this interval (0: off)")
 )
 
 func main() {
@@ -66,6 +79,38 @@ func main() {
 		log.Fatal(err)
 	}
 	log.Printf("listening on %s (data: %s, flush: %v, lru: %d)", ln.Addr(), *dataDir, *flush, *maxOpen)
+
+	if *metricsAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(srv.MetricsSnapshot()); err != nil {
+				log.Printf("metrics: %v", err)
+			}
+		})
+		mln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("metrics on http://%s/metrics", mln.Addr())
+		go http.Serve(mln, mux)
+	}
+	if *metricsLog > 0 {
+		go func() {
+			t := time.NewTicker(*metricsLog)
+			defer t.Stop()
+			for range t.C {
+				b, err := json.Marshal(srv.MetricsSnapshot())
+				if err != nil {
+					log.Printf("metrics: %v", err)
+					continue
+				}
+				log.Printf("metrics %s", b)
+			}
+		}()
+	}
 
 	// Track live connections so shutdown can sever them: ServeConn
 	// blocks reading its peer, and an idle client would otherwise keep

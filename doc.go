@@ -74,4 +74,22 @@
 // and then push/receive events exactly as against a netsync.Relay.
 // Crash recovery is exercised by randomized kill-point tests and by
 // internal/sim's crash-restart fault mode.
+//
+// # Observability and load
+//
+// A reconnecting client resumes incrementally: it presents its current
+// Version in the doc hello (netsync.NewResumingClientForDoc) and
+// receives only the events after it — EventsSince catch-up instead of
+// the full history — so reconnecting after a blip, or after being
+// severed for falling behind, costs the missing tail rather than the
+// whole document. store.Server instruments its live path with
+// lock-free metrics (internal/metrics): apply and fsync latency
+// histograms, group-commit batch sizes, outbox depths, and
+// sever/eviction/resume counters, served as JSON by cmd/egserve's
+// -metrics-addr endpoint. cmd/egload is the matching open-loop load
+// generator: it drives a live server over TCP with workload mixes
+// (sequential typing, concurrent bursts, trace-calibrated edits,
+// reconnect churn, Zipf-skewed hot documents) and writes throughput
+// and p50/p95/p99 fan-out latency to BENCH_server.json, the repo's
+// accumulating server-performance trajectory.
 package egwalker

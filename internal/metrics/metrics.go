@@ -1,0 +1,174 @@
+// Package metrics provides the lock-free primitives behind the
+// server's observability layer: counters, gauges, and a log-bucketed
+// latency histogram with cheap quantile estimation. Everything is
+// atomic, so hot paths (per-batch apply, per-event fan-out) can record
+// without contending on a mutex, and snapshots are JSON-marshalable so
+// an operator endpoint can serve them directly.
+//
+// The histogram uses HDR-style bucketing: values below 16 get exact
+// buckets; above that, each power of two splits into 16 sub-buckets,
+// bounding quantile error at ~6% — plenty for latency percentiles —
+// with a fixed 1 KiB-entry table covering the full int64 range.
+package metrics
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Gauge is an instantaneous atomic value (e.g. open documents).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add moves the gauge by n (negative to decrement).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// Histogram bucketing: 16 exact buckets for values 0..15, then 16
+// sub-buckets per power of two. bucketIndex is monotone in v, so
+// quantiles come from a cumulative scan.
+const (
+	histSubBits = 4
+	histSubSize = 1 << histSubBits // 16
+	histBuckets = 64 * histSubSize // covers every int64 bit length
+)
+
+func bucketIndex(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	u := uint64(v)
+	if u < histSubSize {
+		return int(u)
+	}
+	exp := bits.Len64(u) - histSubBits - 1
+	return exp<<histSubBits + int(u>>uint(exp))
+}
+
+// bucketUpper returns the largest value mapping to bucket i — the
+// value quantiles report, so estimates err high, never low.
+func bucketUpper(i int) int64 {
+	if i < histSubSize {
+		return int64(i)
+	}
+	exp := uint(i>>histSubBits - 1)
+	mantissa := int64(i & (histSubSize - 1))
+	return (histSubSize+mantissa+1)<<exp - 1
+}
+
+// Histogram records a distribution of non-negative int64 samples
+// (typically latencies in nanoseconds or sizes in bytes/events).
+// The zero value is ready to use. All methods are safe for concurrent
+// use.
+type Histogram struct {
+	counts [histBuckets]atomic.Int64
+	count  atomic.Int64
+	sum    atomic.Int64
+	max    atomic.Int64
+	min    atomic.Int64 // stored as sample+1 so zero means "no samples"
+}
+
+// Observe records one sample. Negative samples clamp to zero.
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.counts[bucketIndex(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := h.min.Load()
+		if cur != 0 && v+1 >= cur || h.min.CompareAndSwap(cur, v+1) {
+			break
+		}
+	}
+}
+
+// Snapshot captures the distribution. Concurrent Observes may or may
+// not be included; the result is internally consistent enough for
+// operational reporting (quantiles are computed from one scan of the
+// bucket table).
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	s.Count = h.count.Load()
+	if s.Count == 0 {
+		return s
+	}
+	s.Sum = h.sum.Load()
+	s.Max = h.max.Load()
+	s.Min = h.min.Load() - 1
+	s.Mean = float64(s.Sum) / float64(s.Count)
+
+	var counts [histBuckets]int64
+	var total int64
+	for i := range counts {
+		counts[i] = h.counts[i].Load()
+		total += counts[i]
+	}
+	quantile := func(q float64) int64 {
+		target := int64(math.Ceil(q * float64(total)))
+		if target < 1 {
+			target = 1
+		}
+		var cum int64
+		for i, c := range counts {
+			cum += c
+			if cum >= target {
+				u := bucketUpper(i)
+				if u > s.Max {
+					u = s.Max
+				}
+				return u
+			}
+		}
+		return s.Max
+	}
+	s.P50 = quantile(0.50)
+	s.P90 = quantile(0.90)
+	s.P95 = quantile(0.95)
+	s.P99 = quantile(0.99)
+	s.P999 = quantile(0.999)
+	return s
+}
+
+// HistogramSnapshot is a point-in-time summary of a Histogram,
+// JSON-ready for metrics endpoints and benchmark reports.
+type HistogramSnapshot struct {
+	Count int64   `json:"count"`
+	Sum   int64   `json:"sum"`
+	Min   int64   `json:"min"`
+	Max   int64   `json:"max"`
+	Mean  float64 `json:"mean"`
+	P50   int64   `json:"p50"`
+	P90   int64   `json:"p90"`
+	P95   int64   `json:"p95"`
+	P99   int64   `json:"p99"`
+	P999  int64   `json:"p999"`
+}

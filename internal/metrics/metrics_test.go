@@ -1,0 +1,122 @@
+package metrics
+
+import (
+	"encoding/json"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestBucketIndexMonotone(t *testing.T) {
+	prev := -1
+	for _, v := range []int64{0, 1, 2, 15, 16, 17, 31, 32, 63, 64, 100, 1023, 1024,
+		1 << 20, 1<<20 + 1, 1 << 40, 1<<62 + 12345, 1<<63 - 1} {
+		i := bucketIndex(v)
+		if i < prev {
+			t.Fatalf("bucketIndex(%d) = %d, below previous %d", v, i, prev)
+		}
+		if i >= histBuckets {
+			t.Fatalf("bucketIndex(%d) = %d out of range", v, i)
+		}
+		if u := bucketUpper(i); u < v {
+			t.Fatalf("bucketUpper(%d) = %d < sample %d", i, u, v)
+		}
+		prev = i
+	}
+}
+
+func TestBucketUpperTight(t *testing.T) {
+	// Every value must land in a bucket whose upper edge is within
+	// ~6.25% (one sub-bucket) of the value itself.
+	for v := int64(1); v < 1<<40; v = v*17/16 + 1 {
+		u := bucketUpper(bucketIndex(v))
+		if u < v || float64(u) > float64(v)*1.07+1 {
+			t.Fatalf("value %d: bucket upper %d (error %.3f)", v, u, float64(u)/float64(v))
+		}
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	// 1..1000 uniformly: p50 ≈ 500, p99 ≈ 990.
+	for v := int64(1); v <= 1000; v++ {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 1000 || s.Min != 1 || s.Max != 1000 {
+		t.Fatalf("count/min/max = %d/%d/%d", s.Count, s.Min, s.Max)
+	}
+	if s.Mean < 500 || s.Mean > 501.5 {
+		t.Fatalf("mean = %f", s.Mean)
+	}
+	check := func(name string, got, want int64) {
+		// Bucketed quantiles err high by at most one sub-bucket.
+		if got < want || float64(got) > float64(want)*1.08 {
+			t.Errorf("%s = %d, want ~%d", name, got, want)
+		}
+	}
+	check("p50", s.P50, 500)
+	check("p90", s.P90, 900)
+	check("p99", s.P99, 990)
+}
+
+func TestHistogramEmptyAndNegative(t *testing.T) {
+	var h Histogram
+	s := h.Snapshot()
+	if s.Count != 0 || s.P99 != 0 || s.Max != 0 {
+		t.Fatalf("empty snapshot: %+v", s)
+	}
+	h.Observe(-5) // clamps to 0
+	s = h.Snapshot()
+	if s.Count != 1 || s.Min != 0 || s.Max != 0 {
+		t.Fatalf("negative observe: %+v", s)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	var c Counter
+	var g Gauge
+	const goroutines, per = 8, 10000
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for j := 0; j < per; j++ {
+				h.Observe(rng.Int63n(1 << 30))
+				c.Inc()
+				g.Add(1)
+				g.Add(-1)
+			}
+		}(int64(i))
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != goroutines*per {
+		t.Fatalf("count = %d, want %d", s.Count, goroutines*per)
+	}
+	if c.Load() != goroutines*per || g.Load() != 0 {
+		t.Fatalf("counter %d gauge %d", c.Load(), g.Load())
+	}
+	if s.P50 <= 0 || s.P99 < s.P50 || s.Max < s.P99 {
+		t.Fatalf("quantiles out of order: %+v", s)
+	}
+}
+
+func TestSnapshotJSON(t *testing.T) {
+	var h Histogram
+	h.Observe(42)
+	b, err := json.Marshal(h.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back HistogramSnapshot
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Count != 1 || back.Max != 42 {
+		t.Fatalf("round-trip: %+v", back)
+	}
+}

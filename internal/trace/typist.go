@@ -1,0 +1,109 @@
+package trace
+
+import "math/rand"
+
+// Typist is the interactive form of the trace generators: instead of
+// materializing a whole oplog up front, it emits one editing burst at
+// a time against a live document of the caller's choosing. Load
+// generators (cmd/egload) use it to drive real egwalker.Doc replicas
+// over the network with the same behavioural statistics the offline
+// traces are calibrated to — burst lengths, cursor jumps, and an
+// insert/delete mix steered toward a target fraction of surviving
+// text.
+//
+// A Typist is deterministic in its options (including seed) and the
+// sequence of document lengths it is shown. It is not safe for
+// concurrent use; give each simulated user its own.
+type Typist struct {
+	rng    *rand.Rand
+	mix    editMix
+	cursor int
+
+	burstMean int
+	jumpProb  float64
+}
+
+// TypistOptions parameterize one simulated user.
+type TypistOptions struct {
+	// Seed fixes the random sequence (same seed, same edits).
+	Seed int64
+	// BurstMean is the mean insert/delete run length (default 8).
+	BurstMean int
+	// JumpProb is the chance a burst starts at a random position
+	// instead of the cursor (default 0.05).
+	JumpProb float64
+	// RemainFrac is the target fraction of inserted characters that
+	// survive (default 0.6); the delete rate is steered toward it.
+	RemainFrac float64
+}
+
+// NewTypist returns a deterministic simulated user.
+func NewTypist(o TypistOptions) *Typist {
+	if o.BurstMean <= 0 {
+		o.BurstMean = 8
+	}
+	if o.JumpProb == 0 {
+		o.JumpProb = 0.05
+	}
+	if o.RemainFrac == 0 {
+		o.RemainFrac = 0.6
+	}
+	return &Typist{
+		rng:       rand.New(rand.NewSource(o.Seed)),
+		mix:       editMix{remainFrac: o.RemainFrac},
+		burstMean: o.BurstMean,
+		jumpProb:  o.JumpProb,
+	}
+}
+
+// TypistFromSpec maps a benchmark trace preset (S1, C1, ...) onto
+// typist options, so a load mix can say "type like the S2 blog-post
+// author" and inherit the calibrated burst/jump/survival statistics.
+func TypistFromSpec(s Spec, seed int64) *Typist {
+	return NewTypist(TypistOptions{
+		Seed:       seed,
+		BurstMean:  s.BurstMean,
+		JumpProb:   s.JumpProb,
+		RemainFrac: s.RemainFrac,
+	})
+}
+
+// Edit is one burst of typing: either an insertion of Text at Pos, or
+// a deletion of Len runes starting at Pos. Both are valid for the
+// document length passed to Next.
+type Edit struct {
+	Delete bool
+	Pos    int
+	Len    int    // deletes only
+	Text   string // inserts only
+}
+
+// Next generates the user's next burst against a document currently
+// docLen runes long. It assumes the caller applies every edit it
+// returns (the internal cursor tracks them); remote edits shifting the
+// document only require passing the fresh docLen.
+func (t *Typist) Next(docLen int) Edit {
+	if t.cursor > docLen {
+		t.cursor = docLen
+	}
+	if t.rng.Float64() < t.jumpProb {
+		t.cursor = t.rng.Intn(docLen + 1)
+	}
+	n := burstLen(t.rng, t.burstMean)
+	if t.mix.next(t.rng) && docLen > 0 {
+		// Backspace-style deletion of the n runes before the cursor.
+		if t.cursor == 0 {
+			t.cursor = docLen
+		}
+		if n > t.cursor {
+			n = t.cursor
+		}
+		t.cursor -= n
+		t.mix.record(true, n)
+		return Edit{Delete: true, Pos: t.cursor, Len: n}
+	}
+	pos := t.cursor
+	t.cursor += n
+	t.mix.record(false, n)
+	return Edit{Pos: pos, Text: randText(t.rng, n)}
+}

@@ -1,0 +1,86 @@
+package trace
+
+import (
+	"testing"
+
+	"egwalker"
+)
+
+// TestTypistDrivesDocValidly: thousands of generated bursts apply to a
+// real document without ever going out of range, and the delete mix
+// steers toward the survival target.
+func TestTypistDrivesDocValidly(t *testing.T) {
+	ty := NewTypist(TypistOptions{Seed: 7, BurstMean: 6, JumpProb: 0.1, RemainFrac: 0.5})
+	doc := egwalker.NewDoc("typist")
+	inserted := 0
+	for i := 0; i < 5000; i++ {
+		e := ty.Next(doc.Len())
+		if e.Delete {
+			if e.Pos < 0 || e.Pos+e.Len > doc.Len() || e.Len <= 0 {
+				t.Fatalf("burst %d: invalid delete [%d,%d) of doc len %d", i, e.Pos, e.Pos+e.Len, doc.Len())
+			}
+			if err := doc.Delete(e.Pos, e.Len); err != nil {
+				t.Fatalf("burst %d: %v", i, err)
+			}
+		} else {
+			if e.Pos < 0 || e.Pos > doc.Len() || e.Text == "" {
+				t.Fatalf("burst %d: invalid insert at %d (doc len %d, %q)", i, e.Pos, doc.Len(), e.Text)
+			}
+			if err := doc.Insert(e.Pos, e.Text); err != nil {
+				t.Fatalf("burst %d: %v", i, err)
+			}
+			inserted += len(e.Text)
+		}
+	}
+	if doc.Len() == 0 || inserted == 0 {
+		t.Fatal("typist produced no surviving text")
+	}
+	frac := float64(doc.Len()) / float64(inserted)
+	if frac < 0.3 || frac > 0.8 {
+		t.Errorf("surviving fraction %.2f far from 0.5 target", frac)
+	}
+}
+
+// TestTypistDeterministic: the same seed and document-length sequence
+// replays the identical edit stream.
+func TestTypistDeterministic(t *testing.T) {
+	run := func() []Edit {
+		ty := NewTypist(TypistOptions{Seed: 42})
+		docLen := 0
+		var out []Edit
+		for i := 0; i < 500; i++ {
+			e := ty.Next(docLen)
+			if e.Delete {
+				docLen -= e.Len
+			} else {
+				docLen += len(e.Text)
+			}
+			out = append(out, e)
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("edit %d diverged: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestTypistFromSpec: presets map through without panics and respect
+// the spec's statistics knobs.
+func TestTypistFromSpec(t *testing.T) {
+	ty := TypistFromSpec(C1, 3)
+	docLen := 0
+	for i := 0; i < 200; i++ {
+		e := ty.Next(docLen)
+		if e.Delete {
+			docLen -= e.Len
+		} else {
+			docLen += len(e.Text)
+		}
+		if docLen < 0 {
+			t.Fatalf("burst %d drove document negative", i)
+		}
+	}
+}

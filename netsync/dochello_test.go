@@ -22,6 +22,81 @@ func TestDocHelloRoundTrip(t *testing.T) {
 	}
 }
 
+// TestDocHelloResumeRoundTrip: a hello carrying a resume version
+// round-trips the version exactly, and both hello forms stay mutually
+// compatible — an old reader ignores a new writer's version, and a new
+// reader treats an old writer's hello as a full-snapshot request.
+func TestDocHelloResumeRoundTrip(t *testing.T) {
+	ver := egwalker.Version{
+		{Agent: "alice", Seq: 41},
+		{Agent: "bob-with-a-long-name", Seq: 0},
+	}
+	var buf bytes.Buffer
+	if err := WriteDocHelloResume(&buf, "notes/alpha", ver); err != nil {
+		t.Fatal(err)
+	}
+	docID, got, resume, err := ReadDocHelloVersion(&buf)
+	if err != nil || docID != "notes/alpha" || !resume {
+		t.Fatalf("ReadDocHelloVersion = %q, resume=%v, %v", docID, resume, err)
+	}
+	if len(got) != len(ver) || got[0] != ver[0] || got[1] != ver[1] {
+		t.Fatalf("version round-trip: %v, want %v", got, ver)
+	}
+
+	// Empty version is still a resume request ("send everything", but
+	// explicitly incremental-capable).
+	buf.Reset()
+	if err := WriteDocHelloResume(&buf, "d", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, got, resume, err := ReadDocHelloVersion(&buf); err != nil || !resume || len(got) != 0 {
+		t.Fatalf("empty resume: %v, resume=%v, %v", got, resume, err)
+	}
+
+	// Forward compat: a pre-resume reader sees only the doc ID.
+	buf.Reset()
+	if err := WriteDocHelloResume(&buf, "notes/alpha", ver); err != nil {
+		t.Fatal(err)
+	}
+	if id, err := ReadDocHello(&buf); err != nil || id != "notes/alpha" {
+		t.Fatalf("old reader on resume hello: %q, %v", id, err)
+	}
+
+	// Backward compat: a pre-resume writer's hello reads as
+	// full-snapshot (no version).
+	buf.Reset()
+	if err := WriteDocHello(&buf, "plain"); err != nil {
+		t.Fatal(err)
+	}
+	id, got, resume, err := ReadDocHelloVersion(&buf)
+	if err != nil || id != "plain" || resume || got != nil {
+		t.Fatalf("plain hello: %q, %v, resume=%v, %v", id, got, resume, err)
+	}
+}
+
+// TestDocHelloResumeRejectsGarbageVersion: trailing bytes that do not
+// decode as a version must fail the hello, not be silently dropped —
+// and a hostile head count must fail at the truncation checks without
+// a proportional allocation (this is the unauthenticated first frame
+// of a server connection).
+func TestDocHelloResumeRejectsGarbageVersion(t *testing.T) {
+	for _, headCount := range []uint64{1 << 50, 4 << 20} {
+		payload := binary.AppendUvarint(nil, 3)
+		payload = append(payload, "doc"...)
+		payload = binary.AppendUvarint(payload, headCount)
+		// Enough padding that a count-trusting decoder would allocate
+		// millions of entries before hitting the end.
+		payload = append(payload, make([]byte, 4096)...)
+		var buf bytes.Buffer
+		if err := writeFrame(&buf, msgDocHello, payload); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, _, err := ReadDocHelloVersion(&buf); err == nil {
+			t.Fatalf("hostile head count %d accepted", headCount)
+		}
+	}
+}
+
 func TestDocHelloRejectsBadIDs(t *testing.T) {
 	var buf bytes.Buffer
 	if err := WriteDocHello(&buf, ""); err == nil {

@@ -57,13 +57,7 @@ func Sync(doc *egwalker.Doc, conn io.ReadWriter) error {
 	// have never seen; those can't anchor a graph diff, so fall back to
 	// the subset of their version we do know (extra events we send are
 	// deduplicated on their side).
-	known := theirVersion[:0:0]
-	for _, id := range theirVersion {
-		if doc.Knows(id) {
-			known = append(known, id)
-		}
-	}
-	missing, err := doc.EventsSince(known)
+	missing, err := doc.EventsSince(doc.KnownSubset(theirVersion))
 	if err != nil {
 		return err
 	}
@@ -248,6 +242,18 @@ func (p *PeerConn) SendDocHello(docID string) error {
 	return p.bw.Flush()
 }
 
+// SendDocHelloResume names the document and presents the client's
+// current version, asking the host for an incremental catch-up (only
+// the events after the version) instead of the full history.
+func (p *PeerConn) SendDocHelloResume(docID string, v egwalker.Version) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := WriteDocHelloResume(p.bw, docID, v); err != nil {
+		return err
+	}
+	return p.bw.Flush()
+}
+
 // SendEvents uploads a batch, splitting it into multiple frames if it
 // exceeds the frame cap.
 func (p *PeerConn) SendEvents(events []egwalker.Event) error {
@@ -320,6 +326,20 @@ func NewClient(doc *egwalker.Doc, conn io.ReadWriter) *Client {
 func NewClientForDoc(doc *egwalker.Doc, conn io.ReadWriter, docID string) (*Client, error) {
 	c := &Client{doc: doc, pc: NewPeerConn(conn)}
 	if err := c.pc.SendDocHello(docID); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// NewResumingClientForDoc is NewClientForDoc for a reconnecting
+// replica: the hello presents doc's current version, so the host sends
+// only the events this replica is missing — not the full history. Use
+// it whenever the local doc may already hold part of the hosted
+// document (a reconnect after a network blip, a sever for falling
+// behind, or a process restart from a saved file).
+func NewResumingClientForDoc(doc *egwalker.Doc, conn io.ReadWriter, docID string) (*Client, error) {
+	c := &Client{doc: doc, pc: NewPeerConn(conn)}
+	if err := c.pc.SendDocHelloResume(docID, doc.Version()); err != nil {
 		return nil, err
 	}
 	return c, nil

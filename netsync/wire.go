@@ -114,8 +114,17 @@ func writeEventsChunked(w io.Writer, events []egwalker.Event) error {
 // split by event count first, then — for pathological event sizes
 // (maximal agent names, very wide frontiers) — by halving until each
 // payload fits under the frame cap. Multi-document hosts use it to
-// build fan-out payloads that any peer connection can carry.
+// build fan-out payloads that any peer connection can carry. A single
+// event whose encoding alone exceeds the cap is an error (nothing can
+// carry it), never an over-cap chunk or an unbounded split.
 func MarshalChunks(events []egwalker.Event) ([][]byte, error) {
+	return marshalChunksLimit(events, maxFrame)
+}
+
+// marshalChunksLimit is MarshalChunks with the frame cap as a
+// parameter so tests can exercise the splitting and failure paths
+// without building multi-mebibyte batches.
+func marshalChunksLimit(events []egwalker.Event, limit int) ([][]byte, error) {
 	var out [][]byte
 	var emit func(evs []egwalker.Event) error
 	emit = func(evs []egwalker.Event) error {
@@ -123,7 +132,10 @@ func MarshalChunks(events []egwalker.Event) ([][]byte, error) {
 		if err != nil {
 			return err
 		}
-		if len(batch) > maxFrame && len(evs) > 1 {
+		if len(batch) > limit {
+			if len(evs) <= 1 {
+				return fmt.Errorf("netsync: single event encodes to %d bytes, over the %d-byte frame cap", len(batch), limit)
+			}
 			if err := emit(evs[:len(evs)/2]); err != nil {
 				return err
 			}
@@ -143,40 +155,79 @@ func MarshalChunks(events []egwalker.Event) ([][]byte, error) {
 // WriteDocHello sends the frame that names which document the rest of
 // the connection is about. A client talking to a multi-document host
 // (store.Server) sends it once, immediately after connecting, before
-// any other frame.
+// any other frame. A hello without a version asks for the full current
+// history; WriteDocHelloResume asks for an incremental catch-up
+// instead.
 func WriteDocHello(w io.Writer, docID string) error {
+	return writeDocHello(w, docID, nil, false)
+}
+
+// WriteDocHelloResume sends a doc hello carrying the client's current
+// version: the incremental-resume handshake. Instead of the full
+// history, the host replies with only the events the client is missing
+// (its EventsSince relative to the presented version), which is what
+// makes reconnection cheap for a briefly disconnected or severed peer.
+// The version is appended to the hello payload; hosts predating resume
+// ignore the trailing bytes and fall back to the full snapshot, so the
+// frame is wire-compatible in both directions.
+func WriteDocHelloResume(w io.Writer, docID string, v egwalker.Version) error {
+	return writeDocHello(w, docID, v, true)
+}
+
+func writeDocHello(w io.Writer, docID string, v egwalker.Version, resume bool) error {
 	if len(docID) == 0 || len(docID) > maxDocID {
 		return fmt.Errorf("netsync: bad doc ID length %d", len(docID))
 	}
 	var payload []byte
 	payload = putUvarint(payload, uint64(len(docID)))
 	payload = append(payload, docID...)
+	if resume {
+		payload = append(payload, marshalVersion(v)...)
+	}
 	return writeFrame(w, msgDocHello, payload)
 }
 
 // ReadDocHello reads the doc-ID hello frame a multiplexing listener
-// expects as the first frame of every connection.
+// expects as the first frame of every connection, discarding any
+// resume version.
 func ReadDocHello(r io.Reader) (string, error) {
+	docID, _, _, err := ReadDocHelloVersion(r)
+	return docID, err
+}
+
+// ReadDocHelloVersion reads the doc-ID hello frame, returning the
+// resume version when the client presented one (resume reports
+// whether it did — an empty version from a fresh replica still counts
+// as a resume request, it just means "send everything").
+func ReadDocHelloVersion(r io.Reader) (docID string, v egwalker.Version, resume bool, err error) {
 	typ, payload, err := readFrame(r)
 	if err != nil {
-		return "", err
+		return "", nil, false, err
 	}
 	if typ != msgDocHello {
-		return "", fmt.Errorf("netsync: expected doc hello, got frame type %#x", typ)
+		return "", nil, false, fmt.Errorf("netsync: expected doc hello, got frame type %#x", typ)
 	}
 	br := &byteReader{buf: payload}
 	n, err := br.uvarint()
 	if err != nil {
-		return "", err
+		return "", nil, false, err
 	}
 	if n == 0 || n > maxDocID {
-		return "", fmt.Errorf("netsync: bad doc ID length %d", n)
+		return "", nil, false, fmt.Errorf("netsync: bad doc ID length %d", n)
 	}
 	b, err := br.bytes(int(n))
 	if err != nil {
-		return "", err
+		return "", nil, false, err
 	}
-	return string(b), nil
+	docID = string(b)
+	if br.off == len(payload) {
+		return docID, nil, false, nil // pre-resume hello: full snapshot
+	}
+	v, err = unmarshalVersion(payload[br.off:])
+	if err != nil {
+		return "", nil, false, fmt.Errorf("netsync: bad resume version in doc hello: %w", err)
+	}
+	return docID, v, true, nil
 }
 
 // --- varint helpers -------------------------------------------------------
@@ -250,7 +301,16 @@ func unmarshalVersion(data []byte) (egwalker.Version, error) {
 	if n > uint64(len(data)) {
 		return nil, fmt.Errorf("netsync: version larger than payload")
 	}
-	v := make(egwalker.Version, 0, n)
+	// Grow lazily with a modest initial capacity: this parses the
+	// unauthenticated first frame of a server connection, so a hostile
+	// head count must not translate into a giant allocation. Each entry
+	// consumes at least two payload bytes, so a lie fails fast at the
+	// truncation checks below instead.
+	initCap := n
+	if initCap > 1024 {
+		initCap = 1024
+	}
+	v := make(egwalker.Version, 0, initCap)
 	for i := uint64(0); i < n; i++ {
 		ln, err := r.uvarint()
 		if err != nil {

@@ -1,0 +1,123 @@
+package store
+
+import (
+	"egwalker/internal/metrics"
+)
+
+// Metrics is the server's live-path observability surface: every
+// counter and histogram a Server updates while hosting documents.
+// Fields are updated with atomics (see internal/metrics), so reading
+// them is always safe; Snapshot captures a JSON-ready summary for the
+// egserve metrics endpoint and for load-test reports.
+//
+// Glossary:
+//
+//   - ApplyNs: wall time for one uploaded batch to be merged into the
+//     document and journaled to the WAL (includes per-document lock
+//     wait, so it surfaces hot-document contention).
+//   - FsyncNs: duration of one group-commit fsync of one document's
+//     WAL — the fsync-stall signal.
+//   - CommitBatchEvents: events made durable by one group-commit fsync
+//     of one document (how much work each fsync amortizes).
+//   - FanoutBatchEvents: events per applied batch.
+//   - OutboxDepth: a subscriber's outbox occupancy sampled before each
+//     fan-out send; a climbing depth is a peer falling behind.
+//   - PeersSevered: subscribers disconnected for not draining their
+//     outbox (they reconnect with a resume hello).
+//   - Resumes / FullSnapshots: how connections joined — incremental
+//     catch-up vs. full history — with ResumeEvents / SnapshotEvents
+//     counting the events each path shipped.
+type Metrics struct {
+	ApplyNs   metrics.Histogram
+	FsyncNs   metrics.Histogram
+	CompactNs metrics.Histogram
+	OpenNs    metrics.Histogram
+
+	CommitBatchEvents metrics.Histogram
+	FanoutBatchEvents metrics.Histogram
+	OutboxDepth       metrics.Histogram
+
+	EventsApplied  metrics.Counter
+	BatchesApplied metrics.Counter
+	PeersSevered   metrics.Counter
+	Evictions      metrics.Counter
+	ColdOpens      metrics.Counter
+	Compactions    metrics.Counter
+	FsyncErrors    metrics.Counter
+
+	Resumes        metrics.Counter
+	FullSnapshots  metrics.Counter
+	ResumeEvents   metrics.Counter
+	SnapshotEvents metrics.Counter
+
+	OpenDocs    metrics.Gauge
+	Subscribers metrics.Gauge
+}
+
+// MetricsSnapshot is a point-in-time copy of every metric, shaped for
+// JSON (the egserve /metrics endpoint returns exactly this).
+type MetricsSnapshot struct {
+	ApplyNs   metrics.HistogramSnapshot `json:"apply_ns"`
+	FsyncNs   metrics.HistogramSnapshot `json:"fsync_ns"`
+	CompactNs metrics.HistogramSnapshot `json:"compact_ns"`
+	OpenNs    metrics.HistogramSnapshot `json:"open_ns"`
+
+	CommitBatchEvents metrics.HistogramSnapshot `json:"commit_batch_events"`
+	FanoutBatchEvents metrics.HistogramSnapshot `json:"fanout_batch_events"`
+	OutboxDepth       metrics.HistogramSnapshot `json:"outbox_depth"`
+
+	EventsApplied  int64 `json:"events_applied"`
+	BatchesApplied int64 `json:"batches_applied"`
+	PeersSevered   int64 `json:"peers_severed"`
+	Evictions      int64 `json:"evictions"`
+	ColdOpens      int64 `json:"cold_opens"`
+	Compactions    int64 `json:"compactions"`
+	FsyncErrors    int64 `json:"fsync_errors"`
+
+	Resumes        int64 `json:"resumes"`
+	FullSnapshots  int64 `json:"full_snapshots"`
+	ResumeEvents   int64 `json:"resume_events"`
+	SnapshotEvents int64 `json:"snapshot_events"`
+
+	OpenDocs    int64 `json:"open_docs"`
+	Subscribers int64 `json:"subscribers"`
+}
+
+// Snapshot captures all metrics. Concurrent updates may land on either
+// side of the capture; each individual metric is consistent.
+func (m *Metrics) Snapshot() MetricsSnapshot {
+	return MetricsSnapshot{
+		ApplyNs:   m.ApplyNs.Snapshot(),
+		FsyncNs:   m.FsyncNs.Snapshot(),
+		CompactNs: m.CompactNs.Snapshot(),
+		OpenNs:    m.OpenNs.Snapshot(),
+
+		CommitBatchEvents: m.CommitBatchEvents.Snapshot(),
+		FanoutBatchEvents: m.FanoutBatchEvents.Snapshot(),
+		OutboxDepth:       m.OutboxDepth.Snapshot(),
+
+		EventsApplied:  m.EventsApplied.Load(),
+		BatchesApplied: m.BatchesApplied.Load(),
+		PeersSevered:   m.PeersSevered.Load(),
+		Evictions:      m.Evictions.Load(),
+		ColdOpens:      m.ColdOpens.Load(),
+		Compactions:    m.Compactions.Load(),
+		FsyncErrors:    m.FsyncErrors.Load(),
+
+		Resumes:        m.Resumes.Load(),
+		FullSnapshots:  m.FullSnapshots.Load(),
+		ResumeEvents:   m.ResumeEvents.Load(),
+		SnapshotEvents: m.SnapshotEvents.Load(),
+
+		OpenDocs:    m.OpenDocs.Load(),
+		Subscribers: m.Subscribers.Load(),
+	}
+}
+
+// Metrics returns the server's live metrics for instrumentation-aware
+// callers (tests, embedded servers). Most callers want
+// MetricsSnapshot.
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// MetricsSnapshot captures the server's metrics as a JSON-ready value.
+func (s *Server) MetricsSnapshot() MetricsSnapshot { return s.metrics.Snapshot() }

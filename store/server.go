@@ -62,6 +62,15 @@ func (o ServerOptions) withDefaults() ServerOptions {
 	return o
 }
 
+// peerSub is one live subscriber of a document: its outbox of
+// marshalled batches and the connection behind it, kept so the sever
+// path can close the transport immediately (a writer blocked mid-send
+// on a stalled peer would otherwise never observe its outbox closing).
+type peerSub struct {
+	ch   chan []byte
+	conn io.ReadWriter
+}
+
 // entry is one materialized document plus its connected peers. ds is
 // nil until ready is closed (the document is still being materialized
 // by the goroutine that created the entry); openErr records a failed
@@ -70,12 +79,13 @@ type entry struct {
 	id      string
 	ready   chan struct{}
 	openErr error
-	ds      *DocStore
+	ds *DocStore
+	m  *Metrics
 	// mu serializes apply+fanout against snapshot+subscribe, so a
 	// joining peer misses no events between its snapshot and its first
 	// forwarded batch.
 	mu       sync.Mutex
-	peers    map[int]chan []byte
+	peers    map[int]peerSub
 	nextPeer int
 
 	refs       int
@@ -89,11 +99,12 @@ type entry struct {
 // doc-ID hello frame (ServeConn), and an LRU keeps only hot documents
 // materialized.
 type Server struct {
-	mu   sync.Mutex
-	root string
-	opts ServerOptions
-	open map[string]*entry
-	lru  *list.List // front = most recently used; values are *entry
+	mu      sync.Mutex
+	root    string
+	opts    ServerOptions
+	metrics *Metrics
+	open    map[string]*entry
+	lru     *list.List // front = most recently used; values are *entry
 
 	compactCh chan *entry
 	done      chan struct{}
@@ -110,6 +121,7 @@ func NewServer(root string, opts ServerOptions) (*Server, error) {
 	s := &Server{
 		root:      root,
 		opts:      opts.withDefaults(),
+		metrics:   &Metrics{},
 		open:      make(map[string]*entry),
 		lru:       list.New(),
 		compactCh: make(chan *entry, 64),
@@ -150,14 +162,16 @@ func (s *Server) acquire(docID string) (*entry, error) {
 		}
 		return e, nil
 	}
-	e := &entry{id: docID, ready: make(chan struct{}), peers: make(map[int]chan []byte), refs: 1}
+	e := &entry{id: docID, ready: make(chan struct{}), peers: make(map[int]peerSub), m: s.metrics, refs: 1}
 	e.elem = s.lru.PushFront(e)
 	s.open[docID] = e
+	s.metrics.OpenDocs.Set(int64(len(s.open)))
 	s.mu.Unlock()
 
 	// A just-evicted store for this document may still be fsync-closing
 	// (eviction closes outside the server lock); its directory flock
 	// clears momentarily, so retry briefly rather than failing.
+	start := time.Now()
 	var ds *DocStore
 	var err error
 	for attempt := 0; ; attempt++ {
@@ -177,11 +191,14 @@ func (s *Server) acquire(docID string) (*entry, error) {
 		e.openErr = err
 		delete(s.open, docID)
 		s.lru.Remove(e.elem)
+		s.metrics.OpenDocs.Set(int64(len(s.open)))
 		s.mu.Unlock()
 		close(e.ready)
 		return nil, err
 	}
 	e.ds = ds
+	s.metrics.ColdOpens.Inc()
+	s.metrics.OpenNs.Observe(time.Since(start).Nanoseconds())
 	victims := s.evictLocked()
 	s.mu.Unlock()
 	close(e.ready)
@@ -218,6 +235,10 @@ func (s *Server) evictLocked() []*DocStore {
 		s.lru.Remove(victim.elem)
 		delete(s.open, victim.id)
 		victims = append(victims, victim.ds)
+	}
+	if len(victims) > 0 {
+		s.metrics.Evictions.Add(int64(len(victims)))
+		s.metrics.OpenDocs.Set(int64(len(s.open)))
 	}
 	return victims
 }
@@ -295,11 +316,18 @@ func (s *Server) DocIDs() ([]string, error) {
 // every peer except the sender. raw may be nil (API appends); it is
 // then re-marshalled in frame-sized chunks.
 func (e *entry) applyAndFanout(events []egwalker.Event, raw []byte, fromPeer int) error {
+	start := time.Now()
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if _, err := e.ds.Apply(events); err != nil {
 		return err
 	}
+	// ApplyNs from call entry, so per-document lock contention (many
+	// writers on one hot document) shows up in the latency it causes.
+	e.m.ApplyNs.Observe(time.Since(start).Nanoseconds())
+	e.m.EventsApplied.Add(int64(len(events)))
+	e.m.BatchesApplied.Inc()
+	e.m.FanoutBatchEvents.Observe(int64(len(events)))
 	var raws [][]byte
 	if raw != nil {
 		raws = [][]byte{raw}
@@ -310,21 +338,27 @@ func (e *entry) applyAndFanout(events []egwalker.Event, raw []byte, fromPeer int
 			return err
 		}
 	}
-	for pid, ch := range e.peers {
+	for pid, p := range e.peers {
 		if pid == fromPeer {
 			continue
 		}
 		for _, b := range raws {
+			e.m.OutboxDepth.Observe(int64(len(p.ch)))
 			select {
-			case ch <- b:
+			case p.ch <- b:
 			default:
 				// Slow peer: its outbox is full, so it would silently
 				// miss these events forever (the live protocol has no
 				// anti-entropy). Sever it instead — closing the outbox
-				// ends its writer, which severs the connection, and the
-				// client reconnects for a fresh snapshot.
+				// ends its writer, and closing the connection unblocks
+				// a writer stalled mid-send (and the peer's reader);
+				// the client reconnects with a resume hello and
+				// catches up incrementally.
 				delete(e.peers, pid)
-				close(ch)
+				close(p.ch)
+				severConn(p.conn)
+				e.m.PeersSevered.Inc()
+				e.m.Subscribers.Add(-1)
 			}
 			if _, ok := e.peers[pid]; !ok {
 				break
@@ -334,17 +368,33 @@ func (e *entry) applyAndFanout(events []egwalker.Event, raw []byte, fromPeer int
 	return nil
 }
 
-// subscribe registers a peer and returns its ID, outbox, and a
-// consistent snapshot of the document's events: nothing applied after
-// the snapshot escapes the outbox.
-func (e *entry) subscribe() (int, chan []byte, []egwalker.Event) {
+// subscribe registers a peer and returns its ID, outbox, and the
+// catch-up events to send it first: nothing applied after the cut
+// escapes the outbox, so the peer sees every event exactly once. With
+// resume set, the catch-up is the document's events since the peer's
+// presented version (incremental resume); otherwise it is the full
+// history.
+func (e *entry) subscribe(conn io.ReadWriter, since egwalker.Version, resume bool) (int, chan []byte, []egwalker.Event) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	id := e.nextPeer
 	e.nextPeer++
 	outbox := make(chan []byte, 256)
-	e.peers[id] = outbox
+	e.peers[id] = peerSub{ch: outbox, conn: conn}
+	e.m.Subscribers.Add(1)
+	if resume {
+		catchup, err := e.ds.EventsSinceKnown(since)
+		if err == nil {
+			e.m.Resumes.Inc()
+			e.m.ResumeEvents.Add(int64(len(catchup)))
+			return id, outbox, catchup
+		}
+		// An unresolvable version cannot anchor a diff; fall back to
+		// the full history, which is always correct.
+	}
 	snapshot := e.ds.Events()
+	e.m.FullSnapshots.Inc()
+	e.m.SnapshotEvents.Add(int64(len(snapshot)))
 	return id, outbox, snapshot
 }
 
@@ -358,22 +408,27 @@ func severConn(conn io.ReadWriter) {
 
 func (e *entry) unsubscribe(id int) {
 	e.mu.Lock()
-	ch := e.peers[id]
+	p, ok := e.peers[id]
 	delete(e.peers, id)
+	if ok {
+		e.m.Subscribers.Add(-1)
+	}
 	e.mu.Unlock()
-	if ch != nil {
-		close(ch)
+	if ok {
+		close(p.ch)
 	}
 }
 
 // ServeConn handles one client connection: it reads the doc-ID hello
-// frame naming which hosted document the peer wants, sends the full
-// current history, and thereafter journals and fans out every batch
-// the peer uploads — netsync.Relay semantics, multiplexed over every
-// document in the store and durable across restarts. Run it in its own
-// goroutine per connection; it returns when the peer disconnects.
+// frame naming which hosted document the peer wants, sends the catch-up
+// history (everything, or — when the hello presents a resume version —
+// only the events the peer is missing), and thereafter journals and
+// fans out every batch the peer uploads — netsync.Relay semantics,
+// multiplexed over every document in the store and durable across
+// restarts. Run it in its own goroutine per connection; it returns
+// when the peer disconnects.
 func (s *Server) ServeConn(conn io.ReadWriter) error {
-	docID, err := netsync.ReadDocHello(conn)
+	docID, since, resume, err := netsync.ReadDocHelloVersion(conn)
 	if err != nil {
 		return err
 	}
@@ -384,10 +439,10 @@ func (s *Server) ServeConn(conn io.ReadWriter) error {
 	}
 	defer s.release(e)
 
-	id, outbox, snapshot := e.subscribe()
+	id, outbox, catchup := e.subscribe(conn, since, resume)
 	defer e.unsubscribe(id)
 
-	if err := pc.SendEvents(snapshot); err != nil {
+	if err := pc.SendEvents(catchup); err != nil {
 		return err
 	}
 
@@ -468,8 +523,22 @@ func (s *Server) flushOnce() {
 		// A failed fsync turns the DocStore fail-stop (sticky write
 		// error); surface it here too so the operator learns before the
 		// next append bounces.
-		if err := e.ds.Sync(); err != nil {
+		// Drain the commit counter before the fsync so the batch size
+		// reflects what this fsync makes durable (events landing during
+		// the fsync are attributed to the next window).
+		batch := e.ds.TakeUnsyncedEvents()
+		start := time.Now()
+		err := e.ds.Sync()
+		s.metrics.FsyncNs.Observe(time.Since(start).Nanoseconds())
+		if err != nil {
+			s.metrics.FsyncErrors.Inc()
 			s.logf("store: fsync %q: %v", e.id, err)
+		} else if batch > 0 && !s.opts.DocOptions.SyncEveryCommit {
+			// In per-commit-fsync mode every commit fsyncs itself and
+			// Sync here is a no-op: the amortization is 1 by
+			// construction, so recording the window total would invert
+			// the signal.
+			s.metrics.CommitBatchEvents.Observe(int64(batch))
 		}
 		if s.opts.SnapshotEvery > 0 && e.ds.UnsnapshottedEvents() >= s.opts.SnapshotEvery {
 			s.scheduleCompact(e) // takes its own pin
@@ -506,8 +575,12 @@ func (s *Server) compactor() {
 		case <-s.done:
 			return
 		case e := <-s.compactCh:
+			start := time.Now()
 			if err := e.ds.Compact(); err != nil {
 				s.logf("store: compacting %q: %v", e.id, err)
+			} else {
+				s.metrics.Compactions.Inc()
+				s.metrics.CompactNs.Observe(time.Since(start).Nanoseconds())
 			}
 			s.mu.Lock()
 			e.compacting = false
@@ -543,5 +616,6 @@ func (s *Server) Close() error {
 	}
 	s.open = map[string]*entry{}
 	s.lru.Init()
+	s.metrics.OpenDocs.Set(0)
 	return err
 }

@@ -86,6 +86,7 @@ type DocStore struct {
 	persisted       egwalker.Version
 	eventsSinceSnap int
 	sealedSinceSnap int // sealed segments not yet covered by a snapshot
+	unsyncedEvents  int // events committed since TakeUnsyncedEvents
 
 	recovery RecoveryInfo
 	werr     error // sticky write error; the store refuses further writes
@@ -337,6 +338,17 @@ func (s *DocStore) EventsSince(v egwalker.Version) ([]egwalker.Event, error) {
 	return s.doc.EventsSince(v)
 }
 
+// EventsSinceKnown is EventsSince with unknown IDs in v ignored: the
+// incremental-resume path. A reconnecting client's version may
+// reference events this server never received (edits synced between
+// peers while offline); narrowing to the known subset still yields a
+// superset of what the client is missing, and its Apply deduplicates.
+func (s *DocStore) EventsSinceKnown(v egwalker.Version) ([]egwalker.Event, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.doc.EventsSince(s.doc.KnownSubset(v))
+}
+
 // UnsnapshottedEvents reports how many events have been journaled
 // since the last snapshot — the compaction-pressure signal Server's
 // flusher watches.
@@ -431,6 +443,7 @@ func (s *DocStore) commitLocked() error {
 	}
 	s.persisted = s.doc.Version()
 	s.eventsSinceSnap += len(evs)
+	s.unsyncedEvents += len(evs)
 	if s.opts.SyncEveryCommit {
 		if err := s.syncLocked(); err != nil {
 			return err
@@ -445,6 +458,18 @@ func (s *DocStore) commitLocked() error {
 		return s.compactLocked()
 	}
 	return nil
+}
+
+// TakeUnsyncedEvents returns how many events were committed since the
+// last call and resets the count: the group-commit batch-size signal a
+// flusher records after each fsync (how much work one fsync made
+// durable).
+func (s *DocStore) TakeUnsyncedEvents() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := s.unsyncedEvents
+	s.unsyncedEvents = 0
+	return n
 }
 
 // Sync fsyncs the active segment: everything committed so far becomes

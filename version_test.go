@@ -1,0 +1,46 @@
+package egwalker
+
+import "testing"
+
+// TestKnownSubset: filtering a foreign version down to the locally
+// known events, so it can anchor EventsSince (the resume path).
+func TestKnownSubset(t *testing.T) {
+	a := NewDoc("a")
+	if err := a.Insert(0, "shared"); err != nil {
+		t.Fatal(err)
+	}
+	b, err := a.Fork("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Insert(0, "only-b "); err != nil {
+		t.Fatal(err)
+	}
+
+	// b's version references events a has never seen.
+	known := a.KnownSubset(b.Version())
+	for _, id := range known {
+		if !a.Knows(id) {
+			t.Fatalf("KnownSubset kept unknown event %v", id)
+		}
+	}
+	// The narrowed version must anchor a diff without error.
+	if _, err := a.EventsSince(known); err != nil {
+		t.Fatalf("EventsSince(KnownSubset): %v", err)
+	}
+	// The raw foreign version must not (it references unknown events)
+	// — this is exactly why KnownSubset exists.
+	if _, err := a.EventsSince(b.Version()); err == nil {
+		t.Fatal("EventsSince accepted a version with unknown events; KnownSubset would be pointless")
+	}
+
+	// A fully known version passes through intact.
+	same := b.KnownSubset(b.Version())
+	if len(same) != len(b.Version()) {
+		t.Fatalf("KnownSubset dropped known events: %v vs %v", same, b.Version())
+	}
+	// Nil stays nil-ish (empty), meaning "send everything".
+	if got := a.KnownSubset(nil); len(got) != 0 {
+		t.Fatalf("KnownSubset(nil) = %v", got)
+	}
+}
