@@ -157,6 +157,7 @@ func BenchmarkFig8LoadCached(b *testing.B) {
 
 func BenchmarkFig9OptEnabled(b *testing.B) {
 	eachTrace(b, func(b *testing.B, _ string, l *oplog.Log) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := core.ReplayRope(l); err != nil {
 				b.Fatal(err)
@@ -167,8 +168,39 @@ func BenchmarkFig9OptEnabled(b *testing.B) {
 
 func BenchmarkFig9OptDisabled(b *testing.B) {
 	eachTrace(b, func(b *testing.B, _ string, l *oplog.Log) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := core.ReplayRopeNoOpt(l); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// --- §3.8 span-wise replay vs the per-unit reference ---------------------
+//
+// BenchmarkSpanReplay / BenchmarkUnitRefReplay are the two ends of the
+// run-length pipeline: identical output, span-at-a-time versus
+// unit-at-a-time internal state. Compare ns/op (and allocs/op) per trace;
+// cmd/egbench core writes the same comparison plus peak heap to
+// BENCH_core.json.
+
+func BenchmarkSpanReplay(b *testing.B) {
+	eachTrace(b, func(b *testing.B, _ string, l *oplog.Log) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.ReplayRope(l); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkUnitRefReplay(b *testing.B) {
+	eachTrace(b, func(b *testing.B, _ string, l *oplog.Log) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.ReplayRopeUnitRef(l); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -263,6 +295,7 @@ func BenchmarkComplexityMergeEgwalker(b *testing.B) {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
 			l := twoBranchLog(b, n)
 			b.ResetTimer()
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := core.ReplayRope(l); err != nil {
 					b.Fatal(err)

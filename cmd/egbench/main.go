@@ -7,6 +7,12 @@
 //	egbench [-scale F] [-iters N] <table1|fig8|fig9|fig10|fig11|fig12|complexity|all>
 //	egbench sim [-sim-seed N] [-sim-replicas N] [-sim-events N] [-sim-faults LIST]
 //	egbench store [-store-events N] [-store-batch N] [-store-dir D]
+//	egbench [-scale F] [-iters N] [-core-out FILE] [-core-traces LIST] core
+//
+// (Flags must precede the subcommand name.) The core subcommand compares
+// span-wise replay against the per-unit reference and writes
+// BENCH_core.json; the committed baseline at the repo root records the
+// before/after numbers for the span-wise replay change.
 //
 // -scale scales the trace sizes (1.0 = the paper's event counts;
 // default 0.05 so a full run finishes in minutes). EXPERIMENTS.md
@@ -53,6 +59,9 @@ func main() {
 		return
 	}
 	if maybeRunStore(cmd) {
+		return
+	}
+	if maybeRunCore(cmd) {
 		return
 	}
 	ws, err := generate()

@@ -1,0 +1,71 @@
+package egwalker_test
+
+// Differential tests pinning span-wise replay to the per-unit reference
+// across every synthetic trace spec (the paper's S1–S3/C1–C2/A1–A2
+// workload classes): byte-identical documents from every replay
+// configuration, and a span stream that expands to exactly the per-unit
+// reference stream. The simulator scenarios run the same check through
+// internal/sim's oracle; the fuzz corpus runs it per input in
+// fuzz_test.go.
+
+import (
+	"os"
+	"strconv"
+	"testing"
+
+	"egwalker/internal/core"
+	"egwalker/internal/trace"
+)
+
+// diffScale returns the trace scale for differential runs: small enough
+// for CI, overridable for deeper local sweeps.
+func diffScale() float64 {
+	if s := os.Getenv("EGW_DIFF_SCALE"); s != "" {
+		if f, err := strconv.ParseFloat(s, 64); err == nil && f > 0 {
+			return f
+		}
+	}
+	return 0.004
+}
+
+func TestDifferentialTraces(t *testing.T) {
+	scale := diffScale()
+	for _, spec := range trace.All() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			l, err := trace.Generate(spec.Scale(scale))
+			if err != nil {
+				t.Fatal(err)
+			}
+			spanStream, err := core.UnitStream(l, core.TransformAll)
+			if err != nil {
+				t.Fatalf("span transform: %v", err)
+			}
+			unitStream, err := core.UnitStream(l, core.TransformAllUnitRef)
+			if err != nil {
+				t.Fatalf("unit-ref transform: %v", err)
+			}
+			if at := core.DiffUnitStreams(spanStream, unitStream); at >= 0 {
+				t.Fatalf("streams diverge at unit op %d of %d/%d", at, len(spanStream), len(unitStream))
+			}
+			span, err := core.ReplayText(l)
+			if err != nil {
+				t.Fatal(err)
+			}
+			unit, err := core.ReplayTextUnitRef(l)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if span != unit {
+				t.Fatalf("documents diverge: span len %d, unit len %d", len(span), len(unit))
+			}
+			noopt, err := core.ReplayRopeNoOpt(l)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if noopt.String() != span {
+				t.Fatalf("no-opt document diverges: len %d vs %d", noopt.Len(), len(span))
+			}
+		})
+	}
+}

@@ -92,4 +92,28 @@
 // reconnect churn, Zipf-skewed hot documents) and writes throughput
 // and p50/p95/p99 fan-out latency to BENCH_server.json, the repo's
 // accumulating server-performance trajectory.
+//
+// # Performance: span-wise replay
+//
+// The replay pipeline is run-length encoded end-to-end (paper §3.8).
+// The event graph and operation log already store runs — typed text,
+// held-down delete, held-down backspace — as single spans; the internal
+// state (internal/itemtree) keeps each run as one B-tree record that is
+// split only when a concurrent operation lands inside it, and the
+// tracker (internal/core) applies, retreats, advances, and emits whole
+// runs per B-tree operation. Transformed operations (core.XOp, the
+// public Patch) are spans too, applied to the rope run-at-a-time, so a
+// 10,000-character typing burst costs a handful of tree operations
+// rather than 10,000. Three replay configurations exist: the span-wise
+// pipeline (the default), the same pipeline without the §3.5
+// critical-version optimisations (core.TransformAllNoOpt, Figure 9's
+// ablation), and a per-unit reference implementation
+// (core.TransformAllUnitRef) retained as the differential oracle —
+// fuzzers, the simulator oracle, and per-trace tests hold the span-wise
+// output byte-identical to it, and its emitted stream expands to
+// exactly the per-unit stream. cmd/egbench's core subcommand measures
+// both configurations (ns/event, peak transient heap, allocations) and
+// writes BENCH_core.json; the committed baseline at the repo root
+// records the measured speedups (2.8–14x across the paper's trace
+// classes, with 2–30x fewer allocations and lower peak heap).
 package egwalker

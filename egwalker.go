@@ -38,11 +38,14 @@ type Event struct {
 
 // Patch is an index-based update to the local document text resulting
 // from merging remote events: apply patches in order to mirror the
-// Doc's text in an external editor buffer.
+// Doc's text in an external editor buffer. A patch covers a whole run
+// of consecutive units: an insert places Content at rune position Pos;
+// a delete removes the N runes at [Pos, Pos+N).
 type Patch struct {
 	Insert  bool
 	Pos     int
-	Content rune // inserts only
+	N       int    // runes affected; == utf8 rune count of Content for inserts
+	Content string // inserts only
 }
 
 // Version identifies a document state: the frontier of the event graph,
@@ -314,18 +317,23 @@ func (d *Doc) Apply(events []Event) ([]Patch, error) {
 
 	// Fast path for real-time collaboration: if the document had a
 	// single head and the admitted events linearly extend it, no
-	// transformation is needed and no graph scan is required.
+	// transformation is needed and no graph scan is required; whole
+	// operation runs are applied to the rope in one go.
 	if d.linearExtension(emitFrom) {
 		var patches []Patch
 		var applyErr error
-		d.log.EachOp(causal.Span{Start: emitFrom, End: causal.LV(d.log.Len())},
-			func(_ causal.LV, op oplog.Op) bool {
-				p := Patch{Insert: op.Kind == oplog.Insert, Pos: op.Pos, Content: op.Content}
-				patches = append(patches, p)
-				if p.Insert {
-					applyErr = d.text.Insert(p.Pos, string(p.Content))
+		d.log.EachRun(causal.Span{Start: emitFrom, End: causal.LV(d.log.Len())},
+			func(lvs causal.Span, kind oplog.Kind, pos int, dir int8, content []rune) bool {
+				n := lvs.Len()
+				if kind == oplog.Insert {
+					patches = append(patches, Patch{Insert: true, Pos: pos, N: n, Content: string(content)})
+					applyErr = d.text.InsertRunes(pos, content)
 				} else {
-					applyErr = d.text.Delete(p.Pos, 1)
+					if dir < 0 {
+						pos -= n - 1 // backspace run: the range ends at pos
+					}
+					patches = append(patches, Patch{Pos: pos, N: n})
+					applyErr = d.text.Delete(pos, n)
 				}
 				return applyErr == nil
 			})
@@ -335,14 +343,17 @@ func (d *Doc) Apply(events []Event) ([]Patch, error) {
 		return patches, nil
 	}
 
-	// Transform and apply the newly admitted events.
+	// Transform and apply the newly admitted events, span at a time.
 	var patches []Patch
 	var applyErr error
 	err := core.TransformRange(d.log, emitFrom, func(_ causal.LV, op core.XOp) {
 		if applyErr != nil {
 			return
 		}
-		p := Patch{Insert: op.Kind == oplog.Insert, Pos: op.Pos, Content: op.Content}
+		p := Patch{Insert: op.Kind == oplog.Insert, Pos: op.Pos, N: op.N}
+		if p.Insert {
+			p.Content = string(op.Content)
+		}
 		patches = append(patches, p)
 		applyErr = core.ApplyXOp(d.text, op)
 	})
@@ -411,28 +422,51 @@ func (d *Doc) TextAt(v Version) (string, error) {
 	sub := oplog.New()
 	lvMap := make(map[causal.LV]causal.LV)
 	var addErr error
+	var ops []oplog.Op
 	for _, sp := range inV {
-		d.log.EachOp(sp, func(lv causal.LV, op oplog.Op) bool {
-			parents := make([]causal.LV, 0, 2)
-			for _, p := range d.log.Graph.ParentsOf(lv) {
-				np, ok := lvMap[p]
-				if !ok {
-					addErr = fmt.Errorf("egwalker: internal: parent %d outside version", p)
+		// Copy run-at-a-time so the sub-log keeps the run-length encoding
+		// (and its replay stays on the span-wise path). Runs are clipped
+		// to graph entries: within one entry the events are by one agent
+		// with consecutive seqs, each parented on its predecessor.
+		for at := sp.Start; at < sp.End; {
+			entry := d.log.Graph.EntrySpanAt(at)
+			if entry.End > sp.End {
+				entry.End = sp.End
+			}
+			d.log.EachRun(entry, func(lvs causal.Span, kind oplog.Kind, pos int, dir int8, content []rune) bool {
+				parents := make([]causal.LV, 0, 2)
+				for _, p := range d.log.Graph.ParentsOf(lvs.Start) {
+					np, ok := lvMap[p]
+					if !ok {
+						addErr = fmt.Errorf("egwalker: internal: parent %d outside version", p)
+						return false
+					}
+					parents = append(parents, np)
+				}
+				n := lvs.Len()
+				ops = ops[:0]
+				for i := 0; i < n; i++ {
+					op := oplog.Op{Kind: kind, Pos: pos + i*int(dir)}
+					if kind == oplog.Insert {
+						op.Content = content[i]
+					}
+					ops = append(ops, op)
+				}
+				id := d.log.Graph.IDOf(lvs.Start)
+				nsp, err := sub.AddRemote(id.Agent, id.Seq, parents, ops)
+				if err != nil {
+					addErr = err
 					return false
 				}
-				parents = append(parents, np)
+				for i := 0; i < n; i++ {
+					lvMap[lvs.Start+causal.LV(i)] = nsp.Start + causal.LV(i)
+				}
+				return true
+			})
+			if addErr != nil {
+				return "", addErr
 			}
-			id := d.log.Graph.IDOf(lv)
-			nsp, err := sub.AddRemote(id.Agent, id.Seq, parents, []oplog.Op{op})
-			if err != nil {
-				addErr = err
-				return false
-			}
-			lvMap[lv] = nsp.Start
-			return true
-		})
-		if addErr != nil {
-			return "", addErr
+			at = entry.End
 		}
 	}
 	return core.ReplayText(sub)

@@ -51,7 +51,7 @@ func ExampleDoc_Apply() {
 		fmt.Printf("insert=%v pos=%d content=%q\n", p.Insert, p.Pos, p.Content)
 	}
 	// Output:
-	// insert=true pos=5 content='!'
+	// insert=true pos=5 content="!"
 }
 
 // Save with a cached final document makes Load as cheap as reading a

@@ -12,6 +12,8 @@ import (
 	"testing"
 
 	"egwalker"
+	"egwalker/internal/core"
+	"egwalker/internal/encoding"
 )
 
 // runScript interprets script as edits/merges over three replicas.
@@ -132,6 +134,40 @@ func FuzzDocSaveLoadRoundTrip(f *testing.F) {
 		}
 		if got != a.Text() {
 			t.Fatalf("TextAt(current) = %q, want %q", got, a.Text())
+		}
+		// Span-vs-unit differential: the incrementally maintained text,
+		// the span-wise full replay, and the per-unit reference replay
+		// must all agree, and the span stream must expand to exactly the
+		// per-unit stream.
+		var hist bytes.Buffer
+		if err := a.Save(&hist, egwalker.SaveOptions{}); err != nil {
+			t.Fatal(err)
+		}
+		dec, err := encoding.Decode(hist.Bytes())
+		if err != nil {
+			t.Fatal(err)
+		}
+		spanText, err := core.ReplayText(dec.Log)
+		if err != nil {
+			t.Fatal(err)
+		}
+		unitText, err := core.ReplayTextUnitRef(dec.Log)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if spanText != a.Text() || unitText != a.Text() {
+			t.Fatalf("replay differential: doc %q, span %q, unit %q", a.Text(), spanText, unitText)
+		}
+		spanStream, err := core.UnitStream(dec.Log, core.TransformAll)
+		if err != nil {
+			t.Fatal(err)
+		}
+		unitStream, err := core.UnitStream(dec.Log, core.TransformAllUnitRef)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if at := core.DiffUnitStreams(spanStream, unitStream); at >= 0 {
+			t.Fatalf("span stream diverges from per-unit reference at unit op %d", at)
 		}
 	})
 }

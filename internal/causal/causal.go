@@ -67,6 +67,10 @@ type Graph struct {
 	agentIdx map[string]int
 	byAgent  [][]agentSpan // per agent, sorted by seqStart
 	frontier []LV          // events with no children, sorted ascending
+	// critCache memoises CriticalBoundaries. It is valid only while its
+	// length equals Len(): any append grows the graph and so invalidates
+	// it implicitly, with no hook needed on the append paths.
+	critCache []bool
 }
 
 // New returns an empty event graph.

@@ -20,7 +20,21 @@ package causal
 // whether the version {i} is critical with respect to the whole graph.
 // The final event's boundary is critical iff the graph's frontier is a
 // single event.
+//
+// The result is cached on the graph: appending events changes Len, which
+// invalidates the cache, so repeated calls between appends (every
+// TransformRange, every stats pass) are free. Callers must not modify
+// the returned slice.
 func (g *Graph) CriticalBoundaries() []bool {
+	n := g.Len()
+	if g.critCache != nil && len(g.critCache) == n {
+		return g.critCache
+	}
+	g.critCache = g.computeCriticalBoundaries()
+	return g.critCache
+}
+
+func (g *Graph) computeCriticalBoundaries() []bool {
 	n := g.Len()
 	out := make([]bool, n)
 	if n == 0 {

@@ -11,7 +11,8 @@ import (
 //
 //   - Runs of events whose own version and parent version are both
 //     critical are emitted untransformed — no internal state is built at
-//     all. Sequentially edited documents are almost entirely such runs.
+//     all. Sequentially edited documents are almost entirely such runs,
+//     and each operation run is emitted as one span.
 //   - Each remaining section (between two adjacent critical versions) is
 //     replayed through a fresh Tracker seeded with a placeholder at the
 //     section's base version; the tracker is discarded at the section's
@@ -19,6 +20,18 @@ import (
 //
 // For incremental merges, only events from the latest critical version
 // before the first new event are replayed (partial replay).
+//
+// Every Transform* entry point has a *UnitRef twin that drives the
+// per-unit reference state (unitref.go) through the same planner,
+// emitting one single-unit XOp per event. The two configurations must
+// produce byte-identical documents and span streams that expand to the
+// same per-unit operations; the differential tests hold them to that.
+
+// sectionTracker is what the planner needs from an internal state: both
+// Tracker and unitTracker implement it.
+type sectionTracker interface {
+	ApplyRange(span causal.Span, emitFrom causal.LV, emit func(lv causal.LV, op XOp)) error
+}
 
 // fastPath reports whether the event at lv can be emitted untransformed:
 // both its own version and its parent version are critical (§3.5).
@@ -26,14 +39,40 @@ func fastPath(boundaries []bool, lv causal.LV) bool {
 	return boundaries[lv] && (lv == 0 || boundaries[lv-1])
 }
 
-// TransformRange replays the graph as needed to transform the events in
-// [emitFrom, log.Len()), calling emit for each transformed operation in
-// storage order. The caller's document must reflect exactly the events
-// [0, emitFrom).
-//
-// TransformRange(l, 0, emit) transforms the entire graph; applying the
-// emitted operations in order to an empty document yields replay(G).
-func TransformRange(l *oplog.Log, emitFrom causal.LV, emit func(lv causal.LV, op XOp)) error {
+// emitFastRuns emits the events in [start, end) untransformed, one span
+// per operation run.
+func emitFastRuns(l *oplog.Log, start, end causal.LV, emit func(lv causal.LV, op XOp)) {
+	l.EachRun(causal.Span{Start: start, End: end}, func(lvs causal.Span, kind oplog.Kind, pos int, dir int8, content []rune) bool {
+		if kind == oplog.Insert {
+			emit(lvs.Start, XOp{Kind: oplog.Insert, Pos: pos, N: lvs.Len(), Content: content})
+			return true
+		}
+		// A backspace run deleting at pos, pos-1, ... removes the range
+		// ending at pos; a forward run removes the range starting there.
+		n := lvs.Len()
+		if dir < 0 {
+			pos -= n - 1
+		}
+		emit(lvs.Start, XOp{Kind: oplog.Delete, Pos: pos, N: n, Back: dir < 0})
+		return true
+	})
+}
+
+// emitFastUnits is emitFastRuns for the per-unit reference mode.
+func emitFastUnits(l *oplog.Log, start, end causal.LV, emit func(lv causal.LV, op XOp)) {
+	l.EachOp(causal.Span{Start: start, End: end}, func(lv causal.LV, op oplog.Op) bool {
+		x := XOp{Kind: op.Kind, Pos: op.Pos, N: 1}
+		if op.Kind == oplog.Insert {
+			x.Content = []rune{op.Content}
+		}
+		emit(lv, x)
+		return true
+	})
+}
+
+// transformRange is the shared planner; unitRef selects the per-unit
+// reference state and emission.
+func transformRange(l *oplog.Log, emitFrom causal.LV, emit func(lv causal.LV, op XOp), unitRef bool) error {
 	g := l.Graph
 	n := causal.LV(g.Len())
 	if emitFrom >= n {
@@ -51,19 +90,22 @@ func TransformRange(l *oplog.Log, emitFrom causal.LV, emit func(lv causal.LV, op
 	}
 	for i < n {
 		if fastPath(boundaries, i) {
-			if i < emitFrom {
-				i++
-				continue
-			}
 			// Maximal run of fast-path events: emit untransformed.
 			j := i + 1
 			for j < n && boundaries[j] {
 				j++
 			}
-			l.EachOp(causal.Span{Start: i, End: j}, func(lv causal.LV, op oplog.Op) bool {
-				emit(lv, XOp{Kind: op.Kind, Pos: op.Pos, Content: op.Content})
-				return true
-			})
+			s := i
+			if s < emitFrom {
+				s = emitFrom
+			}
+			if s < j {
+				if unitRef {
+					emitFastUnits(l, s, j, emit)
+				} else {
+					emitFastRuns(l, s, j, emit)
+				}
+			}
 			i = j
 			continue
 		}
@@ -81,7 +123,12 @@ func TransformRange(l *oplog.Log, emitFrom causal.LV, emit func(lv causal.LV, op
 		} else {
 			base = causal.Frontier{i - 1}
 		}
-		tr := NewTracker(l, base, baseUnits)
+		var tr sectionTracker
+		if unitRef {
+			tr = newUnitTracker(l, base, baseUnits)
+		} else {
+			tr = NewTracker(l, base, baseUnits)
+		}
 		if err := tr.ApplyRange(causal.Span{Start: i, End: j}, emitFrom, emit); err != nil {
 			return err
 		}
@@ -90,9 +137,33 @@ func TransformRange(l *oplog.Log, emitFrom causal.LV, emit func(lv causal.LV, op
 	return nil
 }
 
+// TransformRange replays the graph as needed to transform the events in
+// [emitFrom, log.Len()), calling emit for each transformed span
+// operation in storage order. The caller's document must reflect exactly
+// the events [0, emitFrom).
+//
+// TransformRange(l, 0, emit) transforms the entire graph; applying the
+// emitted operations in order to an empty document yields replay(G).
+func TransformRange(l *oplog.Log, emitFrom causal.LV, emit func(lv causal.LV, op XOp)) error {
+	return transformRange(l, emitFrom, emit, false)
+}
+
+// TransformRangeUnitRef is TransformRange through the per-unit reference
+// state: one single-unit operation per event (the differential oracle
+// and the "before" configuration of the core benchmarks).
+func TransformRangeUnitRef(l *oplog.Log, emitFrom causal.LV, emit func(lv causal.LV, op XOp)) error {
+	return transformRange(l, emitFrom, emit, true)
+}
+
 // TransformAll transforms every event in the graph.
 func TransformAll(l *oplog.Log, emit func(lv causal.LV, op XOp)) error {
 	return TransformRange(l, 0, emit)
+}
+
+// TransformAllUnitRef transforms every event through the per-unit
+// reference state.
+func TransformAllUnitRef(l *oplog.Log, emit func(lv causal.LV, op XOp)) error {
+	return TransformRangeUnitRef(l, 0, emit)
 }
 
 // TransformAllNoOpt replays the entire graph through a single tracker
@@ -101,6 +172,13 @@ func TransformAll(l *oplog.Log, emit func(lv causal.LV, op XOp)) error {
 // TransformAll; only the cost differs.
 func TransformAllNoOpt(l *oplog.Log, emit func(lv causal.LV, op XOp)) error {
 	tr := NewTracker(l, causal.Root, 0)
+	return tr.ApplyRange(causal.Span{Start: 0, End: causal.LV(l.Len())}, 0, emit)
+}
+
+// TransformAllNoOptUnitRef is TransformAllNoOpt through the per-unit
+// reference state: both §3.5 and §3.8 optimisations disabled.
+func TransformAllNoOptUnitRef(l *oplog.Log, emit func(lv causal.LV, op XOp)) error {
+	tr := newUnitTracker(l, causal.Root, 0)
 	return tr.ApplyRange(causal.Span{Start: 0, End: causal.LV(l.Len())}, 0, emit)
 }
 
@@ -139,19 +217,19 @@ func ToIDOps(l *oplog.Log, emit func(IDOp)) error {
 	return tr.ApplyRange(causal.Span{Start: 0, End: causal.LV(l.Len())}, causal.LV(l.Len()), nil)
 }
 
-// ApplyXOp applies a transformed operation to a rope document.
+// ApplyXOp applies a transformed span operation to a rope document.
 func ApplyXOp(r *rope.Rope, op XOp) error {
 	if op.Kind == oplog.Insert {
-		return r.InsertRunes(op.Pos, []rune{op.Content})
+		return r.InsertRunes(op.Pos, op.Content)
 	}
-	return r.Delete(op.Pos, 1)
+	return r.Delete(op.Pos, op.N)
 }
 
-// ReplayRope replays the entire event graph into a fresh document.
-func ReplayRope(l *oplog.Log) (*rope.Rope, error) {
+// replayRope applies a transform configuration to a fresh rope.
+func replayRope(l *oplog.Log, transform func(*oplog.Log, func(causal.LV, XOp)) error) (*rope.Rope, error) {
 	r := rope.New()
 	var applyErr error
-	err := TransformAll(l, func(_ causal.LV, op XOp) {
+	err := transform(l, func(_ causal.LV, op XOp) {
 		if applyErr == nil {
 			applyErr = ApplyXOp(r, op)
 		}
@@ -163,6 +241,11 @@ func ReplayRope(l *oplog.Log) (*rope.Rope, error) {
 		return nil, applyErr
 	}
 	return r, nil
+}
+
+// ReplayRope replays the entire event graph into a fresh document.
+func ReplayRope(l *oplog.Log) (*rope.Rope, error) {
+	return replayRope(l, TransformAll)
 }
 
 // ReplayText replays the entire event graph and returns the document
@@ -177,18 +260,20 @@ func ReplayText(l *oplog.Log) (string, error) {
 
 // ReplayRopeNoOpt is ReplayRope without the §3.5 optimisations (Fig 9).
 func ReplayRopeNoOpt(l *oplog.Log) (*rope.Rope, error) {
-	r := rope.New()
-	var applyErr error
-	err := TransformAllNoOpt(l, func(_ causal.LV, op XOp) {
-		if applyErr == nil {
-			applyErr = ApplyXOp(r, op)
-		}
-	})
+	return replayRope(l, TransformAllNoOpt)
+}
+
+// ReplayRopeUnitRef is ReplayRope through the per-unit reference state.
+func ReplayRopeUnitRef(l *oplog.Log) (*rope.Rope, error) {
+	return replayRope(l, TransformAllUnitRef)
+}
+
+// ReplayTextUnitRef replays through the per-unit reference state and
+// returns the document text.
+func ReplayTextUnitRef(l *oplog.Log) (string, error) {
+	r, err := ReplayRopeUnitRef(l)
 	if err != nil {
-		return nil, err
+		return "", err
 	}
-	if applyErr != nil {
-		return nil, applyErr
-	}
-	return r, nil
+	return r.String(), nil
 }

@@ -117,9 +117,13 @@ func docIDs(t *testing.T, l *oplog.Log) []int64 {
 	var doc []idChar
 	err := TransformAll(l, func(lv causal.LV, op XOp) {
 		if op.Kind == oplog.Insert {
-			doc = append(doc[:op.Pos], append([]idChar{{int64(lv)}}, doc[op.Pos:]...)...)
+			ins := make([]idChar, op.N)
+			for i := range ins {
+				ins[i] = idChar{int64(lv) + int64(i)}
+			}
+			doc = append(doc[:op.Pos], append(ins, doc[op.Pos:]...)...)
 		} else {
-			doc = append(doc[:op.Pos], doc[op.Pos+1:]...)
+			doc = append(doc[:op.Pos], doc[op.Pos+op.N:]...)
 		}
 	})
 	if err != nil {
@@ -281,16 +285,16 @@ func TestTrackerStateReuse(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	if len(ops1) != 3 || len(ops2) != 2 {
-		t.Fatalf("emitted %d + %d ops", len(ops1), len(ops2))
+	if len(ops1) != 1 || len(ops2) != 2 {
+		t.Fatalf("emitted %d + %d span ops, want 1 + 2", len(ops1), len(ops2))
 	}
 	// Apply everything to a buffer and compare with a fresh replay.
 	var doc []rune
 	for _, op := range append(ops1, ops2...) {
 		if op.Kind == oplog.Insert {
-			doc = append(doc[:op.Pos], append([]rune{op.Content}, doc[op.Pos:]...)...)
+			doc = append(doc[:op.Pos], append(append([]rune(nil), op.Content...), doc[op.Pos:]...)...)
 		} else {
-			doc = append(doc[:op.Pos], doc[op.Pos+1:]...)
+			doc = append(doc[:op.Pos], doc[op.Pos+op.N:]...)
 		}
 	}
 	want := replayOrFail(t, l)

@@ -6,27 +6,40 @@
 // The Tracker is the internal state from §3.2–§3.4: it simultaneously
 // captures the document at the *prepare* version (the version an event
 // was generated in) and the *effect* version (all events applied so far).
-// The replay planner in replay.go drives trackers over sections of the
-// graph between critical versions (§3.5–§3.6).
+// It is run-length encoded end-to-end (§3.8): a run of consecutive
+// insertions (or a forward/backward delete run over adjacent units) is
+// applied, retreated, advanced, and emitted as a single span operation.
+// The per-unit reference implementation lives in unitref.go; the replay
+// planner in replay.go drives trackers over sections of the graph
+// between critical versions (§3.5–§3.6).
 package core
 
 import (
 	"fmt"
+	"sort"
 
 	"egwalker/internal/causal"
 	"egwalker/internal/itemtree"
 	"egwalker/internal/oplog"
 )
 
-// XOp is a transformed operation: an insertion or deletion whose index is
-// valid in the effect version (the document produced by all previously
-// emitted operations). Deletions of characters already deleted by a
-// concurrent operation are dropped (not emitted) rather than emitted as
-// no-ops.
+// XOp is a transformed span operation: a run of insertions or deletions
+// whose index is valid in the effect version (the document produced by
+// all previously emitted operations). An insert places Content at
+// [Pos, Pos+N); a delete removes the N units at [Pos, Pos+N). Runs of
+// deletions targeting units already deleted by a concurrent operation
+// are dropped (not emitted) rather than emitted as no-ops.
 type XOp struct {
 	Kind    oplog.Kind
 	Pos     int
-	Content rune // inserts only
+	N       int    // units affected; == len(Content) for inserts
+	Content []rune // inserts only; may alias the oplog's storage
+	// Back marks a delete span derived from a backspace run: the span's
+	// events deleted the range top-down (positions Pos+N-1 down to Pos)
+	// rather than bottom-up (N deletes at Pos). The applied effect is
+	// identical — remove [Pos, Pos+N) — but the flag keeps the per-unit
+	// expansion exact (see EachUnit).
+	Back bool
 }
 
 // infinitePlaceholder stands for the unknown document length at a replay
@@ -35,6 +48,24 @@ type XOp struct {
 // units are never touched.
 const infinitePlaceholder = 1 << 40
 
+// delRun is one entry of the run-length encoded delete-target index (the
+// paper's second B-tree): the delete event at lvs.Start+k deleted the
+// unit with ID target + k*step. step folds together the run's document
+// direction (forward or backspace) and the ID direction of the targeted
+// run (real-run unit IDs ascend in document order, placeholder unit IDs
+// descend).
+type delRun struct {
+	lvs    causal.Span
+	target itemtree.ID
+	step   int8
+}
+
+// moveRun is a scratch record for span-wise retreat/advance.
+type moveRun struct {
+	lvs  causal.Span
+	kind oplog.Kind
+}
+
 // Tracker is Eg-walker's internal state, seeded at a base version.
 // All events applied to it must be at or after the base version (in the
 // intended use the base is a critical version, so this holds for every
@@ -42,11 +73,16 @@ const infinitePlaceholder = 1 << 40
 type Tracker struct {
 	log  *oplog.Log
 	tree *itemtree.Tree
-	// delTargets records, for each applied delete event, the unit it
-	// deleted — the paper's second B-tree mapping event IDs to records.
-	delTargets map[causal.LV]itemtree.ID
-	// cur is the prepare version.
+	// delRuns records, run-length encoded and sorted by lvs.Start, the
+	// unit each applied delete event removed. Applies happen in ascending
+	// LV order, so the index grows by appends (often merging into the
+	// last entry).
+	delRuns []delRun
+	// cur is the prepare version. Its backing array is reused across
+	// moves to keep the hot loop allocation-free.
 	cur causal.Frontier
+	// runBuf is scratch for shiftSpan's run collection.
+	runBuf []moveRun
 	// onIDOp, if set, is called for each applied event with its ID-space
 	// form: the CRDT origins for inserts, or the deleted unit for
 	// deletes. Used to convert position-based event logs into ID-based
@@ -59,10 +95,9 @@ type Tracker struct {
 // unknown (an "infinite" placeholder is used; see §3.6).
 func NewTracker(l *oplog.Log, base causal.Frontier, baseUnits int) *Tracker {
 	t := &Tracker{
-		log:        l,
-		tree:       itemtree.New(),
-		delTargets: make(map[causal.LV]itemtree.ID),
-		cur:        base.Clone(),
+		log:  l,
+		tree: itemtree.New(),
+		cur:  base.Clone(),
 	}
 	if baseUnits < 0 {
 		baseUnits = infinitePlaceholder
@@ -73,10 +108,11 @@ func NewTracker(l *oplog.Log, base causal.Frontier, baseUnits int) *Tracker {
 	return t
 }
 
-// ApplyRange replays the events in span (storage order). For each event
-// at lv >= emitFrom whose transformed operation is not a no-op, emit is
-// called with the transformed operation. emit may be nil to replay purely
-// for internal state (the catch-up phase of partial replay).
+// ApplyRange replays the events in span (storage order) run by run. For
+// each maximal run of events at lv >= emitFrom whose transformed
+// operation is not a no-op, emit is called with the transformed span
+// operation. emit may be nil to replay purely for internal state (the
+// catch-up phase of partial replay).
 func (t *Tracker) ApplyRange(span causal.Span, emitFrom causal.LV, emit func(lv causal.LV, op XOp)) error {
 	g := t.log.Graph
 	lv := span.Start
@@ -89,139 +125,283 @@ func (t *Tracker) ApplyRange(span causal.Span, emitFrom causal.LV, emit func(lv 
 			return err
 		}
 		var applyErr error
-		t.log.EachOp(run, func(opLV causal.LV, op oplog.Op) bool {
-			e := emit
-			if opLV < emitFrom {
-				e = nil
+		t.log.EachRun(run, func(lvs causal.Span, kind oplog.Kind, pos int, dir int8, content []rune) bool {
+			if kind == oplog.Insert {
+				applyErr = t.applyInsertRun(lvs, pos, content, emitFrom, emit)
+			} else {
+				applyErr = t.applyDeleteRun(lvs, pos, dir, emitFrom, emit)
 			}
-			if err := t.applyOne(opLV, op, e); err != nil {
-				applyErr = err
-				return false
-			}
-			return true
+			return applyErr == nil
 		})
 		if applyErr != nil {
 			return applyErr
 		}
-		t.cur = causal.Frontier{run.End - 1}
+		t.cur = append(t.cur[:0], run.End-1)
 		lv = run.End
 	}
 	return nil
 }
 
 // moveTo retreats and advances events so the prepare version equals
-// parents (§3.2).
+// parents (§3.2), shifting whole runs per B-tree operation.
 func (t *Tracker) moveTo(parents causal.Frontier) error {
 	if t.cur.Eq(parents) {
 		return nil
 	}
 	onlyCur, onlyNew := t.log.Graph.Diff(t.cur, parents)
-	// Retreat in reverse topological (descending LV) order.
+	// Retreat in reverse topological (descending LV) order so deletes of
+	// a unit retreat before the insertion that created it.
 	for i := len(onlyCur) - 1; i >= 0; i-- {
-		for lv := onlyCur[i].End - 1; lv >= onlyCur[i].Start; lv-- {
-			if err := t.shift(lv, -1); err != nil {
-				return fmt.Errorf("retreat %d: %w", lv, err)
-			}
+		if err := t.shiftSpan(onlyCur[i], -1, true); err != nil {
+			return fmt.Errorf("retreat %v: %w", onlyCur[i], err)
 		}
 	}
 	// Advance in topological (ascending LV) order.
 	for _, sp := range onlyNew {
-		for lv := sp.Start; lv < sp.End; lv++ {
-			if err := t.shift(lv, +1); err != nil {
-				return fmt.Errorf("advance %d: %w", lv, err)
-			}
+		if err := t.shiftSpan(sp, +1, false); err != nil {
+			return fmt.Errorf("advance %v: %w", sp, err)
 		}
 	}
-	t.cur = parents.Clone()
+	t.cur = append(t.cur[:0], parents...)
 	return nil
 }
 
-// shift applies a retreat (delta = -1) or advance (delta = +1) of the
-// event at lv to the prepare state. Both insert and delete events move
-// the target record's s_p by one step along the state machine in
-// Figure 5: NYI <-> Ins <-> Del 1 <-> Del 2 <-> ...
-func (t *Tracker) shift(lv causal.LV, delta int32) error {
-	op := t.log.OpAt(lv)
-	var id itemtree.ID
-	if op.Kind == oplog.Insert {
-		id = itemtree.ID(lv)
-	} else {
-		target, ok := t.delTargets[lv]
-		if !ok {
-			return fmt.Errorf("core: delete event %d was never applied to this tracker", lv)
-		}
-		id = target
-	}
-	c, err := t.tree.CursorFor(id)
-	if err != nil {
-		return err
-	}
-	var stateErr error
-	t.tree.MutateUnit(c, func(it *itemtree.Item) {
-		next := it.CurState + delta
-		minState := itemtree.StateNotInsertedYet
-		if op.Kind == oplog.Delete {
-			// A delete moves between Ins (0) and Del k (>= 1); it can
-			// never make the record NYI.
-			minState = itemtree.StateInserted
-		}
-		if next < minState {
-			stateErr = fmt.Errorf("core: event %d shift %d from state %d underflows", lv, delta, it.CurState)
-			return
-		}
-		it.CurState = next
+// shiftSpan retreats (delta = -1) or advances (delta = +1) every event in
+// sp, processing the span's operation runs in descending LV order when
+// reverse is set (retreats) and ascending otherwise (advances).
+func (t *Tracker) shiftSpan(sp causal.Span, delta int32, reverse bool) error {
+	runs := t.runBuf[:0]
+	t.log.EachRun(sp, func(lvs causal.Span, kind oplog.Kind, _ int, _ int8, _ []rune) bool {
+		runs = append(runs, moveRun{lvs: lvs, kind: kind})
+		return true
 	})
-	return stateErr
+	t.runBuf = runs
+	if reverse {
+		for i := len(runs) - 1; i >= 0; i-- {
+			if err := t.shiftRun(runs[i], delta); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, r := range runs {
+		if err := t.shiftRun(r, delta); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
-// applyOne applies a single event whose parents equal the current prepare
-// version (§3.3). It updates the internal state and emits the transformed
-// operation.
-func (t *Tracker) applyOne(lv causal.LV, op oplog.Op, emit func(causal.LV, XOp)) error {
-	switch op.Kind {
-	case oplog.Insert:
-		c, oleft, oright, err := t.tree.FindInsert(op.Pos)
-		if err != nil {
-			return fmt.Errorf("core: apply insert %d: %w", lv, err)
+// shiftRun state-shifts the units touched by one operation run along the
+// Figure 5 state machine: NYI <-> Ins <-> Del 1 <-> Del 2 <-> ...
+func (t *Tracker) shiftRun(r moveRun, delta int32) error {
+	if r.kind == oplog.Insert {
+		// An insert run's units have IDs equal to their LVs, ascending in
+		// document order.
+		return t.shiftUnits(itemtree.ID(r.lvs.Start), r.lvs.Len(), delta, itemtree.StateNotInsertedYet, r.lvs.Start)
+	}
+	// Delete runs: resolve the targeted unit ranges from the RLE index.
+	i := sort.Search(len(t.delRuns), func(i int) bool { return t.delRuns[i].lvs.End > r.lvs.Start })
+	covered := r.lvs.Start
+	for ; i < len(t.delRuns) && t.delRuns[i].lvs.Start < r.lvs.End; i++ {
+		dr := &t.delRuns[i]
+		if dr.lvs.Start > covered {
+			break // gap: events never applied
 		}
-		dest, err := t.integrate(lv, c, oleft, oright)
+		s, e := dr.lvs.Start, dr.lvs.End
+		if s < r.lvs.Start {
+			s = r.lvs.Start
+		}
+		if e > r.lvs.End {
+			e = r.lvs.End
+		}
+		n := int(e - s)
+		// The chunk's targets form the contiguous ID range from the
+		// target of event s, n steps along dr.step. Convert to the
+		// chunk's first unit in document order.
+		first := dr.target + int64(s-dr.lvs.Start)*int64(dr.step)
+		last := first + int64(n-1)*int64(dr.step)
+		lo, hi := first, last
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		docFirst := lo
+		if itemtree.IsPlaceholder(first) {
+			docFirst = hi // placeholder unit IDs descend in document order
+		}
+		if err := t.shiftUnits(docFirst, n, delta, itemtree.StateInserted, s); err != nil {
+			return err
+		}
+		covered = e
+	}
+	if covered < r.lvs.End {
+		return fmt.Errorf("core: delete events [%d,%d) were never applied to this tracker", covered, r.lvs.End)
+	}
+	return nil
+}
+
+// shiftUnits applies a state shift of delta to the n units starting (in
+// document order) at the unit with ID id, splitting pieces on demand so
+// only those units are affected. minState guards the state machine; lv
+// names the originating events in error messages.
+func (t *Tracker) shiftUnits(id itemtree.ID, n int, delta, minState int32, lv causal.LV) error {
+	for k := 0; k < n; {
+		c, err := t.tree.CursorFor(itemtree.AdvanceID(id, k))
 		if err != nil {
 			return err
 		}
-		ic := t.tree.InsertAt(dest, itemtree.Item{
-			ID:          itemtree.ID(lv),
-			Len:         1,
-			CurState:    itemtree.StateInserted,
-			OriginLeft:  oleft,
-			OriginRight: oright,
+		take := c.Item().Len - c.Offset()
+		if take > n-k {
+			take = n - k
+		}
+		var stateErr error
+		t.tree.MutateRange(c, take, func(it *itemtree.Item) {
+			next := it.CurState + delta
+			if next < minState {
+				stateErr = fmt.Errorf("core: events at %d shift %d from state %d underflows", lv, delta, it.CurState)
+				return
+			}
+			it.CurState = next
 		})
-		if t.onIDOp != nil {
-			t.onIDOp(lv, op, oleft, oright, 0)
+		if stateErr != nil {
+			return stateErr
 		}
-		if emit != nil {
-			emit(lv, XOp{Kind: oplog.Insert, Pos: t.tree.CountEndBefore(ic), Content: op.Content})
+		k += take
+	}
+	return nil
+}
+
+// applyInsertRun applies a run of consecutive insertions whose parents
+// equal the current prepare version as a single B-tree record (§3.3,
+// §3.8). The whole run shares one integration scan: units after the
+// first land immediately after their predecessor by construction.
+func (t *Tracker) applyInsertRun(lvs causal.Span, pos int, content []rune, emitFrom causal.LV, emit func(causal.LV, XOp)) error {
+	c, oleft, oright, err := t.tree.FindInsert(pos)
+	if err != nil {
+		return fmt.Errorf("core: apply insert %d: %w", lvs.Start, err)
+	}
+	dest, err := integrate(t.log, t.tree, lvs.Start, c, oleft, oright)
+	if err != nil {
+		return err
+	}
+	n := lvs.Len()
+	ic := t.tree.InsertAt(dest, itemtree.Item{
+		ID:          itemtree.ID(lvs.Start),
+		Len:         n,
+		CurState:    itemtree.StateInserted,
+		OriginLeft:  oleft,
+		OriginRight: oright,
+	})
+	if t.onIDOp != nil {
+		ol := oleft
+		for i := 0; i < n; i++ {
+			t.onIDOp(lvs.Start+causal.LV(i), oplog.Op{Kind: oplog.Insert, Pos: pos + i, Content: content[i]}, ol, oright, 0)
+			ol = itemtree.ID(lvs.Start) + int64(i)
 		}
-	case oplog.Delete:
-		c, err := t.tree.FindVisible(op.Pos)
+	}
+	if emit != nil && lvs.End > emitFrom {
+		skip := 0
+		if emitFrom > lvs.Start {
+			skip = int(emitFrom - lvs.Start)
+		}
+		emit(lvs.Start+causal.LV(skip), XOp{
+			Kind:    oplog.Insert,
+			Pos:     t.tree.CountEndBefore(ic) + skip,
+			N:       n - skip,
+			Content: content[skip:],
+		})
+	}
+	return nil
+}
+
+// applyDeleteRun applies a run of deletions whose parents equal the
+// current prepare version. dir >= 0 is a forward run (every event at the
+// same prepare index); dir < 0 is a backspace run (indexes descending).
+// The run is consumed in chunks, one chunk per uniform-state B-tree
+// piece, each mutated and emitted as a single span.
+func (t *Tracker) applyDeleteRun(lvs causal.Span, pos int, dir int8, emitFrom causal.LV, emit func(causal.LV, XOp)) error {
+	n := lvs.Len()
+	lv := lvs.Start
+	for n > 0 {
+		c, err := t.tree.FindVisible(pos)
 		if err != nil {
 			return fmt.Errorf("core: apply delete %d: %w", lv, err)
 		}
-		wasDeleted := c.Item().EverDeleted
-		mc := t.tree.MutateUnit(c, func(it *itemtree.Item) {
+		it := c.Item()
+		wasDeleted := it.EverDeleted
+		var take int
+		var first itemtree.Cursor // cursor at the chunk's first unit in document order
+		step := int8(1)
+		if itemtree.IsPlaceholder(it.ID) {
+			step = -1 // placeholder unit IDs descend in document order
+		}
+		if dir < 0 {
+			// Backspace: the event at lv deletes the unit under the
+			// cursor; following events delete the units before it.
+			take = c.Offset() + 1
+			if take > n {
+				take = n
+			}
+			first = c.Rewind(take - 1)
+			step = -step
+		} else {
+			take = it.Len - c.Offset()
+			if take > n {
+				take = n
+			}
+			first = c
+		}
+		firstTarget := c.UnitID() // unit deleted by the event at lv
+		mc := t.tree.MutateRange(first, take, func(it *itemtree.Item) {
 			it.CurState++
 			it.EverDeleted = true
 		})
-		t.delTargets[lv] = mc.Item().ID
+		t.recordDelRun(causal.Span{Start: lv, End: lv + causal.LV(take)}, firstTarget, step)
 		if t.onIDOp != nil {
-			t.onIDOp(lv, op, 0, 0, mc.Item().ID)
+			id := firstTarget
+			for i := 0; i < take; i++ {
+				opPos := pos
+				if dir < 0 {
+					opPos = pos - i
+				}
+				t.onIDOp(lv+causal.LV(i), oplog.Op{Kind: oplog.Delete, Pos: opPos}, 0, 0, id)
+				id += itemtree.ID(step)
+			}
 		}
-		if emit != nil && !wasDeleted {
-			emit(lv, XOp{Kind: oplog.Delete, Pos: t.tree.CountEndBefore(mc)})
+		if emit != nil && !wasDeleted && lv+causal.LV(take) > emitFrom {
+			emitN := take
+			if emitFrom > lv {
+				emitN = int(lv + causal.LV(take) - emitFrom)
+			}
+			emitLV := lv
+			if emitFrom > lv {
+				emitLV = emitFrom
+			}
+			// The chunk's units are no longer effect-visible, so
+			// CountEndBefore yields the effect index of the whole range.
+			emit(emitLV, XOp{Kind: oplog.Delete, Pos: t.tree.CountEndBefore(mc), N: emitN, Back: dir < 0})
 		}
-	default:
-		return fmt.Errorf("core: unknown op kind %d", op.Kind)
+		n -= take
+		lv += causal.LV(take)
+		if dir < 0 {
+			pos -= take
+		}
 	}
 	return nil
+}
+
+// recordDelRun appends a delete-target chunk to the RLE index, merging
+// with the previous entry when it continues the pattern.
+func (t *Tracker) recordDelRun(lvs causal.Span, target itemtree.ID, step int8) {
+	if k := len(t.delRuns); k > 0 {
+		last := &t.delRuns[k-1]
+		if last.lvs.End == lvs.Start && last.step == step &&
+			last.target+int64(last.lvs.Len())*int64(step) == target {
+			last.lvs.End = lvs.End
+			return
+		}
+	}
+	t.delRuns = append(t.delRuns, delRun{lvs: lvs, target: target, step: step})
 }
 
 // integrate decides where among concurrent insertions the new item goes,
@@ -229,17 +409,20 @@ func (t *Tracker) applyOne(lv causal.LV, op oplog.Op, emit func(causal.LV, XOp))
 // over not-inserted-yet items, comparing their origins with the new
 // item's, breaking ties by the inserting agent. All comparisons use raw
 // positions, which are consistent across replicas for concurrent items.
-func (t *Tracker) integrate(newLV causal.LV, c itemtree.Cursor, oleft, oright itemtree.ID) (itemtree.Cursor, error) {
-	leftRaw, err := t.tree.RawPosOf(oleft)
+// Scanning is item-at-a-time: a run's interior units inherit their
+// predecessor as origin-left, so a whole run always orders atomically —
+// exactly as the per-unit scan would decide.
+func integrate(l *oplog.Log, tree *itemtree.Tree, newLV causal.LV, c itemtree.Cursor, oleft, oright itemtree.ID) (itemtree.Cursor, error) {
+	leftRaw, err := tree.RawPosOf(oleft)
 	if err != nil {
 		return c, err
 	}
-	rightRaw, err := t.tree.RawPosOf(oright)
+	rightRaw, err := tree.RawPosOf(oright)
 	if err != nil {
 		return c, err
 	}
 	scan := c
-	scanRaw := t.tree.RawPos(scan)
+	scanRaw := tree.RawPos(scan)
 	if scanRaw == rightRaw {
 		// No concurrent items at the insertion point (the common case).
 		return c, nil
@@ -260,7 +443,7 @@ func (t *Tracker) integrate(newLV causal.LV, c itemtree.Cursor, oleft, oright it
 			// means we've hit the right origin.
 			break
 		}
-		oL, err := t.tree.RawPosOf(other.OriginLeft)
+		oL, err := tree.RawPosOf(other.OriginLeft)
 		if err != nil {
 			return c, err
 		}
@@ -268,7 +451,7 @@ func (t *Tracker) integrate(newLV causal.LV, c itemtree.Cursor, oleft, oright it
 			break
 		}
 		if oL == leftRaw {
-			oR, err := t.tree.RawPosOf(other.OriginRight)
+			oR, err := tree.RawPosOf(other.OriginRight)
 			if err != nil {
 				return c, err
 			}
@@ -276,7 +459,7 @@ func (t *Tracker) integrate(newLV causal.LV, c itemtree.Cursor, oleft, oright it
 			case oR < rightRaw:
 				scanning = true
 			case oR == rightRaw:
-				if t.insertsBefore(newLV, other.ID) {
+				if insertsBefore(l, newLV, other.ID) {
 					// Same origins: order by agent, then seq.
 					goto done
 				}
@@ -294,8 +477,8 @@ done:
 
 // insertsBefore reports whether the insert event at newLV orders before
 // the concurrent insert identified by otherID under the agent tie-break.
-func (t *Tracker) insertsBefore(newLV causal.LV, otherID itemtree.ID) bool {
-	g := t.log.Graph
+func insertsBefore(l *oplog.Log, newLV causal.LV, otherID itemtree.ID) bool {
+	g := l.Graph
 	a := g.IDOf(newLV)
 	b := g.IDOf(causal.LV(otherID))
 	if a.Agent != b.Agent {

@@ -1,0 +1,190 @@
+package core
+
+// This file is the per-unit reference implementation of the Eg-walker
+// internal state: one B-tree record and one transformed operation per
+// character, exactly as the algorithm is described in paper §3.2–§3.4
+// before the run-length optimisation of §3.8. The production Tracker
+// (tracker.go) applies whole runs at a time; this implementation is kept
+// as the differential oracle — TransformRangeUnitRef must emit a stream
+// that expands to the same per-unit operations and produces a
+// byte-identical document — and as the "before" configuration of the
+// core benchmarks (cmd/egbench core).
+
+import (
+	"fmt"
+
+	"egwalker/internal/causal"
+	"egwalker/internal/itemtree"
+	"egwalker/internal/oplog"
+)
+
+// unitTracker is the per-unit internal state. All events applied to it
+// must be at or after the base version.
+type unitTracker struct {
+	log  *oplog.Log
+	tree *itemtree.Tree
+	// delTargets records, for each applied delete event, the unit it
+	// deleted — the unoptimised per-event map form of the paper's second
+	// B-tree.
+	delTargets map[causal.LV]itemtree.ID
+	// cur is the prepare version.
+	cur causal.Frontier
+}
+
+// newUnitTracker returns a per-unit tracker seeded at base. baseUnits is
+// the document length at the base version, or -1 if unknown.
+func newUnitTracker(l *oplog.Log, base causal.Frontier, baseUnits int) *unitTracker {
+	t := &unitTracker{
+		log:        l,
+		tree:       itemtree.New(),
+		delTargets: make(map[causal.LV]itemtree.ID),
+		cur:        base.Clone(),
+	}
+	if baseUnits < 0 {
+		baseUnits = infinitePlaceholder
+	}
+	if baseUnits > 0 {
+		t.tree.InitPlaceholder(baseUnits)
+	}
+	return t
+}
+
+// ApplyRange replays the events in span (storage order), emitting one
+// transformed operation per event at lv >= emitFrom.
+func (t *unitTracker) ApplyRange(span causal.Span, emitFrom causal.LV, emit func(lv causal.LV, op XOp)) error {
+	g := t.log.Graph
+	lv := span.Start
+	for lv < span.End {
+		run := g.EntrySpanAt(lv)
+		if run.End > span.End {
+			run.End = span.End
+		}
+		if err := t.moveTo(g.ParentsOf(lv)); err != nil {
+			return err
+		}
+		var applyErr error
+		t.log.EachOp(run, func(opLV causal.LV, op oplog.Op) bool {
+			e := emit
+			if opLV < emitFrom {
+				e = nil
+			}
+			if err := t.applyOne(opLV, op, e); err != nil {
+				applyErr = err
+				return false
+			}
+			return true
+		})
+		if applyErr != nil {
+			return applyErr
+		}
+		t.cur = causal.Frontier{run.End - 1}
+		lv = run.End
+	}
+	return nil
+}
+
+// moveTo retreats and advances events so the prepare version equals
+// parents (§3.2).
+func (t *unitTracker) moveTo(parents causal.Frontier) error {
+	if t.cur.Eq(parents) {
+		return nil
+	}
+	onlyCur, onlyNew := t.log.Graph.Diff(t.cur, parents)
+	// Retreat in reverse topological (descending LV) order.
+	for i := len(onlyCur) - 1; i >= 0; i-- {
+		for lv := onlyCur[i].End - 1; lv >= onlyCur[i].Start; lv-- {
+			if err := t.shift(lv, -1); err != nil {
+				return fmt.Errorf("retreat %d: %w", lv, err)
+			}
+		}
+	}
+	// Advance in topological (ascending LV) order.
+	for _, sp := range onlyNew {
+		for lv := sp.Start; lv < sp.End; lv++ {
+			if err := t.shift(lv, +1); err != nil {
+				return fmt.Errorf("advance %d: %w", lv, err)
+			}
+		}
+	}
+	t.cur = parents.Clone()
+	return nil
+}
+
+// shift applies a retreat (delta = -1) or advance (delta = +1) of the
+// event at lv to the prepare state, one unit at a time (Figure 5).
+func (t *unitTracker) shift(lv causal.LV, delta int32) error {
+	op := t.log.OpAt(lv)
+	var id itemtree.ID
+	if op.Kind == oplog.Insert {
+		id = itemtree.ID(lv)
+	} else {
+		target, ok := t.delTargets[lv]
+		if !ok {
+			return fmt.Errorf("core: delete event %d was never applied to this tracker", lv)
+		}
+		id = target
+	}
+	c, err := t.tree.CursorFor(id)
+	if err != nil {
+		return err
+	}
+	var stateErr error
+	t.tree.MutateUnit(c, func(it *itemtree.Item) {
+		next := it.CurState + delta
+		minState := itemtree.StateNotInsertedYet
+		if op.Kind == oplog.Delete {
+			// A delete moves between Ins (0) and Del k (>= 1); it can
+			// never make the record NYI.
+			minState = itemtree.StateInserted
+		}
+		if next < minState {
+			stateErr = fmt.Errorf("core: event %d shift %d from state %d underflows", lv, delta, it.CurState)
+			return
+		}
+		it.CurState = next
+	})
+	return stateErr
+}
+
+// applyOne applies a single event whose parents equal the current prepare
+// version (§3.3), inserting a one-unit record per character.
+func (t *unitTracker) applyOne(lv causal.LV, op oplog.Op, emit func(causal.LV, XOp)) error {
+	switch op.Kind {
+	case oplog.Insert:
+		c, oleft, oright, err := t.tree.FindInsert(op.Pos)
+		if err != nil {
+			return fmt.Errorf("core: apply insert %d: %w", lv, err)
+		}
+		dest, err := integrate(t.log, t.tree, lv, c, oleft, oright)
+		if err != nil {
+			return err
+		}
+		ic := t.tree.InsertAt(dest, itemtree.Item{
+			ID:          itemtree.ID(lv),
+			Len:         1,
+			CurState:    itemtree.StateInserted,
+			OriginLeft:  oleft,
+			OriginRight: oright,
+		})
+		if emit != nil {
+			emit(lv, XOp{Kind: oplog.Insert, Pos: t.tree.CountEndBefore(ic), N: 1, Content: []rune{op.Content}})
+		}
+	case oplog.Delete:
+		c, err := t.tree.FindVisible(op.Pos)
+		if err != nil {
+			return fmt.Errorf("core: apply delete %d: %w", lv, err)
+		}
+		wasDeleted := c.Item().EverDeleted
+		mc := t.tree.MutateUnit(c, func(it *itemtree.Item) {
+			it.CurState++
+			it.EverDeleted = true
+		})
+		t.delTargets[lv] = mc.Item().ID
+		if emit != nil && !wasDeleted {
+			emit(lv, XOp{Kind: oplog.Delete, Pos: t.tree.CountEndBefore(mc), N: 1})
+		}
+	default:
+		return fmt.Errorf("core: unknown op kind %d", op.Kind)
+	}
+	return nil
+}

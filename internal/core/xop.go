@@ -1,0 +1,73 @@
+package core
+
+import (
+	"egwalker/internal/causal"
+	"egwalker/internal/oplog"
+)
+
+// Per-unit expansion of span operations. A span XOp covers N events; its
+// expansion is the exact sequence of single-unit operations the per-unit
+// reference (unitref.go) emits for those events — which makes "the span
+// stream is the run-length encoding of the reference stream" a testable,
+// merge-free equality: expand every emitted span and compare element by
+// element.
+
+// UnitOp is one event's transformed operation: the per-unit form of an
+// XOp.
+type UnitOp struct {
+	LV      causal.LV
+	Kind    oplog.Kind
+	Pos     int
+	Content rune // inserts only
+}
+
+// EachUnit expands op (emitted for the events starting at lv) into its
+// per-unit operations, in event order. Insert units land at ascending
+// positions; forward delete runs repeat the same position; backspace
+// runs descend.
+func (op XOp) EachUnit(lv causal.LV, fn func(UnitOp)) {
+	for i := 0; i < op.N; i++ {
+		u := UnitOp{LV: lv + causal.LV(i), Kind: op.Kind}
+		switch {
+		case op.Kind == oplog.Insert:
+			u.Pos = op.Pos + i
+			u.Content = op.Content[i]
+		case op.Back:
+			u.Pos = op.Pos + op.N - 1 - i
+		default:
+			u.Pos = op.Pos
+		}
+		fn(u)
+	}
+}
+
+// UnitStream runs a Transform* configuration and returns its emitted
+// stream expanded to per-unit operations.
+func UnitStream(l *oplog.Log, transform func(*oplog.Log, func(lv causal.LV, op XOp)) error) ([]UnitOp, error) {
+	var stream []UnitOp
+	err := transform(l, func(lv causal.LV, op XOp) {
+		op.EachUnit(lv, func(u UnitOp) { stream = append(stream, u) })
+	})
+	if err != nil {
+		return nil, err
+	}
+	return stream, nil
+}
+
+// DiffUnitStreams returns the index of the first difference between two
+// per-unit streams, or -1 if they are identical.
+func DiffUnitStreams(a, b []UnitOp) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	if len(a) != len(b) {
+		return n
+	}
+	return -1
+}

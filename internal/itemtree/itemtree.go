@@ -1,8 +1,10 @@
 // Package itemtree implements the order-statistic sequence underlying
-// Eg-walker's internal state (paper §3.3–§3.4, §3.6): a B-tree whose
-// leaves hold the records of the temporary CRDT structure, one record per
-// character (plus placeholder records standing for runs of characters
-// inserted before the replay base version).
+// Eg-walker's internal state (paper §3.3–§3.4, §3.6, §3.8): a B-tree
+// whose leaves hold the records of the temporary CRDT structure. Records
+// are run-length encoded end-to-end: a single item covers a whole run of
+// consecutively inserted characters (or a placeholder run standing for
+// characters inserted before the replay base version), and items are
+// split on demand when a later operation touches only part of a run.
 //
 // Every subtree is annotated with three sizes:
 //
@@ -48,6 +50,16 @@ func PlaceholderUnit(id ID) int { return int(-2 - id) }
 // IsPlaceholder reports whether id identifies a placeholder unit.
 func IsPlaceholder(id ID) bool { return id <= -2 && id != OriginStart }
 
+// AdvanceID returns the ID of the unit k places after id in document
+// order within one run. Real runs have ascending unit IDs; placeholder
+// unit IDs descend as the unit number ascends.
+func AdvanceID(id ID, k int) ID {
+	if IsPlaceholder(id) {
+		return id - int64(k)
+	}
+	return id + int64(k)
+}
+
 // Prepare-version states (s_p in the paper, Figure 5).
 const (
 	StateNotInsertedYet int32 = -1 // insertion retreated
@@ -55,9 +67,15 @@ const (
 	// k >= 1 means deleted by k concurrent deletes.
 )
 
-// Item is one record of the internal state. Real items always have
-// Len == 1; placeholder pieces cover Len >= 1 consecutive units of the
-// base document (ID = PlaceholderID of the first unit).
+// Item is one record of the internal state, covering Len >= 1
+// consecutive units. A real item covers a run of consecutively inserted
+// characters (ID = LV of the run's first insert event; unit u of the run
+// has ID ID+u); a placeholder piece covers consecutive units of the base
+// document (ID = PlaceholderID of the first unit). State is uniform
+// across an item's units: operations touching part of a run split it
+// first. Only the first unit's CRDT origins are stored — unit u > 0 of a
+// run implicitly has origin-left = unit u-1 and the run's origin-right,
+// which is what splitting materialises.
 type Item struct {
 	ID          ID
 	Len         int
@@ -65,6 +83,14 @@ type Item struct {
 	EverDeleted bool  // s_e: true = Del
 	OriginLeft  ID    // CRDT origin: unit immediately left at insert time
 	OriginRight ID    // CRDT origin: next non-NYI unit at insert time
+}
+
+// unitID returns the stable ID of unit off of the item.
+func (it *Item) unitID(off int) ID {
+	if IsPlaceholder(it.ID) {
+		return PlaceholderID(PlaceholderUnit(it.ID) + off)
+	}
+	return it.ID + int64(off)
 }
 
 func (it *Item) curVisible() bool { return it.CurState == StateInserted }
@@ -119,10 +145,15 @@ func (n *node) recompute() (draw, dcur, dend int) {
 // Tree is the internal-state sequence. The zero value is not usable; call
 // New.
 type Tree struct {
-	root     *node
-	byID     map[ID]*node // real item IDs and placeholder piece-start IDs -> leaf
-	phStarts []int        // sorted start units of placeholder pieces
-	phLen    int          // total units of the initial placeholder
+	root *node
+	byID map[ID]*node // piece-start IDs (real and placeholder) -> leaf
+	// phStarts / realStarts locate the piece containing an interior unit
+	// ID: the predecessor start in the sorted list names the piece. Real
+	// runs are applied in ascending LV order, so realStarts grows by
+	// appends except when a split registers an interior start.
+	phStarts   []int // sorted start units of placeholder pieces
+	realStarts []ID  // sorted start IDs of real pieces
+	phLen      int   // total units of the initial placeholder
 }
 
 // New returns an empty sequence.
@@ -178,13 +209,18 @@ func (c Cursor) Item() Item { return c.leaf.items[c.idx] }
 // Offset returns the unit offset within the item.
 func (c Cursor) Offset() int { return c.off }
 
+// Rewind returns a cursor k units earlier within the same item.
+func (c Cursor) Rewind(k int) Cursor {
+	if k > c.off {
+		panic("itemtree: Rewind past item start")
+	}
+	c.off -= k
+	return c
+}
+
 // UnitID returns the stable ID of the unit under the cursor.
 func (c Cursor) UnitID() ID {
-	it := &c.leaf.items[c.idx]
-	if IsPlaceholder(it.ID) {
-		return PlaceholderID(PlaceholderUnit(it.ID) + c.off)
-	}
-	return it.ID
+	return c.leaf.items[c.idx].unitID(c.off)
 }
 
 // Valid reports whether the cursor points at an item (false for the
@@ -347,7 +383,9 @@ func (t *Tree) FindRaw(pos int) (Cursor, error) {
 	panic("itemtree: aggregate/item mismatch in FindRaw")
 }
 
-// CursorFor returns a cursor at the unit with the given ID.
+// CursorFor returns a cursor at the unit with the given ID. The unit may
+// be interior to a multi-unit piece; the piece-start side indexes resolve
+// it without splitting.
 func (t *Tree) CursorFor(id ID) (Cursor, error) {
 	lookup := id
 	off := 0
@@ -360,6 +398,15 @@ func (t *Tree) CursorFor(id ID) (Cursor, error) {
 		start := t.phStarts[i]
 		lookup = PlaceholderID(start)
 		off = u - start
+	} else if _, ok := t.byID[id]; !ok {
+		// Interior unit of a real run: the containing piece is the one
+		// with the greatest start <= id.
+		i := sort.Search(len(t.realStarts), func(i int) bool { return t.realStarts[i] > id }) - 1
+		if i < 0 {
+			return Cursor{}, fmt.Errorf("itemtree: unknown item ID %d", id)
+		}
+		lookup = t.realStarts[i]
+		off = int(id - lookup)
 	}
 	leaf, ok := t.byID[lookup]
 	if !ok {
@@ -368,7 +415,7 @@ func (t *Tree) CursorFor(id ID) (Cursor, error) {
 	for i := range leaf.items {
 		if leaf.items[i].ID == lookup {
 			if off >= leaf.items[i].Len {
-				return Cursor{}, fmt.Errorf("itemtree: unit offset %d beyond piece of len %d", off, leaf.items[i].Len)
+				return Cursor{}, fmt.Errorf("itemtree: unknown unit ID %d (offset %d beyond piece of len %d)", id, off, leaf.items[i].Len)
 			}
 			return Cursor{leaf: leaf, idx: i, off: off}, nil
 		}
@@ -434,60 +481,62 @@ func prefixBefore(leaf *node, metric func(*node) int) int {
 	return sum
 }
 
-// MutateUnit applies fn to the item containing the cursor's unit,
-// splitting placeholder pieces first so exactly one unit is affected.
-// It returns a cursor to the (possibly new) single-unit item.
-func (t *Tree) MutateUnit(c Cursor, fn func(*Item)) Cursor {
-	it := &c.leaf.items[c.idx]
-	if it.Len > 1 {
-		c = t.splitUnit(c)
-		it = &c.leaf.items[c.idx]
+// MutateRange applies fn to an item covering exactly the n units starting
+// at the cursor, splitting the containing piece on demand so no other
+// unit is affected. The range must not extend past the cursor's item.
+// It returns a cursor to the (possibly new) item covering the range.
+func (t *Tree) MutateRange(c Cursor, n int, fn func(*Item)) Cursor {
+	if n < 1 || c.off+n > c.leaf.items[c.idx].Len {
+		panic(fmt.Sprintf("itemtree: MutateRange of %d units at offset %d in piece of len %d",
+			n, c.off, c.leaf.items[c.idx].Len))
 	}
-	fn(it)
+	c = t.isolate(c, n)
+	fn(&c.leaf.items[c.idx])
 	t.bubble(c.leaf)
 	return c
 }
 
-// splitUnit splits a multi-unit placeholder piece so the cursor's unit
-// becomes its own item, and returns a cursor to it.
-func (t *Tree) splitUnit(c Cursor) Cursor {
+// MutateUnit applies fn to exactly the unit under the cursor.
+func (t *Tree) MutateUnit(c Cursor, fn func(*Item)) Cursor {
+	return t.MutateRange(c, 1, fn)
+}
+
+// splitTail returns the tail [off, Len) of an item as a standalone piece.
+// The CRDT origins are rewritten to the implicit per-unit origins of a
+// run: the tail's first unit was inserted immediately after the unit
+// before it, under the run's shared right origin.
+func splitTail(it Item, off int) Item {
+	tail := it
+	tail.ID = it.unitID(off)
+	tail.Len = it.Len - off
+	tail.OriginLeft = it.unitID(off - 1)
+	tail.OriginRight = it.OriginRight
+	return tail
+}
+
+// isolate splits the cursor's piece so units [off, off+n) form their own
+// item, and returns a cursor to it.
+func (t *Tree) isolate(c Cursor, n int) Cursor {
 	leaf, idx, off := c.leaf, c.idx, c.off
 	it := leaf.items[idx]
-	if !IsPlaceholder(it.ID) {
-		panic("itemtree: splitUnit on non-placeholder multi-unit item")
+	if off == 0 && n == it.Len {
+		return c
 	}
-	start := PlaceholderUnit(it.ID)
-	var pieces []Item
-	if off > 0 {
-		left := it
-		left.Len = off
-		pieces = append(pieces, left)
-	}
+	pieces := make([]Item, 0, 3)
 	mid := it
-	mid.ID = PlaceholderID(start + off)
-	mid.Len = 1
+	if off > 0 {
+		head := it
+		head.Len = off
+		pieces = append(pieces, head)
+		mid = splitTail(it, off)
+	}
+	mid.Len = n
 	pieces = append(pieces, mid)
-	if off+1 < it.Len {
-		right := it
-		right.ID = PlaceholderID(start + off + 1)
-		right.Len = it.Len - off - 1
-		pieces = append(pieces, right)
+	if off+n < it.Len {
+		pieces = append(pieces, splitTail(it, off+n))
 	}
-	// Register the new piece starts in the placeholder index.
-	for _, p := range pieces[1:] {
-		u := PlaceholderUnit(p.ID)
-		i := sort.SearchInts(t.phStarts, u)
-		t.phStarts = append(t.phStarts, 0)
-		copy(t.phStarts[i+1:], t.phStarts[i:])
-		t.phStarts[i] = u
-	}
-	// Replace items[idx] with the pieces.
-	rest := append([]Item{}, leaf.items[idx+1:]...)
-	leaf.items = append(leaf.items[:idx], append(pieces, rest...)...)
-	t.reindexLeaf(leaf)
-	t.bubble(leaf)
-	t.splitLeafIfNeeded(leaf)
-	// Find the mid piece again (splitLeafIfNeeded may have moved it).
+	t.replacePieces(leaf, idx, pieces)
+	// Find the mid piece again (a leaf split may have moved it).
 	cur, err := t.CursorFor(mid.ID)
 	if err != nil {
 		panic(err)
@@ -495,8 +544,48 @@ func (t *Tree) splitUnit(c Cursor) Cursor {
 	return cur
 }
 
+// replacePieces replaces leaf.items[idx] with pieces covering the same
+// units, registering the new piece starts (pieces beyond the first) in
+// the side indexes.
+func (t *Tree) replacePieces(leaf *node, idx int, pieces []Item) {
+	for _, p := range pieces[1:] {
+		t.registerStart(p.ID)
+	}
+	rest := append([]Item{}, leaf.items[idx+1:]...)
+	leaf.items = append(leaf.items[:idx], append(pieces, rest...)...)
+	t.finishLeaf(leaf)
+}
+
+// registerStart records a new piece-start ID in the side index for its
+// kind. Real starts are almost always appended in ascending order (runs
+// are applied in ascending LV order); splits insert interior starts.
+func (t *Tree) registerStart(id ID) {
+	if IsPlaceholder(id) {
+		u := PlaceholderUnit(id)
+		i := sort.SearchInts(t.phStarts, u)
+		if i < len(t.phStarts) && t.phStarts[i] == u {
+			return
+		}
+		t.phStarts = append(t.phStarts, 0)
+		copy(t.phStarts[i+1:], t.phStarts[i:])
+		t.phStarts[i] = u
+		return
+	}
+	if n := len(t.realStarts); n == 0 || t.realStarts[n-1] < id {
+		t.realStarts = append(t.realStarts, id)
+		return
+	}
+	i := sort.Search(len(t.realStarts), func(i int) bool { return t.realStarts[i] >= id })
+	if i < len(t.realStarts) && t.realStarts[i] == id {
+		return
+	}
+	t.realStarts = append(t.realStarts, 0)
+	copy(t.realStarts[i+1:], t.realStarts[i:])
+	t.realStarts[i] = id
+}
+
 // InsertAt inserts item at the boundary cursor c (before the unit the
-// cursor addresses; a cursor with off > 0 splits a placeholder piece).
+// cursor addresses; a cursor with off > 0 splits the containing piece).
 // It returns a cursor to the inserted item.
 func (t *Tree) InsertAt(c Cursor, item Item) Cursor {
 	if item.Len < 1 {
@@ -507,39 +596,34 @@ func (t *Tree) InsertAt(c Cursor, item Item) Cursor {
 		// Past-the-end: append to the rightmost leaf.
 		leaf = t.rightmostLeaf()
 		leaf.items = append(leaf.items, item)
+		t.registerStart(item.ID)
+		t.finishLeaf(leaf)
 	} else if c.off == 0 {
-		leaf = c.leaf
 		leaf.items = append(leaf.items, Item{})
 		copy(leaf.items[c.idx+1:], leaf.items[c.idx:])
 		leaf.items[c.idx] = item
+		t.registerStart(item.ID)
+		t.finishLeaf(leaf)
 	} else {
-		// Split the placeholder piece at off, then insert between.
+		// Split the piece at off, then insert between the halves.
 		old := leaf.items[c.idx]
-		if !IsPlaceholder(old.ID) {
-			panic("itemtree: mid-item insert into non-placeholder")
-		}
-		start := PlaceholderUnit(old.ID)
-		left := old
-		left.Len = c.off
-		right := old
-		right.ID = PlaceholderID(start + c.off)
-		right.Len = old.Len - c.off
-		u := PlaceholderUnit(right.ID)
-		i := sort.SearchInts(t.phStarts, u)
-		t.phStarts = append(t.phStarts, 0)
-		copy(t.phStarts[i+1:], t.phStarts[i:])
-		t.phStarts[i] = u
-		rest := append([]Item{}, leaf.items[c.idx+1:]...)
-		leaf.items = append(leaf.items[:c.idx], append([]Item{left, item, right}, rest...)...)
+		head := old
+		head.Len = c.off
+		t.replacePieces(leaf, c.idx, []Item{head, item, splitTail(old, c.off)})
 	}
-	t.reindexLeaf(leaf)
-	t.bubble(leaf)
-	t.splitLeafIfNeeded(leaf)
 	cur, err := t.CursorFor(item.ID)
 	if err != nil {
 		panic(err)
 	}
 	return cur
+}
+
+// finishLeaf refreshes a structurally modified leaf: ID index entries,
+// aggregate propagation, and overflow splitting.
+func (t *Tree) finishLeaf(leaf *node) {
+	t.reindexLeaf(leaf)
+	t.bubble(leaf)
+	t.splitLeafIfNeeded(leaf)
 }
 
 // reindexLeaf refreshes the byID entries for every item in the leaf.
@@ -656,14 +740,17 @@ func (t *Tree) Check() error {
 				if it.Len < 1 {
 					return 0, 0, 0, fmt.Errorf("item %d has len %d", it.ID, it.Len)
 				}
-				if it.Len > 1 && !IsPlaceholder(it.ID) {
-					return 0, 0, 0, fmt.Errorf("non-placeholder item %d has len %d", it.ID, it.Len)
-				}
 				raw += it.Len
 				cur += it.curUnits()
 				end += it.endUnits()
 				if t.byID[it.ID] != n {
 					return 0, 0, 0, fmt.Errorf("byID[%d] stale", it.ID)
+				}
+				if !IsPlaceholder(it.ID) {
+					j := sort.Search(len(t.realStarts), func(j int) bool { return t.realStarts[j] >= it.ID })
+					if j == len(t.realStarts) || t.realStarts[j] != it.ID {
+						return 0, 0, 0, fmt.Errorf("real piece start %d missing from realStarts", it.ID)
+					}
 				}
 			}
 			if raw != n.raw || cur != n.cur || end != n.end {
@@ -695,6 +782,16 @@ func (t *Tree) Check() error {
 	}
 	if !sort.IntsAreSorted(t.phStarts) {
 		return fmt.Errorf("phStarts unsorted: %v", t.phStarts)
+	}
+	for i := 1; i < len(t.realStarts); i++ {
+		if t.realStarts[i-1] >= t.realStarts[i] {
+			return fmt.Errorf("realStarts not strictly ascending: %v", t.realStarts)
+		}
+	}
+	for _, id := range t.realStarts {
+		if _, ok := t.byID[id]; !ok {
+			return fmt.Errorf("realStarts entry %d has no byID leaf", id)
+		}
 	}
 	return nil
 }

@@ -24,6 +24,9 @@ func CheckAll(docs []*egwalker.Doc) error {
 	if err := CheckReferenceReplay(docs[0]); err != nil {
 		return err
 	}
+	if err := CheckSpanUnitDifferential(docs[0]); err != nil {
+		return err
+	}
 	if err := CheckListCRDT(docs[0]); err != nil {
 		return err
 	}
@@ -115,6 +118,37 @@ func CheckReferenceReplay(d *egwalker.Doc) error {
 	}
 	if got := d.Text(); got != want {
 		return fmt.Errorf("oracle: incremental text (len %d) != full reference replay (len %d)", len(got), len(want))
+	}
+	return nil
+}
+
+// CheckSpanUnitDifferential replays d's history through both the
+// span-wise pipeline and the per-unit reference implementation: the
+// documents must be byte-identical and the span stream must expand to
+// exactly the per-unit stream.
+func CheckSpanUnitDifferential(d *egwalker.Doc) error {
+	l, err := logFromEvents(d.Events())
+	if err != nil {
+		return err
+	}
+	spanStream, err := core.UnitStream(l, core.TransformAll)
+	if err != nil {
+		return fmt.Errorf("oracle: span transform: %w", err)
+	}
+	unitStream, err := core.UnitStream(l, core.TransformAllUnitRef)
+	if err != nil {
+		return fmt.Errorf("oracle: unit-ref transform: %w", err)
+	}
+	if at := core.DiffUnitStreams(spanStream, unitStream); at >= 0 {
+		return fmt.Errorf("oracle: span stream diverges from per-unit reference at unit op %d (lens %d vs %d)",
+			at, len(spanStream), len(unitStream))
+	}
+	unit, err := core.ReplayTextUnitRef(l)
+	if err != nil {
+		return fmt.Errorf("oracle: unit-ref replay: %w", err)
+	}
+	if got := d.Text(); got != unit {
+		return fmt.Errorf("oracle: per-unit reference text (len %d) != document text (len %d)", len(unit), len(got))
 	}
 	return nil
 }

@@ -46,8 +46,8 @@ func validSegment(tb testing.TB) []byte {
 func FuzzSegmentReplay(f *testing.F) {
 	good := validSegment(f)
 	f.Add(good)
-	f.Add(good[:len(good)-3])                    // torn tail
-	f.Add([]byte{})                              // empty file
+	f.Add(good[:len(good)-3])                     // torn tail
+	f.Add([]byte{})                               // empty file
 	f.Add([]byte{'E', 'G', 'W', 'S', segVersion}) // header only
 	f.Add([]byte("not a segment at all"))
 

@@ -79,8 +79,8 @@ type entry struct {
 	id      string
 	ready   chan struct{}
 	openErr error
-	ds *DocStore
-	m  *Metrics
+	ds      *DocStore
+	m       *Metrics
 	// mu serializes apply+fanout against snapshot+subscribe, so a
 	// joining peer misses no events between its snapshot and its first
 	// forwarded batch.
