@@ -8,11 +8,14 @@
 //	egbench sim [-sim-seed N] [-sim-replicas N] [-sim-events N] [-sim-faults LIST]
 //	egbench store [-store-events N] [-store-batch N] [-store-dir D]
 //	egbench [-scale F] [-iters N] [-core-out FILE] [-core-traces LIST] core
+//	egbench [-scale F] [-size-out FILE] [-size-traces LIST] size
 //
 // (Flags must precede the subcommand name.) The core subcommand compares
 // span-wise replay against the per-unit reference and writes
 // BENCH_core.json; the committed baseline at the repo root records the
-// before/after numbers for the span-wise replay change.
+// before/after numbers for the span-wise replay change. The size
+// subcommand compares the naive and compact columnar event-graph
+// encodings and writes BENCH_size.json (see docs/FORMAT.md).
 //
 // -scale scales the trace sizes (1.0 = the paper's event counts;
 // default 0.05 so a full run finishes in minutes). EXPERIMENTS.md
@@ -62,6 +65,9 @@ func main() {
 		return
 	}
 	if maybeRunCore(cmd) {
+		return
+	}
+	if maybeRunSize(cmd) {
 		return
 	}
 	ws, err := generate()

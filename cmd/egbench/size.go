@@ -1,0 +1,203 @@
+package main
+
+// The size subcommand reproduces the paper's "Smaller" claim on our
+// trace suite: it replays every trace, encodes the full event history
+// with the naive per-event batch codec and with the compact columnar
+// codec (docs/FORMAT.md), and reports total bytes and bytes/event for
+// each, plus the DEFLATE-compressed columnar variant — the repo's
+// Table 2-style comparison. It also cross-checks the differential
+// oracle (columnar decode must reproduce the naive codec's event list
+// exactly) and writes a machine-readable BENCH_size.json; the baseline
+// at the repo root records the committed numbers, and CI runs a smoke
+// at small scale asserting columnar stays ≤ 50% of naive.
+//
+// Usage:
+//
+//	egbench size [-scale F] [-size-out FILE] [-size-traces S1,C1,...]
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"reflect"
+	"strings"
+	"time"
+
+	"egwalker"
+	"egwalker/internal/bench"
+	"egwalker/internal/colenc"
+	"egwalker/internal/trace"
+)
+
+var (
+	sizeOut    = flag.String("size-out", "BENCH_size.json", "output JSON path for the size benchmark")
+	sizeTraces = flag.String("size-traces", "", "comma-separated trace names to run (default: all)")
+)
+
+type sizeTraceResult struct {
+	Name               string  `json:"name"`
+	Kind               string  `json:"kind"`
+	Events             int     `json:"events"`
+	NaiveBytes         int     `json:"naive_bytes"`
+	ColumnarBytes      int     `json:"columnar_bytes"`
+	ColumnarFlateBytes int     `json:"columnar_flate_bytes"`
+	NaiveBytesPerEvent float64 `json:"naive_bytes_per_event"`
+	ColBytesPerEvent   float64 `json:"columnar_bytes_per_event"`
+	ColumnarRatio      float64 `json:"columnar_ratio"`
+	ColumnarFlateRatio float64 `json:"columnar_flate_ratio"`
+	DecodeMatchesNaive bool    `json:"decode_matches_naive"`
+	ColumnarNsPerEvent float64 `json:"columnar_encode_ns_per_event"`
+	NaiveEncNsPerEvent float64 `json:"naive_encode_ns_per_event"`
+}
+
+type sizeReport struct {
+	Schema      string            `json:"schema"`
+	GeneratedAt string            `json:"generated_at"`
+	Scale       float64           `json:"scale"`
+	Traces      []sizeTraceResult `json:"traces"`
+	TotalNaive  int               `json:"total_naive_bytes"`
+	TotalCol    int               `json:"total_columnar_bytes"`
+	TotalFlate  int               `json:"total_columnar_flate_bytes"`
+}
+
+func maybeRunSize(cmd string) bool {
+	if cmd != "size" {
+		return false
+	}
+	if err := runSize(); err != nil {
+		fmt.Fprintln(os.Stderr, "egbench:", err)
+		os.Exit(1)
+	}
+	return true
+}
+
+func runSize() error {
+	want := map[string]bool{}
+	if *sizeTraces != "" {
+		for _, name := range strings.Split(*sizeTraces, ",") {
+			want[strings.TrimSpace(name)] = true
+		}
+	}
+	report := sizeReport{
+		Schema:      "egbench-size/v1",
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Scale:       *scale,
+	}
+	fmt.Printf("\n== size: naive vs columnar event-graph encoding (scale %.3f) ==\n", *scale)
+	fmt.Printf("%-4s %10s %12s %6s %12s %6s %12s %6s\n",
+		"", "events", "naive", "B/ev", "columnar", "B/ev", "col+flate", "B/ev")
+	for _, spec := range trace.All() {
+		if len(want) > 0 && !want[spec.Name] {
+			continue
+		}
+		s := spec.Scale(*scale)
+		l, err := trace.Generate(s)
+		if err != nil {
+			return fmt.Errorf("generate %s: %w", s.Name, err)
+		}
+		wire := colenc.EventsFromLog(l)
+		events := eventsFromWire(wire)
+
+		var naive, columnar []byte
+		naiveTotal := bench.Timed(func() {
+			var err error
+			naive, err = egwalker.MarshalEvents(events)
+			if err != nil {
+				panic(err)
+			}
+		})
+		colTotal := bench.Timed(func() {
+			var err error
+			columnar, err = egwalker.MarshalEventsCompact(events)
+			if err != nil {
+				panic(err)
+			}
+		})
+		flate, err := colenc.Encode(wire, colenc.Options{Compress: true})
+		if err != nil {
+			return fmt.Errorf("%s flate encode: %w", s.Name, err)
+		}
+
+		// Differential oracle: the columnar bytes must decode to the
+		// exact event list the naive codec round-trips.
+		fromNaive, err := egwalker.UnmarshalEventsAuto(naive)
+		if err != nil {
+			return fmt.Errorf("%s naive decode: %w", s.Name, err)
+		}
+		fromCol, err := egwalker.UnmarshalEventsAuto(columnar)
+		if err != nil {
+			return fmt.Errorf("%s columnar decode: %w", s.Name, err)
+		}
+		matched := reflect.DeepEqual(fromNaive, fromCol) && reflect.DeepEqual(fromCol, events)
+		if !matched {
+			return fmt.Errorf("%s: columnar decode diverges from the naive codec", s.Name)
+		}
+
+		n := len(events)
+		tr := sizeTraceResult{
+			Name:               s.Name,
+			Kind:               s.Kind.String(),
+			Events:             n,
+			NaiveBytes:         len(naive),
+			ColumnarBytes:      len(columnar),
+			ColumnarFlateBytes: len(flate),
+			NaiveBytesPerEvent: float64(len(naive)) / float64(n),
+			ColBytesPerEvent:   float64(len(columnar)) / float64(n),
+			ColumnarRatio:      float64(len(columnar)) / float64(len(naive)),
+			ColumnarFlateRatio: float64(len(flate)) / float64(len(naive)),
+			DecodeMatchesNaive: matched,
+			NaiveEncNsPerEvent: float64(naiveTotal.Nanoseconds()) / float64(n),
+			ColumnarNsPerEvent: float64(colTotal.Nanoseconds()) / float64(n),
+		}
+		report.Traces = append(report.Traces, tr)
+		report.TotalNaive += tr.NaiveBytes
+		report.TotalCol += tr.ColumnarBytes
+		report.TotalFlate += tr.ColumnarFlateBytes
+		fmt.Printf("%-4s %10d %12s %6.2f %12s %6.2f %12s %6.2f\n",
+			tr.Name, tr.Events,
+			bench.FmtBytes(uint64(tr.NaiveBytes)), tr.NaiveBytesPerEvent,
+			bench.FmtBytes(uint64(tr.ColumnarBytes)), tr.ColBytesPerEvent,
+			bench.FmtBytes(uint64(tr.ColumnarFlateBytes)), float64(tr.ColumnarFlateBytes)/float64(tr.Events))
+	}
+	if report.TotalNaive > 0 {
+		fmt.Printf("total: naive %s, columnar %s (%.1f%%), columnar+flate %s (%.1f%%)\n",
+			bench.FmtBytes(uint64(report.TotalNaive)),
+			bench.FmtBytes(uint64(report.TotalCol)), 100*float64(report.TotalCol)/float64(report.TotalNaive),
+			bench.FmtBytes(uint64(report.TotalFlate)), 100*float64(report.TotalFlate)/float64(report.TotalNaive))
+	}
+	data, err := json.MarshalIndent(&report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*sizeOut, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", *sizeOut)
+	return nil
+}
+
+// eventsFromWire converts colenc's mirror event type to the public
+// one, so the log is walked once (colenc.EventsFromLog) and both
+// codecs measure the identical event list.
+func eventsFromWire(wire []colenc.Event) []egwalker.Event {
+	out := make([]egwalker.Event, len(wire))
+	for i, ev := range wire {
+		var ps []egwalker.EventID
+		if len(ev.Parents) > 0 {
+			ps = make([]egwalker.EventID, len(ev.Parents))
+			for j, p := range ev.Parents {
+				ps[j] = egwalker.EventID{Agent: p.Agent, Seq: p.Seq}
+			}
+		}
+		out[i] = egwalker.Event{
+			ID:      egwalker.EventID{Agent: ev.ID.Agent, Seq: ev.ID.Seq},
+			Parents: ps,
+			Insert:  ev.Insert,
+			Pos:     ev.Pos,
+			Content: ev.Content,
+		}
+	}
+	return out
+}

@@ -3,11 +3,17 @@
 //
 // Usage:
 //
-//	egtrace gen  -trace C1 [-scale F] -o trace.json     generate to JSON
-//	egtrace gen  -trace C1 [-scale F] -bin -o trace.egw generate to binary
-//	egtrace stats -trace C1 [-scale F]                  print Table 1 row
-//	egtrace stats -i trace.json                         stats for a file
-//	egtrace text  -i trace.json                         replay and print text
+//	egtrace -trace C1 [-scale F] -o trace.json gen      generate to JSON
+//	egtrace -trace C1 [-scale F] -bin -o trace.egw gen  generate to binary
+//	egtrace -trace C1 [-scale F] stats                  print Table 1 row
+//	egtrace -i trace.json stats                         stats for a file
+//	egtrace -i trace.json text                          replay and print text
+//
+// (Flags must precede the subcommand name, as with egbench.)
+//
+// -bin writes the compact columnar format with the final text cached
+// (docs/FORMAT.md); -i reads that, the legacy "EGW1" format (sniffed
+// by magic), or trace JSON.
 package main
 
 import (
@@ -16,6 +22,7 @@ import (
 	"fmt"
 	"os"
 
+	"egwalker/internal/colenc"
 	"egwalker/internal/core"
 	"egwalker/internal/encoding"
 	"egwalker/internal/oplog"
@@ -67,7 +74,12 @@ func run(cmd string) error {
 			if err != nil {
 				return err
 			}
-			return encoding.Encode(out, l, encoding.Options{CacheFinalDoc: true}, text, nil)
+			data, err := colenc.EncodeDoc(colenc.EventsFromLog(l), text, colenc.Options{})
+			if err != nil {
+				return err
+			}
+			_, err = out.Write(data)
+			return err
 		}
 		return trace.WriteJSON(out, name, l)
 	case "stats":
@@ -106,7 +118,20 @@ func load() (string, *oplog.Log, error) {
 		if err != nil {
 			return "", nil, err
 		}
-		if bytes.HasPrefix(data, []byte("EGW1")) {
+		switch {
+		case colenc.Sniff(data):
+			// Compact columnar files (what Doc.Save writes by default;
+			// see docs/FORMAT.md).
+			dec, err := colenc.Decode(data)
+			if err != nil {
+				return "", nil, err
+			}
+			l, err := colenc.BuildLog(dec.Events)
+			if err != nil {
+				return "", nil, err
+			}
+			return *input, l, nil
+		case bytes.HasPrefix(data, []byte("EGW1")):
 			dec, err := encoding.Decode(data)
 			if err != nil {
 				return "", nil, err

@@ -334,7 +334,19 @@ func ChunkEvents(events []Event) [][]Event {
 // it fails — which lets journaling callers distinguish a rejected
 // batch from a torn physical write.
 func DeltaBlock(events []Event) ([]byte, error) {
-	payload, err := MarshalEvents(events)
+	return deltaBlockWith(events, MarshalEvents)
+}
+
+// DeltaBlockCompact is DeltaBlock with the compact columnar payload
+// (docs/FORMAT.md). Readers need no advance knowledge: ReadDelta
+// sniffs the payload, so legacy and compact blocks interleave freely
+// in one file or WAL segment.
+func DeltaBlockCompact(events []Event) ([]byte, error) {
+	return deltaBlockWith(events, MarshalEventsCompact)
+}
+
+func deltaBlockWith(events []Event, marshal func([]Event) ([]byte, error)) ([]byte, error) {
+	payload, err := marshal(events)
 	if err != nil {
 		return nil, err
 	}
@@ -366,12 +378,23 @@ func WriteDelta(w io.Writer, events []Event) error {
 // the payload cap. Use this rather than DeltaBlock when the batch size
 // is not under the caller's control.
 func DeltaBlocks(events []Event) ([][]byte, error) {
+	return deltaBlocksWith(events, DeltaBlock)
+}
+
+// DeltaBlocksCompact is DeltaBlocks with compact columnar payloads —
+// what the durable store journals for large group commits and what
+// compaction-era history is written as.
+func DeltaBlocksCompact(events []Event) ([][]byte, error) {
+	return deltaBlocksWith(events, DeltaBlockCompact)
+}
+
+func deltaBlocksWith(events []Event, block func([]Event) ([]byte, error)) ([][]byte, error) {
 	var out [][]byte
 	var emit func(evs []Event) error
 	emit = func(evs []Event) error {
-		block, err := DeltaBlock(evs)
+		b, err := block(evs)
 		if err == nil {
-			out = append(out, block)
+			out = append(out, b)
 			return nil
 		}
 		if errors.Is(err, ErrBlockTooLarge) && len(evs) > 1 {
@@ -462,7 +485,7 @@ func ReadDelta(r io.Reader) ([]Event, error) {
 	if crc32.Checksum(payload, crcTable) != want {
 		return nil, ErrCorruptDelta
 	}
-	return UnmarshalEvents(payload)
+	return UnmarshalEventsAuto(payload)
 }
 
 // ApplyDelta reads one delta block from r and merges its events,

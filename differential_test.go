@@ -9,11 +9,16 @@ package egwalker_test
 // fuzz_test.go.
 
 import (
+	"bytes"
 	"os"
+	"reflect"
 	"strconv"
 	"testing"
 
+	"egwalker"
+	"egwalker/internal/causal"
 	"egwalker/internal/core"
+	"egwalker/internal/oplog"
 	"egwalker/internal/trace"
 )
 
@@ -65,6 +70,105 @@ func TestDifferentialTraces(t *testing.T) {
 			}
 			if noopt.String() != span {
 				t.Fatalf("no-opt document diverges: len %d vs %d", noopt.Len(), len(span))
+			}
+		})
+	}
+}
+
+// eventsFromLog exports a generated trace's history in wire form (the
+// walk Doc.Events performs; traces live at the oplog level).
+func eventsFromLog(l *oplog.Log) []egwalker.Event {
+	g := l.Graph
+	out := make([]egwalker.Event, 0, l.Len())
+	l.EachOp(causal.Span{Start: 0, End: causal.LV(l.Len())},
+		func(lv causal.LV, op oplog.Op) bool {
+			id := g.IDOf(lv)
+			ev := egwalker.Event{
+				ID:     egwalker.EventID{Agent: id.Agent, Seq: id.Seq},
+				Insert: op.Kind == oplog.Insert,
+				Pos:    op.Pos,
+			}
+			if ev.Insert {
+				ev.Content = op.Content
+			}
+			for _, p := range g.ParentsOf(lv) {
+				pid := g.IDOf(p)
+				ev.Parents = append(ev.Parents, egwalker.EventID{Agent: pid.Agent, Seq: pid.Seq})
+			}
+			out = append(out, ev)
+			return true
+		})
+	return out
+}
+
+// TestDifferentialCodecTraces pins the compact columnar batch codec to
+// the legacy per-event codec across every trace spec: both encodings
+// must decode to the identical event list, columnar must round-trip
+// the original events exactly, and a document loaded from a compact
+// Save must match one loaded from a legacy Save.
+func TestDifferentialCodecTraces(t *testing.T) {
+	scale := diffScale()
+	for _, spec := range trace.All() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			l, err := trace.Generate(spec.Scale(scale))
+			if err != nil {
+				t.Fatal(err)
+			}
+			events := eventsFromLog(l)
+			legacy, err := egwalker.MarshalEvents(events)
+			if err != nil {
+				t.Fatal(err)
+			}
+			compact, err := egwalker.MarshalEventsCompact(events)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(compact)*2 > len(legacy) {
+				t.Errorf("columnar encoding is %d bytes, legacy %d — expected <= half", len(compact), len(legacy))
+			}
+			fromLegacy, err := egwalker.UnmarshalEventsAuto(legacy)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fromCompact, err := egwalker.UnmarshalEventsAuto(compact)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(fromLegacy, fromCompact) {
+				t.Fatal("legacy and columnar decodes diverge")
+			}
+			if !reflect.DeepEqual(fromCompact, events) {
+				t.Fatal("columnar round-trip changed the events")
+			}
+
+			// Whole-document files: compact and legacy Saves of the same
+			// history must load to identical documents.
+			doc := egwalker.NewDoc("differential")
+			if _, err := doc.Apply(events); err != nil {
+				t.Fatal(err)
+			}
+			var compactFile, legacyFile bytes.Buffer
+			if err := doc.Save(&compactFile, egwalker.SaveOptions{CacheFinalDoc: true}); err != nil {
+				t.Fatal(err)
+			}
+			if err := doc.Save(&legacyFile, egwalker.SaveOptions{CacheFinalDoc: true, Legacy: true}); err != nil {
+				t.Fatal(err)
+			}
+			fromCompactFile, err := egwalker.Load(&compactFile, "loader")
+			if err != nil {
+				t.Fatal(err)
+			}
+			fromLegacyFile, err := egwalker.Load(&legacyFile, "loader")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fromCompactFile.Text() != fromLegacyFile.Text() ||
+				fromCompactFile.Fingerprint() != fromLegacyFile.Fingerprint() {
+				t.Fatal("compact and legacy files load to different documents")
+			}
+			if fromCompactFile.Text() != doc.Text() {
+				t.Fatal("compact file load changed the text")
 			}
 		})
 	}

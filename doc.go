@@ -54,13 +54,26 @@
 // can gossip fingerprints as a cheap convergence check and fall back
 // to netsync.Sync when they differ.
 //
-// # Persistence
+// # Persistence and the compact encoding ("Smaller")
 //
-// Save/Load write and read whole documents in the paper's compact
-// columnar format (§3.8); SaveSince writes just the events newer than
-// a version as a self-delimiting, checksummed delta block, so a saved
-// file can be extended incrementally (ReadDelta/ApplyDelta on the
-// other side) instead of rewritten.
+// Save/Load write and read whole documents in a compact columnar
+// format (§3.8): run-length columns for agent runs, op runs,
+// parent-graph exceptions, and contiguous inserted content —
+// typically under a byte per event on typing-dominated histories,
+// ~10x smaller than the per-event batch codec. docs/FORMAT.md is the
+// byte-level specification (complete enough to decode the golden
+// fixtures under testdata/colenc by hand), and docs/ARCHITECTURE.md
+// maps the packages involved. The same frame serves event batches
+// everywhere: MarshalEventsCompact/UnmarshalEventsAuto encode and
+// sniff-decode it, store snapshots and large WAL group commits use it
+// on disk, and netsync negotiates it per connection. Legacy files
+// (SaveOptions.Legacy, or anything written before the columnar
+// format) still load via magic sniffing.
+//
+// SaveSince writes just the events newer than a version as a
+// self-delimiting, checksummed delta block, so a saved file can be
+// extended incrementally (ReadDelta/ApplyDelta on the other side)
+// instead of rewritten.
 //
 // Package store builds the durable layer on those primitives: each
 // document gets an append-only, segmented write-ahead log of delta

@@ -10,6 +10,7 @@ import (
 	"strings"
 
 	"egwalker/internal/causal"
+	"egwalker/internal/colenc"
 	"egwalker/internal/core"
 	"egwalker/internal/encoding"
 	"egwalker/internal/oplog"
@@ -472,43 +473,89 @@ func (d *Doc) TextAt(v Version) (string, error) {
 	return core.ReplayText(sub)
 }
 
-// SaveOptions control the on-disk format (see the paper §3.8 and the
-// file-size experiments).
+// SaveOptions control the on-disk format (see the paper §3.8,
+// docs/FORMAT.md, and the file-size experiments).
 type SaveOptions struct {
 	// CacheFinalDoc embeds the document text so Load is instant (no
 	// replay).
 	CacheFinalDoc bool
 	// OmitDeletedContent drops deleted characters' content (smaller
 	// files, like Yjs; historical versions become unreconstructable).
+	// Implies the legacy format, which is the only one carrying the
+	// pruning bitmap.
 	OmitDeletedContent bool
 	// Compress DEFLATE-compresses inserted content.
 	Compress bool
+	// Legacy writes the original "EGW1" whole-document format instead
+	// of the compact columnar one. Load reads both transparently.
+	Legacy bool
 }
 
 // Save writes the document (event graph, optionally plus text) to w.
+// By default it emits the compact columnar format (docs/FORMAT.md);
+// opts.Legacy selects the original encoding. Load reads either.
 func (d *Doc) Save(w io.Writer, opts SaveOptions) error {
-	var deleted map[causal.LV]bool
-	var err error
-	if opts.OmitDeletedContent {
-		deleted, err = encoding.DeletedSet(d.log)
-		if err != nil {
-			return err
+	if opts.Legacy || opts.OmitDeletedContent {
+		var deleted map[causal.LV]bool
+		var err error
+		if opts.OmitDeletedContent {
+			deleted, err = encoding.DeletedSet(d.log)
+			if err != nil {
+				return err
+			}
 		}
+		return encoding.Encode(w, d.log, encoding.Options{
+			CacheFinalDoc:      opts.CacheFinalDoc,
+			OmitDeletedContent: opts.OmitDeletedContent,
+			Compress:           opts.Compress,
+		}, d.text.String(), deleted)
 	}
-	return encoding.Encode(w, d.log, encoding.Options{
-		CacheFinalDoc:      opts.CacheFinalDoc,
-		OmitDeletedContent: opts.OmitDeletedContent,
-		Compress:           opts.Compress,
-	}, d.text.String(), deleted)
+	evs := eventsToWire(d.Events())
+	co := colenc.Options{Compress: opts.Compress}
+	var data []byte
+	var err error
+	if opts.CacheFinalDoc {
+		data, err = colenc.EncodeDoc(evs, d.text.String(), co)
+	} else {
+		data, err = colenc.Encode(evs, co)
+	}
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(data)
+	return err
 }
 
-// Load reads a document saved with Save. The loading replica adopts
-// agent for its future local edits. If the file embeds the final text,
-// loading costs no replay at all (the paper's "cached load").
+// Load reads a document saved with Save, sniffing the format from the
+// file's magic: both the compact columnar format and the legacy "EGW1"
+// format load transparently. The loading replica adopts agent for its
+// future local edits. If the file embeds the final text, loading costs
+// no replay at all (the paper's "cached load").
 func Load(r io.Reader, agent string) (*Doc, error) {
 	data, err := io.ReadAll(r)
 	if err != nil {
 		return nil, err
+	}
+	if colenc.Sniff(data) {
+		dec, err := colenc.Decode(data)
+		if err != nil {
+			return nil, err
+		}
+		l, err := logFromWire(dec.Events)
+		if err != nil {
+			return nil, err
+		}
+		d := &Doc{log: l, agent: agent}
+		if dec.HasDoc {
+			d.text = rope.NewFromString(dec.Doc)
+			return d, nil
+		}
+		rp, err := core.ReplayRope(l)
+		if err != nil {
+			return nil, err
+		}
+		d.text = rp
+		return d, nil
 	}
 	dec, err := encoding.Decode(data)
 	if err != nil {

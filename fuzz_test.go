@@ -9,6 +9,7 @@ package egwalker_test
 
 import (
 	"bytes"
+	"reflect"
 	"testing"
 
 	"egwalker"
@@ -88,12 +89,17 @@ func FuzzDocSaveLoadRoundTrip(f *testing.F) {
 				t.Fatalf("replica %d did not converge: %q vs %q", i+1, d.Text(), a.Text())
 			}
 		}
-		// Round-trip through every persistence mode.
+		// Round-trip through every persistence mode — both the compact
+		// columnar format (the default) and the legacy one.
 		for _, opts := range []egwalker.SaveOptions{
 			{},
 			{CacheFinalDoc: true},
 			{Compress: true},
 			{CacheFinalDoc: true, Compress: true},
+			{Legacy: true},
+			{Legacy: true, CacheFinalDoc: true},
+			{Legacy: true, Compress: true},
+			{Legacy: true, CacheFinalDoc: true, Compress: true},
 			{OmitDeletedContent: true, CacheFinalDoc: true},
 		} {
 			var buf bytes.Buffer
@@ -127,6 +133,31 @@ func FuzzDocSaveLoadRoundTrip(f *testing.F) {
 				t.Fatalf("second-generation load %+v changed text", opts)
 			}
 		}
+		// Columnar-vs-legacy batch codec differential: both encodings of
+		// the full history must decode to the identical event list.
+		events := a.Events()
+		legacyEnc, err := egwalker.MarshalEvents(events)
+		if err != nil {
+			t.Fatal(err)
+		}
+		compactEnc, err := egwalker.MarshalEventsCompact(events)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fromLegacy, err := egwalker.UnmarshalEventsAuto(legacyEnc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fromCompact, err := egwalker.UnmarshalEventsAuto(compactEnc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(fromLegacy, fromCompact) {
+			t.Fatalf("codec differential: legacy and columnar decode diverge")
+		}
+		if !reflect.DeepEqual(fromCompact, events) {
+			t.Fatalf("codec differential: columnar round-trip changed the events")
+		}
 		// The current version must reconstruct via the history API too.
 		got, err := a.TextAt(a.Version())
 		if err != nil {
@@ -140,7 +171,7 @@ func FuzzDocSaveLoadRoundTrip(f *testing.F) {
 		// must all agree, and the span stream must expand to exactly the
 		// per-unit stream.
 		var hist bytes.Buffer
-		if err := a.Save(&hist, egwalker.SaveOptions{}); err != nil {
+		if err := a.Save(&hist, egwalker.SaveOptions{Legacy: true}); err != nil {
 			t.Fatal(err)
 		}
 		dec, err := encoding.Decode(hist.Bytes())

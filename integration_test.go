@@ -78,6 +78,8 @@ func TestEndToEndTraces(t *testing.T) {
 				{},
 				{CacheFinalDoc: true},
 				{CacheFinalDoc: true, Compress: true},
+				{Legacy: true},
+				{Legacy: true, CacheFinalDoc: true, Compress: true},
 				{OmitDeletedContent: true, CacheFinalDoc: true},
 			} {
 				var buf bytes.Buffer

@@ -1,0 +1,81 @@
+package colenc
+
+import (
+	"fmt"
+
+	"egwalker/internal/causal"
+	"egwalker/internal/oplog"
+)
+
+// EventsFromLog exports a log's entire history as a batch in causal
+// (LV) order — the inverse of BuildLog, for tools that work at the
+// oplog level (the root package exports the same walk as Doc.Events).
+func EventsFromLog(l *oplog.Log) []Event {
+	g := l.Graph
+	out := make([]Event, 0, l.Len())
+	l.EachOp(causal.Span{Start: 0, End: causal.LV(l.Len())},
+		func(lv causal.LV, op oplog.Op) bool {
+			id := g.IDOf(lv)
+			ev := Event{
+				ID:     ID{Agent: id.Agent, Seq: id.Seq},
+				Insert: op.Kind == oplog.Insert,
+				Pos:    op.Pos,
+			}
+			if ev.Insert {
+				ev.Content = op.Content
+			}
+			for _, p := range g.ParentsOf(lv) {
+				pid := g.IDOf(p)
+				ev.Parents = append(ev.Parents, ID{Agent: pid.Agent, Seq: pid.Seq})
+			}
+			out = append(out, ev)
+			return true
+		})
+	return out
+}
+
+// BuildLog rebuilds an operation log from a full-document batch: every
+// parent must reference an earlier event in the batch (a whole history
+// in causal order), as Decode produces for files written by the
+// root package's Save. Malformed input — unknown parents,
+// non-contiguous sequence numbers, duplicate events — returns a clean
+// error via the graph's own validation.
+func BuildLog(evs []Event) (*oplog.Log, error) {
+	l := oplog.New()
+	for i := 0; i < len(evs); {
+		first := evs[i]
+		// Extend the AddRemote batch while the events stay linear: same
+		// agent, contiguous seqs, each parented on its predecessor.
+		j := i + 1
+		for j < len(evs) &&
+			evs[j].ID.Agent == first.ID.Agent &&
+			evs[j].ID.Seq == first.ID.Seq+(j-i) &&
+			len(evs[j].Parents) == 1 &&
+			evs[j].Parents[0] == evs[j-1].ID {
+			j++
+		}
+		ps := make([]causal.LV, len(first.Parents))
+		for k, p := range first.Parents {
+			lv, ok := l.Graph.LVOf(causal.RawID{Agent: p.Agent, Seq: p.Seq})
+			if !ok {
+				return nil, fmt.Errorf("colenc: event %s/%d references unknown parent %s/%d",
+					first.ID.Agent, first.ID.Seq, p.Agent, p.Seq)
+			}
+			ps[k] = lv
+		}
+		ops := make([]oplog.Op, j-i)
+		for k := i; k < j; k++ {
+			op := oplog.Op{Kind: oplog.Delete, Pos: evs[k].Pos}
+			if evs[k].Insert {
+				op.Kind = oplog.Insert
+				op.Content = evs[k].Content
+			}
+			ops[k-i] = op
+		}
+		if _, err := l.AddRemote(first.ID.Agent, first.ID.Seq, ps, ops); err != nil {
+			return nil, fmt.Errorf("colenc: rebuild: %w", err)
+		}
+		i = j
+	}
+	return l, nil
+}

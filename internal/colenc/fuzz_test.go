@@ -1,0 +1,79 @@
+package colenc
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzColencRoundTrip attacks Decode with arbitrary bytes: it must
+// never panic and must reject malformed input with a clean error. On
+// input it accepts, decode → re-encode → decode must be a fixed point:
+// the decoded events are by construction valid, so re-encoding cannot
+// fail, and the second decode must reproduce them exactly. Run with
+// `go test -fuzz FuzzColencRoundTrip ./internal/colenc` for deep
+// exploration; plain `go test` exercises the committed corpus.
+func FuzzColencRoundTrip(f *testing.F) {
+	// Valid frames in every shape: typing, deletes, concurrency,
+	// external parents, cached doc, compression.
+	batches := [][]Event{
+		nil,
+		typed("alice", "hello fuzz"),
+		{
+			{ID: ID{"a", 0}, Insert: true, Pos: 0, Content: 'x'},
+			{ID: ID{"b", 0}, Insert: true, Pos: 0, Content: 'é'},
+			{ID: ID{"a", 1}, Parents: []ID{{"a", 0}, {"b", 0}}, Pos: 1},
+			{ID: ID{"a", 2}, Parents: []ID{{"a", 1}}, Pos: 0},
+		},
+		{
+			{ID: ID{"c", 9}, Parents: []ID{{"x", 41}}, Insert: true, Pos: 3, Content: '漢'},
+			{ID: ID{"c", 10}, Parents: []ID{{"c", 9}}, Insert: true, Pos: 4, Content: '🙂'},
+		},
+	}
+	for _, evs := range batches {
+		if data, err := Encode(evs, Options{}); err == nil {
+			f.Add(data)
+		}
+		if data, err := Encode(evs, Options{Compress: true}); err == nil {
+			f.Add(data)
+		}
+		if data, err := EncodeDoc(evs, "cached doc text", Options{}); err == nil {
+			f.Add(data)
+		}
+	}
+	f.Add([]byte{})
+	f.Add([]byte("EGC2"))
+	f.Add(append([]byte("EGC2"), make([]byte, 32)...))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// The limit bounds the fuzzer's memory: run-length frames can
+		// legitimately describe far more events than they have bytes.
+		dec, err := DecodeLimit(data, 1<<16)
+		if err != nil {
+			return
+		}
+		var re []byte
+		if dec.HasDoc {
+			re, err = EncodeDoc(dec.Events, dec.Doc, Options{})
+		} else {
+			re, err = Encode(dec.Events, Options{})
+		}
+		if err != nil {
+			t.Fatalf("re-encode of accepted input failed: %v", err)
+		}
+		dec2, err := DecodeLimit(re, 1<<16)
+		if err != nil {
+			t.Fatalf("decode of re-encoded frame failed: %v", err)
+		}
+		if len(dec.Events) != len(dec2.Events) {
+			t.Fatalf("round trip changed event count: %d -> %d", len(dec.Events), len(dec2.Events))
+		}
+		for i := range dec.Events {
+			if !reflect.DeepEqual(dec.Events[i], dec2.Events[i]) {
+				t.Fatalf("round trip changed event %d: %+v -> %+v", i, dec.Events[i], dec2.Events[i])
+			}
+		}
+		if dec2.HasDoc != dec.HasDoc || dec2.Doc != dec.Doc {
+			t.Fatalf("round trip changed doc column")
+		}
+	})
+}

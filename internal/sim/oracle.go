@@ -3,6 +3,7 @@ package sim
 import (
 	"bytes"
 	"fmt"
+	"reflect"
 
 	"egwalker"
 	"egwalker/internal/causal"
@@ -31,6 +32,9 @@ func CheckAll(docs []*egwalker.Doc) error {
 		return err
 	}
 	if err := CheckSaveLoad(docs[0]); err != nil {
+		return err
+	}
+	if err := CheckColencRoundTrip(docs[0]); err != nil {
 		return err
 	}
 	return CheckForkMerge(docs)
@@ -175,7 +179,46 @@ func CheckListCRDT(d *egwalker.Doc) error {
 	return nil
 }
 
-// CheckSaveLoad round-trips d through every persistence mode.
+// CheckColencRoundTrip pins the compact columnar batch codec to the
+// legacy per-event codec: both encodings of the replica's full history
+// must decode to the identical event list, and the columnar decode
+// must reproduce the original events exactly.
+func CheckColencRoundTrip(d *egwalker.Doc) error {
+	events := d.Events()
+	legacy, err := egwalker.MarshalEvents(events)
+	if err != nil {
+		return fmt.Errorf("oracle: legacy marshal: %w", err)
+	}
+	compact, err := egwalker.MarshalEventsCompact(events)
+	if err != nil {
+		return fmt.Errorf("oracle: columnar marshal: %w", err)
+	}
+	fromLegacy, err := egwalker.UnmarshalEventsAuto(legacy)
+	if err != nil {
+		return fmt.Errorf("oracle: legacy decode: %w", err)
+	}
+	fromCompact, err := egwalker.UnmarshalEventsAuto(compact)
+	if err != nil {
+		return fmt.Errorf("oracle: columnar decode: %w", err)
+	}
+	if len(fromLegacy) != len(fromCompact) || len(fromCompact) != len(events) {
+		return fmt.Errorf("oracle: codec differential: event counts diverge (%d legacy, %d columnar, %d original)",
+			len(fromLegacy), len(fromCompact), len(events))
+	}
+	for i := range events {
+		if !reflect.DeepEqual(fromCompact[i], fromLegacy[i]) {
+			return fmt.Errorf("oracle: codec differential: event %d diverges between codecs", i)
+		}
+		if !reflect.DeepEqual(fromCompact[i], events[i]) {
+			return fmt.Errorf("oracle: codec differential: columnar round-trip changed event %d", i)
+		}
+	}
+	return nil
+}
+
+// CheckSaveLoad round-trips d through every persistence mode — the
+// compact columnar default, the legacy format, and the option
+// variants of each.
 func CheckSaveLoad(d *egwalker.Doc) error {
 	want := d.Text()
 	for _, opts := range []egwalker.SaveOptions{
@@ -183,6 +226,8 @@ func CheckSaveLoad(d *egwalker.Doc) error {
 		{CacheFinalDoc: true},
 		{Compress: true},
 		{CacheFinalDoc: true, Compress: true},
+		{Legacy: true},
+		{Legacy: true, CacheFinalDoc: true},
 		{OmitDeletedContent: true, CacheFinalDoc: true},
 	} {
 		var buf bytes.Buffer

@@ -1,0 +1,187 @@
+package netsync
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"net"
+	"reflect"
+	"testing"
+
+	"egwalker"
+	"egwalker/internal/colenc"
+)
+
+// TestDocHelloV2RoundTrip: every flag combination of the v2 hello
+// reads back exactly, and legacy hellos report compact=false.
+func TestDocHelloV2RoundTrip(t *testing.T) {
+	v := egwalker.Version{{Agent: "a", Seq: 41}, {Agent: "b", Seq: 7}}
+	cases := []struct {
+		name            string
+		write           func(w io.Writer) error
+		wantV           egwalker.Version
+		resume, compact bool
+	}{
+		{"v2 plain", func(w io.Writer) error { return WriteDocHelloV2(w, "d", nil, false, false) }, nil, false, false},
+		{"v2 compact", func(w io.Writer) error { return WriteDocHelloV2(w, "d", nil, false, true) }, nil, false, true},
+		{"v2 resume", func(w io.Writer) error { return WriteDocHelloV2(w, "d", v, true, false) }, v, true, false},
+		{"v2 resume compact", func(w io.Writer) error { return WriteDocHelloV2(w, "d", v, true, true) }, v, true, true},
+		{"legacy plain", func(w io.Writer) error { return WriteDocHello(w, "d") }, nil, false, false},
+		{"legacy resume", func(w io.Writer) error { return WriteDocHelloResume(w, "d", v) }, v, true, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := tc.write(&buf); err != nil {
+				t.Fatal(err)
+			}
+			docID, gotV, resume, compact, err := ReadDocHelloAny(&buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if docID != "d" || resume != tc.resume || compact != tc.compact {
+				t.Fatalf("got (%q, resume=%v, compact=%v), want (d, %v, %v)",
+					docID, resume, compact, tc.resume, tc.compact)
+			}
+			if tc.resume && !reflect.DeepEqual(gotV, tc.wantV) {
+				t.Fatalf("version: got %v, want %v", gotV, tc.wantV)
+			}
+		})
+	}
+}
+
+// TestDocHelloV2UnknownFlagsRejected: a hello with flag bits this
+// reader does not know must fail loudly, not be half-understood.
+func TestDocHelloV2UnknownFlagsRejected(t *testing.T) {
+	var payload []byte
+	payload = putUvarint(payload, 0x40)
+	payload = putUvarint(payload, 1)
+	payload = append(payload, 'd')
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, msgDocHello2, payload); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, _, err := ReadDocHelloAny(&buf); err == nil {
+		t.Fatal("unknown hello flags accepted")
+	}
+}
+
+// TestCompactChunkedFramesAreColumnar: with compact on, every events
+// frame carries the columnar magic and still decodes via the sniffing
+// Unmarshal.
+func TestCompactChunkedFramesAreColumnar(t *testing.T) {
+	src := egwalker.NewDoc("a")
+	if err := src.Insert(0, "compact framing test"); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := writeEventsChunked(&buf, src.Events(), true); err != nil {
+		t.Fatal(err)
+	}
+	typ, payload, err := readFrame(&buf)
+	if err != nil || typ != msgEvents {
+		t.Fatalf("frame: typ=%#x err=%v", typ, err)
+	}
+	if !colenc.Sniff(payload) {
+		t.Fatalf("compact frame payload lacks columnar magic: % x", payload[:8])
+	}
+	evs, err := Unmarshal(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(evs, src.Events()) {
+		t.Fatal("compact frame did not decode to the original events")
+	}
+}
+
+// TestSyncCompactConverges: two current-generation peers negotiate the
+// compact encoding through the capability byte and still converge.
+func TestSyncCompactConverges(t *testing.T) {
+	a, b := egwalker.NewDoc("a"), egwalker.NewDoc("b")
+	if err := a.Insert(0, "left side"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Insert(0, "right side"); err != nil {
+		t.Fatal(err)
+	}
+	ca, cb := net.Pipe()
+	errs := make(chan error, 2)
+	go func() { errs <- Sync(a, ca) }()
+	go func() { errs <- Sync(b, cb) }()
+	for i := 0; i < 2; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a.Text() != b.Text() || a.Fingerprint() != b.Fingerprint() {
+		t.Fatalf("no convergence: %q vs %q", a.Text(), b.Text())
+	}
+}
+
+// TestSyncLegacyPeerGetsLegacyFrames: a peer whose hello carries no
+// capability byte (a pre-colenc build) must receive legacy-encoded
+// event frames — never columnar ones it could not parse.
+func TestSyncLegacyPeerGetsLegacyFrames(t *testing.T) {
+	doc := egwalker.NewDoc("modern")
+	if err := doc.Insert(0, "history the old peer is missing"); err != nil {
+		t.Fatal(err)
+	}
+	modern, old := net.Pipe()
+	syncErr := make(chan error, 1)
+	go func() { syncErr <- Sync(doc, modern) }()
+
+	// Drive the old side by hand: hello without the capability byte,
+	// then an empty batch and DONE. Writes go through a buffer like the
+	// real protocol's do (a raw zero-length pipe write would block).
+	writeDone := make(chan error, 1)
+	go func() {
+		bw := bufio.NewWriter(old)
+		err := writeFrame(bw, msgHello, marshalVersion(nil))
+		if err == nil {
+			var empty []byte
+			empty, err = egwalker.MarshalEvents(nil)
+			if err == nil {
+				err = writeFrame(bw, msgEvents, empty)
+			}
+		}
+		if err == nil {
+			err = writeFrame(bw, msgDone, nil)
+		}
+		if err == nil {
+			err = bw.Flush()
+		}
+		writeDone <- err
+	}()
+
+	sawEvents := false
+	for {
+		typ, payload, err := readFrame(old)
+		if err != nil {
+			t.Fatalf("old peer read: %v", err)
+		}
+		if typ == msgHello {
+			continue
+		}
+		if typ == msgDone {
+			break
+		}
+		if typ != msgEvents {
+			t.Fatalf("unexpected frame %#x", typ)
+		}
+		if colenc.Sniff(payload) {
+			t.Fatal("legacy peer received a columnar frame")
+		}
+		if len(payload) > 2 { // non-empty batch
+			sawEvents = true
+		}
+	}
+	if err := <-writeDone; err != nil {
+		t.Fatal(err)
+	}
+	if err := <-syncErr; err != nil {
+		t.Fatal(err)
+	}
+	if !sawEvents {
+		t.Fatal("modern side sent no events to the legacy peer")
+	}
+}

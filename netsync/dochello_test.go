@@ -165,7 +165,7 @@ func TestChunkedEventsSend(t *testing.T) {
 		t.Fatalf("test batch too small: %d events", len(events))
 	}
 	var buf bytes.Buffer
-	if err := writeEventsChunked(&buf, events); err != nil {
+	if err := writeEventsChunked(&buf, events, false); err != nil {
 		t.Fatal(err)
 	}
 	dst := egwalker.NewDoc("recv")

@@ -28,10 +28,14 @@ func Sync(doc *egwalker.Doc, conn io.ReadWriter) error {
 	// Writes run in a goroutine so the protocol works over unbuffered
 	// transports (both sides write their HELLO before either reads).
 	// The two send stages are sequenced through channels, so the writer
-	// is never used concurrently.
+	// is never used concurrently. The capability byte appended after
+	// the version advertises the compact columnar encoding; peers
+	// predating it ignore trailing hello bytes, and absent the byte we
+	// send legacy frames — so mixed-generation pairs still converge.
 	helloErr := make(chan error, 1)
 	go func() {
-		err := writeFrame(bw, msgHello, marshalVersion(doc.Version()))
+		hello := append(marshalVersion(doc.Version()), capCompact)
+		err := writeFrame(bw, msgHello, hello)
 		if err == nil {
 			err = bw.Flush()
 		}
@@ -48,10 +52,11 @@ func Sync(doc *egwalker.Doc, conn io.ReadWriter) error {
 	if typ != msgHello {
 		return fmt.Errorf("netsync: expected hello, got frame type %#x", typ)
 	}
-	theirVersion, err := unmarshalVersion(payload)
+	theirVersion, rest, err := unmarshalVersionRest(payload)
 	if err != nil {
 		return err
 	}
+	peerCompact := len(rest) > 0 && rest[0]&capCompact != 0
 
 	// Send what they are missing. Their version may reference events we
 	// have never seen; those can't anchor a graph diff, so fall back to
@@ -63,7 +68,7 @@ func Sync(doc *egwalker.Doc, conn io.ReadWriter) error {
 	}
 	sendErr := make(chan error, 1)
 	go func() {
-		err := writeEventsChunked(bw, missing)
+		err := writeEventsChunked(bw, missing, peerCompact)
 		if err == nil {
 			err = writeFrame(bw, msgDone, nil)
 		}
@@ -145,7 +150,7 @@ func (r *Relay) Serve(conn io.ReadWriter) error {
 		close(outbox)
 	}()
 
-	if err := writeEventsChunked(bw, snapshot); err != nil {
+	if err := writeEventsChunked(bw, snapshot, false); err != nil {
 		return err
 	}
 	if err := bw.Flush(); err != nil {
@@ -259,7 +264,20 @@ func (p *PeerConn) SendDocHelloResume(docID string, v egwalker.Version) error {
 func (p *PeerConn) SendEvents(events []egwalker.Event) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if err := writeEventsChunked(p.bw, events); err != nil {
+	if err := writeEventsChunked(p.bw, events, false); err != nil {
+		return err
+	}
+	return p.bw.Flush()
+}
+
+// SendEventsCompact is SendEvents with the compact columnar encoding.
+// Use it only when the peer advertised capCompact in its hello (a
+// multi-document host does, for the snapshot/catch-up it answers a v2
+// hello with).
+func (p *PeerConn) SendEventsCompact(events []egwalker.Event) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := writeEventsChunked(p.bw, events, true); err != nil {
 		return err
 	}
 	return p.bw.Flush()
@@ -340,6 +358,25 @@ func NewClientForDoc(doc *egwalker.Doc, conn io.ReadWriter, docID string) (*Clie
 func NewResumingClientForDoc(doc *egwalker.Doc, conn io.ReadWriter, docID string) (*Client, error) {
 	c := &Client{doc: doc, pc: NewPeerConn(conn)}
 	if err := c.pc.SendDocHelloResume(docID, doc.Version()); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// NewCompactResumingClientForDoc is NewResumingClientForDoc over the
+// v2 hello: it additionally advertises the compact columnar encoding,
+// so the host's snapshot/catch-up arrives in a fraction of the bytes.
+// Hosts predating the v2 hello reject the connection — use the legacy
+// constructor against them.
+func NewCompactResumingClientForDoc(doc *egwalker.Doc, conn io.ReadWriter, docID string) (*Client, error) {
+	c := &Client{doc: doc, pc: NewPeerConn(conn)}
+	c.pc.mu.Lock()
+	err := WriteDocHelloV2(c.pc.bw, docID, doc.Version(), true, true)
+	if err == nil {
+		err = c.pc.bw.Flush()
+	}
+	c.pc.mu.Unlock()
+	if err != nil {
 		return nil, err
 	}
 	return c, nil

@@ -34,10 +34,22 @@ import (
 
 // Message types.
 const (
-	msgHello    = 0x01 // payload: version (list of event IDs)
-	msgEvents   = 0x02 // payload: encoded event subset
-	msgDone     = 0x03 // payload: empty
-	msgDocHello = 0x04 // payload: uvarint-length-prefixed document ID
+	msgHello     = 0x01 // payload: version (list of event IDs), optional capability byte
+	msgEvents    = 0x02 // payload: encoded event subset (legacy or columnar, sniffed)
+	msgDone      = 0x03 // payload: empty
+	msgDocHello  = 0x04 // payload: uvarint-length-prefixed document ID, optional resume version
+	msgDocHello2 = 0x05 // payload: uvarint flags, doc ID, optional resume version
+)
+
+// Flag bits in a v2 doc hello (msgDocHello2) and in the capability
+// byte appended to a Sync hello. A peer that sets capCompact
+// understands the compact columnar event encoding (docs/FORMAT.md);
+// the other side may then answer snapshot/catch-up frames in it.
+const (
+	capCompact  = 1 << 0
+	helloResume = 1 << 1 // v2 doc hello only: a resume version follows the doc ID
+
+	knownHelloFlags = capCompact | helloResume
 )
 
 // maxFrame bounds a single frame's payload. The cap is checked before
@@ -83,22 +95,28 @@ func readFrame(r io.Reader) (byte, []byte, error) {
 }
 
 // writeEventsChunked writes a batch as one or more msgEvents frames,
-// splitting so no frame exceeds the cap. Receivers apply frames
-// independently; within one batch later chunks may reference earlier
-// chunks' events as external parents, which Apply resolves (they are
-// already admitted by the time the later chunk arrives).
-func writeEventsChunked(w io.Writer, events []egwalker.Event) error {
+// splitting so no frame exceeds the cap. With compact set the frames
+// carry the columnar encoding (the peer must have advertised
+// capCompact). Receivers apply frames independently; within one batch
+// later chunks may reference earlier chunks' events as external
+// parents, which Apply resolves (they are already admitted by the time
+// the later chunk arrives).
+func writeEventsChunked(w io.Writer, events []egwalker.Event, compact bool) error {
+	marshal := Marshal
+	if compact {
+		marshal = egwalker.MarshalEventsCompact
+	}
 	if len(events) == 0 {
 		// Always emit at least one frame: receivers treat the first
 		// events frame as the snapshot/anti-entropy payload even when
 		// there is nothing to send.
-		batch, err := Marshal(nil)
+		batch, err := marshal(nil)
 		if err != nil {
 			return err
 		}
 		return writeFrame(w, msgEvents, batch)
 	}
-	batches, err := MarshalChunks(events)
+	batches, err := marshalChunksWith(events, maxFrame, marshal)
 	if err != nil {
 		return err
 	}
@@ -121,14 +139,25 @@ func MarshalChunks(events []egwalker.Event) ([][]byte, error) {
 	return marshalChunksLimit(events, maxFrame)
 }
 
+// MarshalChunksCompact is MarshalChunks with the compact columnar
+// encoding (docs/FORMAT.md). Send the result only to peers that
+// advertised capCompact in their hello.
+func MarshalChunksCompact(events []egwalker.Event) ([][]byte, error) {
+	return marshalChunksWith(events, maxFrame, egwalker.MarshalEventsCompact)
+}
+
 // marshalChunksLimit is MarshalChunks with the frame cap as a
 // parameter so tests can exercise the splitting and failure paths
 // without building multi-mebibyte batches.
 func marshalChunksLimit(events []egwalker.Event, limit int) ([][]byte, error) {
+	return marshalChunksWith(events, limit, Marshal)
+}
+
+func marshalChunksWith(events []egwalker.Event, limit int, marshal func([]egwalker.Event) ([]byte, error)) ([][]byte, error) {
 	var out [][]byte
 	var emit func(evs []egwalker.Event) error
 	emit = func(evs []egwalker.Event) error {
-		batch, err := Marshal(evs)
+		batch, err := marshal(evs)
 		if err != nil {
 			return err
 		}
@@ -187,6 +216,35 @@ func writeDocHello(w io.Writer, docID string, v egwalker.Version, resume bool) e
 	return writeFrame(w, msgDocHello, payload)
 }
 
+// WriteDocHelloV2 sends the second-generation doc hello: a flags field
+// first, then the doc ID and (with resume) the client's version. The
+// compact flag advertises that this client decodes the compact
+// columnar event encoding, letting the host answer the snapshot or
+// catch-up with far fewer bytes. Hosts predating the v2 hello reject
+// the unknown frame type — a client that must interoperate with them
+// sends the legacy hello (WriteDocHello / WriteDocHelloResume)
+// instead.
+func WriteDocHelloV2(w io.Writer, docID string, v egwalker.Version, resume, compact bool) error {
+	if len(docID) == 0 || len(docID) > maxDocID {
+		return fmt.Errorf("netsync: bad doc ID length %d", len(docID))
+	}
+	flags := uint64(0)
+	if compact {
+		flags |= capCompact
+	}
+	if resume {
+		flags |= helloResume
+	}
+	var payload []byte
+	payload = putUvarint(payload, flags)
+	payload = putUvarint(payload, uint64(len(docID)))
+	payload = append(payload, docID...)
+	if resume {
+		payload = append(payload, marshalVersion(v)...)
+	}
+	return writeFrame(w, msgDocHello2, payload)
+}
+
 // ReadDocHello reads the doc-ID hello frame a multiplexing listener
 // expects as the first frame of every connection, discarding any
 // resume version.
@@ -200,34 +258,64 @@ func ReadDocHello(r io.Reader) (string, error) {
 // whether it did — an empty version from a fresh replica still counts
 // as a resume request, it just means "send everything").
 func ReadDocHelloVersion(r io.Reader) (docID string, v egwalker.Version, resume bool, err error) {
+	docID, v, resume, _, err = ReadDocHelloAny(r)
+	return docID, v, resume, err
+}
+
+// ReadDocHelloAny reads either generation of doc hello. compact
+// reports whether the client advertised the compact columnar event
+// encoding (always false for legacy hellos).
+func ReadDocHelloAny(r io.Reader) (docID string, v egwalker.Version, resume, compact bool, err error) {
 	typ, payload, err := readFrame(r)
 	if err != nil {
-		return "", nil, false, err
-	}
-	if typ != msgDocHello {
-		return "", nil, false, fmt.Errorf("netsync: expected doc hello, got frame type %#x", typ)
+		return "", nil, false, false, err
 	}
 	br := &byteReader{buf: payload}
+	var flags uint64
+	switch typ {
+	case msgDocHello:
+	case msgDocHello2:
+		flags, err = br.uvarint()
+		if err != nil {
+			return "", nil, false, false, err
+		}
+		if flags&^uint64(knownHelloFlags) != 0 {
+			return "", nil, false, false, fmt.Errorf("netsync: unknown doc hello flags %#x", flags)
+		}
+	default:
+		return "", nil, false, false, fmt.Errorf("netsync: expected doc hello, got frame type %#x", typ)
+	}
 	n, err := br.uvarint()
 	if err != nil {
-		return "", nil, false, err
+		return "", nil, false, false, err
 	}
 	if n == 0 || n > maxDocID {
-		return "", nil, false, fmt.Errorf("netsync: bad doc ID length %d", n)
+		return "", nil, false, false, fmt.Errorf("netsync: bad doc ID length %d", n)
 	}
 	b, err := br.bytes(int(n))
 	if err != nil {
-		return "", nil, false, err
+		return "", nil, false, false, err
 	}
 	docID = string(b)
+	compact = flags&capCompact != 0
+	if typ == msgDocHello2 {
+		if flags&helloResume == 0 {
+			return docID, nil, false, compact, nil
+		}
+		v, _, err = unmarshalVersionRest(payload[br.off:])
+		if err != nil {
+			return "", nil, false, false, fmt.Errorf("netsync: bad resume version in doc hello: %w", err)
+		}
+		return docID, v, true, compact, nil
+	}
 	if br.off == len(payload) {
-		return docID, nil, false, nil // pre-resume hello: full snapshot
+		return docID, nil, false, false, nil // pre-resume hello: full snapshot
 	}
-	v, err = unmarshalVersion(payload[br.off:])
+	v, _, err = unmarshalVersionRest(payload[br.off:])
 	if err != nil {
-		return "", nil, false, fmt.Errorf("netsync: bad resume version in doc hello: %w", err)
+		return "", nil, false, false, fmt.Errorf("netsync: bad resume version in doc hello: %w", err)
 	}
-	return docID, v, true, nil
+	return docID, v, true, false, nil
 }
 
 // --- varint helpers -------------------------------------------------------
@@ -275,9 +363,11 @@ func Marshal(events []egwalker.Event) ([]byte, error) {
 	return egwalker.MarshalEvents(events)
 }
 
-// Unmarshal decodes a batch encoded by Marshal.
+// Unmarshal decodes a batch encoded by Marshal or MarshalChunksCompact
+// (the compact columnar magic is sniffed, so receivers need no advance
+// knowledge of which encoding a frame carries).
 func Unmarshal(data []byte) ([]egwalker.Event, error) {
-	return egwalker.UnmarshalEvents(data)
+	return egwalker.UnmarshalEventsAuto(data)
 }
 
 // marshalVersion encodes a Version for HELLO frames.
@@ -293,13 +383,23 @@ func marshalVersion(v egwalker.Version) []byte {
 }
 
 func unmarshalVersion(data []byte) (egwalker.Version, error) {
+	v, _, err := unmarshalVersionRest(data)
+	return v, err
+}
+
+// unmarshalVersionRest decodes a version and returns any bytes that
+// follow it. Trailing bytes are how the symmetric Sync hello carries
+// its capability byte: writers predating it produced none, and readers
+// predating it ignored them, so the extension is wire-compatible in
+// both directions.
+func unmarshalVersionRest(data []byte) (egwalker.Version, []byte, error) {
 	r := &byteReader{buf: data}
 	n, err := r.uvarint()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if n > uint64(len(data)) {
-		return nil, fmt.Errorf("netsync: version larger than payload")
+		return nil, nil, fmt.Errorf("netsync: version larger than payload")
 	}
 	// Grow lazily with a modest initial capacity: this parses the
 	// unauthenticated first frame of a server connection, so a hostile
@@ -314,17 +414,17 @@ func unmarshalVersion(data []byte) (egwalker.Version, error) {
 	for i := uint64(0); i < n; i++ {
 		ln, err := r.uvarint()
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		b, err := r.bytes(int(ln))
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		seq, err := r.uvarint()
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		v = append(v, egwalker.EventID{Agent: string(b), Seq: int(seq)})
 	}
-	return v, nil
+	return v, data[r.off:], nil
 }

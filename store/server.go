@@ -425,10 +425,13 @@ func (e *entry) unsubscribe(id int) {
 // only the events the peer is missing), and thereafter journals and
 // fans out every batch the peer uploads — netsync.Relay semantics,
 // multiplexed over every document in the store and durable across
-// restarts. Run it in its own goroutine per connection; it returns
-// when the peer disconnects.
+// restarts. A v2 hello advertising the compact columnar encoding gets
+// its snapshot/catch-up in that format — the bulk of a cold join's
+// bytes — while fan-out frames stay on the shared legacy payloads every
+// peer understands. Run it in its own goroutine per connection; it
+// returns when the peer disconnects.
 func (s *Server) ServeConn(conn io.ReadWriter) error {
-	docID, since, resume, err := netsync.ReadDocHelloVersion(conn)
+	docID, since, resume, compact, err := netsync.ReadDocHelloAny(conn)
 	if err != nil {
 		return err
 	}
@@ -442,7 +445,11 @@ func (s *Server) ServeConn(conn io.ReadWriter) error {
 	id, outbox, catchup := e.subscribe(conn, since, resume)
 	defer e.unsubscribe(id)
 
-	if err := pc.SendEvents(catchup); err != nil {
+	sendCatchup := pc.SendEvents
+	if compact {
+		sendCatchup = pc.SendEventsCompact
+	}
+	if err := sendCatchup(catchup); err != nil {
 		return err
 	}
 

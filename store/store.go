@@ -19,6 +19,11 @@ import (
 // whose close has not finished).
 var ErrLocked = errors.New("store: document directory is locked by another store")
 
+// compactWALThreshold is the batch size from which journaled delta
+// blocks switch to the compact columnar payload: below it the columnar
+// header outweighs its run-length savings, above it runs dominate.
+const compactWALThreshold = 8
+
 // Options tune one durable document.
 type Options struct {
 	// SegmentMaxBytes is the WAL rotation threshold (default 1 MiB): a
@@ -426,8 +431,17 @@ func (s *DocStore) commitLocked() error {
 	// Encode first: a batch the codec rejects writes no bytes and does
 	// not poison the store. DeltaBlocks splits by count and, for
 	// pathological event sizes, by bytes, so a legal batch always
-	// encodes.
-	blocks, err := egwalker.DeltaBlocks(evs)
+	// encodes. Batches worth run-length-encoding go out as compact
+	// columnar blocks (ReadDelta sniffs per payload, so legacy and
+	// compact blocks interleave freely within a segment); tiny
+	// group commits stay on the legacy codec, whose fixed overhead is
+	// a few bytes rather than the columnar header's ~20.
+	var blocks [][]byte
+	if len(evs) >= compactWALThreshold {
+		blocks, err = egwalker.DeltaBlocksCompact(evs)
+	} else {
+		blocks, err = egwalker.DeltaBlocks(evs)
+	}
 	if err != nil {
 		return fmt.Errorf("store: encoding WAL batch: %w", err)
 	}
