@@ -7,7 +7,8 @@
 // Usage:
 //
 //	egload [-addr 127.0.0.1:4222] [-docs 4] [-writers 2] [-rate 100]
-//	       [-duration 10s] [-mix seq,burst,trace,resume,hotdoc]
+//	       [-duration 10s] [-mix seq,burst,trace,resume,hotdoc,colddocs]
+//	       [-cold-docs 10000] [-cold-joins 500]
 //	       [-out BENCH_server.json] [-metrics-url http://127.0.0.1:4223/metrics]
 //	       [-seed 1] [-doc-prefix NAME]
 //
@@ -30,6 +31,12 @@
 //   - hotdoc: writers are assigned to documents by a Zipf draw, so a
 //     few documents absorb most of the fleet — per-document lock and
 //     outbox contention under skew.
+//   - colddocs: populates -cold-docs write-mostly documents (one
+//     short-lived compact writer each, far beyond the server's
+//     materialization cap) and then samples -cold-joins cold compact
+//     joins, measuring dial→first-frame and dial→caught-up latency —
+//     the zero-materialization block-serve path under a large hosted
+//     population. Ignores -duration; see -cold-docs and -cold-joins.
 //
 // Every mix reports send/deliver throughput (events/sec) and the
 // client-observed fan-out latency distribution (p50/p95/p99): the time
@@ -105,6 +112,20 @@ func main() {
 	for i, name := range names {
 		name = strings.TrimSpace(name)
 		if name == "" {
+			continue
+		}
+		if name == "colddocs" {
+			fmt.Fprintf(os.Stderr, "egload: mix %q (%d/%d): %d docs, %d joins...\n", name, i+1, len(names), *coldDocs, *coldJoins)
+			res, err := runColdDocs()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "egload:", err)
+				os.Exit(1)
+			}
+			c := res.Cold
+			fmt.Fprintf(os.Stderr, "egload: mix %q: populated %d docs in %.1fs, %d cold joins, first-frame p50=%s p99=%s\n",
+				name, c.Docs, c.PopulateSec, c.Joins,
+				time.Duration(c.FirstFrameNs.P50), time.Duration(c.FirstFrameNs.P99))
+			rep.Mixes = append(rep.Mixes, res)
 			continue
 		}
 		spec, err := mixByName(name)

@@ -62,6 +62,7 @@ type mixResult struct {
 	WriterErrors    int64                     `json:"writer_errors"`
 	Undelivered     int64                     `json:"undelivered_at_drain"`
 	Resume          *resumeResult             `json:"resume,omitempty"`
+	Cold            *coldResult               `json:"cold,omitempty"`
 }
 
 // resumeResult summarizes the reconnect churners of the resume mix.

@@ -10,8 +10,8 @@
 //
 // Usage:
 //
-//	egserve [-addr :4222] [-data DIR] [-flush 50ms] [-max-open 64] [-snapshot-every 8192]
-//	        [-metrics-addr :4223] [-metrics-every 0]
+//	egserve [-addr :4222] [-data DIR] [-flush 50ms] [-max-open 64] [-max-journal 1024]
+//	        [-snapshot-every 8192] [-metrics-addr :4223] [-metrics-every 0]
 //
 // Observability: -metrics-addr serves the store.Server metrics
 // snapshot (apply/fsync latency histograms with p50/p95/p99,
@@ -51,6 +51,7 @@ var (
 	dataDir     = flag.String("data", "egserve-data", "store root directory")
 	flush       = flag.Duration("flush", 50*time.Millisecond, "group-commit fsync interval (negative: fsync every append)")
 	maxOpen     = flag.Int("max-open", 64, "documents kept materialized (LRU)")
+	maxJournal  = flag.Int("max-journal", 1024, "documents kept open journal-only (two fds each)")
 	snapshot    = flag.Int("snapshot-every", 8192, "events per document between background compactions (0: never)")
 	metricsAddr = flag.String("metrics-addr", "", "serve GET /metrics (JSON snapshot) on this address (empty: off)")
 	metricsLog  = flag.Duration("metrics-every", 0, "log a metrics JSON snapshot on this interval (0: off)")
@@ -62,10 +63,11 @@ func main() {
 	log.SetFlags(log.LstdFlags | log.Lmsgprefix)
 
 	srv, err := store.NewServer(*dataDir, store.ServerOptions{
-		MaxOpenDocs:   *maxOpen,
-		FlushInterval: *flush,
-		SnapshotEvery: *snapshot,
-		Logf:          log.Printf,
+		MaxOpenDocs:    *maxOpen,
+		MaxJournalDocs: *maxJournal,
+		FlushInterval:  *flush,
+		SnapshotEvery:  *snapshot,
+		Logf:           log.Printf,
 	})
 	if err != nil {
 		log.Fatal(err)

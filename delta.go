@@ -39,10 +39,14 @@ var ErrCorruptDelta = errors.New("egwalker: corrupt delta block (checksum mismat
 // per-block payload cap; split it (DeltaBlocks does so automatically).
 var ErrBlockTooLarge = errors.New("egwalker: delta block too large")
 
-// maxDeltaPayload bounds a single delta block (and therefore a single
+// MaxDeltaPayload bounds a single delta block (and therefore a single
 // WAL frame or network batch). 16 MiB of encoded events is ~1M events —
-// callers stream larger histories as multiple blocks.
-const maxDeltaPayload = 16 << 20
+// callers stream larger histories as multiple blocks. It equals the
+// netsync frame-payload cap, so any journaled block can be forwarded
+// as one frame and vice versa.
+const MaxDeltaPayload = 16 << 20
+
+const maxDeltaPayload = MaxDeltaPayload
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
@@ -354,6 +358,24 @@ func deltaBlockWith(events []Event, marshal func([]Event) ([]byte, error)) ([]by
 		return nil, fmt.Errorf("%w (%d bytes, cap %d)", ErrBlockTooLarge, len(payload), maxDeltaPayload)
 	}
 	var block []byte
+	block = appendUvarint(block, uint64(len(payload)))
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.Checksum(payload, crcTable))
+	block = append(block, crc[:]...)
+	return append(block, payload...), nil
+}
+
+// WrapDeltaPayload wraps an already-encoded batch payload (either
+// encoding) in the delta-block envelope without re-encoding it. This
+// is the zero-copy journaling path: a store that validated an uploaded
+// frame's structure can append the peer's exact bytes to its WAL, and
+// ReadDelta recovers them as any other block. The caller vouches that
+// payload is a complete MarshalEvents or MarshalEventsCompact batch.
+func WrapDeltaPayload(payload []byte) ([]byte, error) {
+	if len(payload) > maxDeltaPayload {
+		return nil, fmt.Errorf("%w (%d bytes, cap %d)", ErrBlockTooLarge, len(payload), maxDeltaPayload)
+	}
+	block := make([]byte, 0, binary.MaxVarintLen64+4+len(payload))
 	block = appendUvarint(block, uint64(len(payload)))
 	var crc [4]byte
 	binary.LittleEndian.PutUint32(crc[:], crc32.Checksum(payload, crcTable))

@@ -397,23 +397,11 @@ func Decode(data []byte) (*Decoded, error) {
 // frames declaring more events are rejected before any proportional
 // work happens.
 func DecodeLimit(data []byte, maxEvents int) (*Decoded, error) {
-	if !Sniff(data) {
-		return nil, ErrBadMagic
+	r, flags, err := openFrame(data)
+	if err != nil {
+		return nil, err
 	}
-	if len(data) < len(Magic)+5 {
-		return nil, fmt.Errorf("colenc: truncated header: %w", io.ErrUnexpectedEOF)
-	}
-	flags := data[4]
-	if flags&^byte(knownFlags) != 0 {
-		return nil, fmt.Errorf("colenc: unsupported flags %#x", flags)
-	}
-	wantCRC := binary.LittleEndian.Uint32(data[5:9])
-	body := data[9:]
-	if crc32.Checksum(body, crcTable) != wantCRC {
-		return nil, ErrChecksum
-	}
-
-	r := &reader{buf: body}
+	body := r.buf
 	// One run (a few bytes) may cover up to maxRunLen events, so the
 	// body length times that factor bounds any honest count.
 	limit := maxEvents

@@ -259,6 +259,20 @@ func (p *PeerConn) SendDocHelloResume(docID string, v egwalker.Version) error {
 	return p.bw.Flush()
 }
 
+// SendDocHelloV2 sends the v2 doc-ID hello: compact advertises the
+// columnar encoding (the host may then answer with compact frames, and
+// a cold join streams the document's encoded blocks); resume presents
+// v for an incremental catch-up. Hosts predating the v2 hello reject
+// the connection.
+func (p *PeerConn) SendDocHelloV2(docID string, v egwalker.Version, resume, compact bool) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := WriteDocHelloV2(p.bw, docID, v, resume, compact); err != nil {
+		return err
+	}
+	return p.bw.Flush()
+}
+
 // SendEvents uploads a batch, splitting it into multiple frames if it
 // exceeds the frame cap.
 func (p *PeerConn) SendEvents(events []egwalker.Event) error {
@@ -370,13 +384,21 @@ func NewResumingClientForDoc(doc *egwalker.Doc, conn io.ReadWriter, docID string
 // constructor against them.
 func NewCompactResumingClientForDoc(doc *egwalker.Doc, conn io.ReadWriter, docID string) (*Client, error) {
 	c := &Client{doc: doc, pc: NewPeerConn(conn)}
-	c.pc.mu.Lock()
-	err := WriteDocHelloV2(c.pc.bw, docID, doc.Version(), true, true)
-	if err == nil {
-		err = c.pc.bw.Flush()
+	if err := c.pc.SendDocHelloV2(docID, doc.Version(), true, true); err != nil {
+		return nil, err
 	}
-	c.pc.mu.Unlock()
-	if err != nil {
+	return c, nil
+}
+
+// NewCompactClientForDoc is NewClientForDoc over the v2 hello: a cold
+// join (no resume version) that advertises the compact columnar
+// encoding. Against a store.Server this is the cheapest possible join
+// — the host streams the document's encoded blocks verbatim off disk,
+// without materializing the document. Hosts predating the v2 hello
+// reject the connection — use the legacy constructor against them.
+func NewCompactClientForDoc(doc *egwalker.Doc, conn io.ReadWriter, docID string) (*Client, error) {
+	c := &Client{doc: doc, pc: NewPeerConn(conn)}
+	if err := c.pc.SendDocHelloV2(docID, nil, false, true); err != nil {
 		return nil, err
 	}
 	return c, nil

@@ -1,0 +1,214 @@
+package store
+
+import (
+	"strings"
+	"testing"
+
+	"egwalker"
+)
+
+func TestIDSetRunMerging(t *testing.T) {
+	s := newIDSet()
+	s.addRun("a", 0, 5)  // [0,5)
+	s.addRun("a", 10, 5) // [10,15)
+	s.addRun("a", 5, 5)  // bridges: [0,15)
+	if got := s.runs["a"]; len(got) != 1 || got[0] != (seqRun{0, 15}) {
+		t.Fatalf("runs = %+v, want one [0,15)", got)
+	}
+	if s.numEvents() != 15 {
+		t.Fatalf("numEvents = %d, want 15", s.numEvents())
+	}
+	s.addRun("a", 3, 4) // fully covered, no change
+	if got := s.runs["a"]; len(got) != 1 || got[0] != (seqRun{0, 15}) {
+		t.Fatalf("runs after covered add = %+v", got)
+	}
+	s.addRun("b", 2, 1)
+	if !s.has(egwalker.EventID{Agent: "b", Seq: 2}) || s.has(egwalker.EventID{Agent: "b", Seq: 1}) {
+		t.Fatal("has() wrong for agent b")
+	}
+	if s.has(egwalker.EventID{Agent: "a", Seq: 15}) || !s.has(egwalker.EventID{Agent: "a", Seq: 14}) {
+		t.Fatal("has() wrong at run boundary")
+	}
+}
+
+func TestIDSetCountNew(t *testing.T) {
+	s := newIDSet()
+	s.addRun("a", 5, 5) // [5,10)
+	cases := []struct {
+		seq, n, want int
+	}{
+		{0, 5, 5},   // entirely before
+		{5, 5, 0},   // exact cover
+		{3, 4, 2},   // overlaps front
+		{8, 4, 2},   // overlaps back
+		{0, 20, 15}, // superset
+		{10, 1, 1},  // adjacent after
+	}
+	for _, c := range cases {
+		if got := s.countNew("a", c.seq, c.n); got != c.want {
+			t.Errorf("countNew(a, %d, %d) = %d, want %d", c.seq, c.n, got, c.want)
+		}
+	}
+}
+
+// TestOpenLazyJournalRoundTrip: a document written eagerly reopens
+// journal-only — event count and block cut available without
+// materializing — and materializes to the identical text on demand;
+// Dematerialize drops back without losing anything.
+func TestOpenLazyJournalRoundTrip(t *testing.T) {
+	root := t.TempDir()
+	ds := mustOpen(t, root, "lazy", Options{})
+	text := strings.Repeat("abcdefg ", 20)
+	for i, r := range text {
+		if err := ds.Insert(i, string(r)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ds.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	lz, err := OpenLazy(root, "lazy", "tester", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lz.Close()
+	if lz.Materialized() {
+		t.Fatal("OpenLazy materialized the document")
+	}
+	if n := lz.NumEvents(); n != len(text) {
+		t.Fatalf("journal-only NumEvents = %d, want %d", n, len(text))
+	}
+	if lz.Materialized() {
+		t.Fatal("NumEvents materialized the document")
+	}
+	cut, ok := lz.CutForServe()
+	if !ok {
+		t.Fatal("journal-only store not block-servable")
+	}
+	if cut.NumEvents() != len(text) {
+		t.Fatalf("cut covers %d events, want %d", cut.NumEvents(), len(text))
+	}
+	if got := lz.Text(); got != text {
+		t.Fatalf("materialized text = %q, want %q", got, text)
+	}
+	if !lz.Materialized() {
+		t.Fatal("Text did not materialize")
+	}
+	if err := lz.Dematerialize(); err != nil {
+		t.Fatal(err)
+	}
+	if lz.Materialized() {
+		t.Fatal("Dematerialize left the doc in memory")
+	}
+	if n := lz.NumEvents(); n != len(text) {
+		t.Fatalf("post-demat NumEvents = %d, want %d", n, len(text))
+	}
+	if got := lz.Text(); got != text {
+		t.Fatalf("re-materialized text = %q, want %q", got, text)
+	}
+}
+
+// TestOpenLazyAfterCompaction: the journal scan works through a compact
+// snapshot plus WAL tail.
+func TestOpenLazyAfterCompaction(t *testing.T) {
+	root := t.TempDir()
+	ds := mustOpen(t, root, "snap", Options{})
+	for i := 0; i < 60; i++ {
+		if err := ds.Insert(i, "s"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ds.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 60; i < 90; i++ {
+		if err := ds.Insert(i, "t"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := ds.Text()
+	if err := ds.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	lz, err := OpenLazy(root, "snap", "tester", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lz.Close()
+	if lz.Materialized() {
+		t.Fatal("OpenLazy materialized despite compact snapshot")
+	}
+	if n := lz.NumEvents(); n != 90 {
+		t.Fatalf("NumEvents = %d, want 90", n)
+	}
+	if got := lz.Text(); got != want {
+		t.Fatalf("text = %q, want %q", got, want)
+	}
+}
+
+// TestIngestBatchJournalOnly: compact uploads journal verbatim without
+// materializing; duplicates are deduplicated by the ID index; a batch
+// with unknown parents forces materialization instead of corrupting
+// the journal.
+func TestIngestBatchJournalOnly(t *testing.T) {
+	root := t.TempDir()
+
+	seed := egwalker.NewDoc("writer")
+	for i := 0; i < 40; i++ {
+		if err := seed.Insert(i, "j"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	evs := seed.Events()
+	raw, err := egwalker.MarshalEventsCompact(evs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ds, err := OpenLazy(root, "ingest", "tester", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	fresh, err := ds.IngestBatch(evs, raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh != len(evs) {
+		t.Fatalf("fresh = %d, want %d", fresh, len(evs))
+	}
+	if ds.Materialized() {
+		t.Fatal("compact ingest materialized the document")
+	}
+	fresh, err = ds.IngestBatch(evs, raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh != 0 {
+		t.Fatalf("duplicate ingest reported %d fresh events", fresh)
+	}
+	if ds.NumEvents() != len(evs) {
+		t.Fatalf("NumEvents = %d, want %d", ds.NumEvents(), len(evs))
+	}
+
+	// A batch whose parents the journal has never seen: the store must
+	// materialize and let the doc arbitrate rather than journaling a
+	// causally dangling batch.
+	other := egwalker.NewDoc("other")
+	if err := other.Insert(0, "zz"); err != nil {
+		t.Fatal(err)
+	}
+	oevs := other.Events()
+	gap := oevs[len(oevs)-1:]
+	if _, err := ds.IngestBatch(gap, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !ds.Materialized() {
+		t.Fatal("causal-gap ingest did not materialize")
+	}
+	if got, want := ds.Text(), seed.Text(); got != want {
+		t.Fatalf("text after gap ingest = %q, want %q", got, want)
+	}
+}

@@ -28,10 +28,11 @@ import (
 //     catch-up vs. full history — with ResumeEvents / SnapshotEvents
 //     counting the events each path shipped.
 type Metrics struct {
-	ApplyNs   metrics.Histogram
-	FsyncNs   metrics.Histogram
-	CompactNs metrics.Histogram
-	OpenNs    metrics.Histogram
+	ApplyNs       metrics.Histogram
+	FsyncNs       metrics.Histogram
+	CompactNs     metrics.Histogram
+	OpenNs        metrics.Histogram
+	MaterializeNs metrics.Histogram
 
 	CommitBatchEvents metrics.Histogram
 	FanoutBatchEvents metrics.Histogram
@@ -50,17 +51,33 @@ type Metrics struct {
 	ResumeEvents   metrics.Counter
 	SnapshotEvents metrics.Counter
 
+	// Zero-materialization serve path: BlockServes counts catch-ups
+	// streamed as verbatim encoded blocks (no document built);
+	// LazyMaterializations counts documents that had to be built on
+	// demand (a Text query, a legacy catch-up, a resume diff, a
+	// compaction); ResumeFallbacks counts resume hellos that degraded
+	// to a full catch-up because the incremental diff failed.
+	BlockServes          metrics.Counter
+	BlockServeEvents     metrics.Counter
+	LazyMaterializations metrics.Counter
+	ResumeFallbacks      metrics.Counter
+
 	OpenDocs    metrics.Gauge
 	Subscribers metrics.Gauge
+	// MaterializedDocs tracks how many open documents currently hold a
+	// full in-memory egwalker.Doc — the LRU's real population;
+	// OpenDocs counts every open document, journal-only ones included.
+	MaterializedDocs metrics.Gauge
 }
 
 // MetricsSnapshot is a point-in-time copy of every metric, shaped for
 // JSON (the egserve /metrics endpoint returns exactly this).
 type MetricsSnapshot struct {
-	ApplyNs   metrics.HistogramSnapshot `json:"apply_ns"`
-	FsyncNs   metrics.HistogramSnapshot `json:"fsync_ns"`
-	CompactNs metrics.HistogramSnapshot `json:"compact_ns"`
-	OpenNs    metrics.HistogramSnapshot `json:"open_ns"`
+	ApplyNs       metrics.HistogramSnapshot `json:"apply_ns"`
+	FsyncNs       metrics.HistogramSnapshot `json:"fsync_ns"`
+	CompactNs     metrics.HistogramSnapshot `json:"compact_ns"`
+	OpenNs        metrics.HistogramSnapshot `json:"open_ns"`
+	MaterializeNs metrics.HistogramSnapshot `json:"materialize_ns"`
 
 	CommitBatchEvents metrics.HistogramSnapshot `json:"commit_batch_events"`
 	FanoutBatchEvents metrics.HistogramSnapshot `json:"fanout_batch_events"`
@@ -79,18 +96,25 @@ type MetricsSnapshot struct {
 	ResumeEvents   int64 `json:"resume_events"`
 	SnapshotEvents int64 `json:"snapshot_events"`
 
-	OpenDocs    int64 `json:"open_docs"`
-	Subscribers int64 `json:"subscribers"`
+	BlockServes          int64 `json:"block_serves"`
+	BlockServeEvents     int64 `json:"block_serve_events"`
+	LazyMaterializations int64 `json:"lazy_materializations"`
+	ResumeFallbacks      int64 `json:"resume_fallbacks"`
+
+	OpenDocs         int64 `json:"open_docs"`
+	Subscribers      int64 `json:"subscribers"`
+	MaterializedDocs int64 `json:"materialized_docs"`
 }
 
 // Snapshot captures all metrics. Concurrent updates may land on either
 // side of the capture; each individual metric is consistent.
 func (m *Metrics) Snapshot() MetricsSnapshot {
 	return MetricsSnapshot{
-		ApplyNs:   m.ApplyNs.Snapshot(),
-		FsyncNs:   m.FsyncNs.Snapshot(),
-		CompactNs: m.CompactNs.Snapshot(),
-		OpenNs:    m.OpenNs.Snapshot(),
+		ApplyNs:       m.ApplyNs.Snapshot(),
+		FsyncNs:       m.FsyncNs.Snapshot(),
+		CompactNs:     m.CompactNs.Snapshot(),
+		OpenNs:        m.OpenNs.Snapshot(),
+		MaterializeNs: m.MaterializeNs.Snapshot(),
 
 		CommitBatchEvents: m.CommitBatchEvents.Snapshot(),
 		FanoutBatchEvents: m.FanoutBatchEvents.Snapshot(),
@@ -109,8 +133,14 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		ResumeEvents:   m.ResumeEvents.Load(),
 		SnapshotEvents: m.SnapshotEvents.Load(),
 
-		OpenDocs:    m.OpenDocs.Load(),
-		Subscribers: m.Subscribers.Load(),
+		BlockServes:          m.BlockServes.Load(),
+		BlockServeEvents:     m.BlockServeEvents.Load(),
+		LazyMaterializations: m.LazyMaterializations.Load(),
+		ResumeFallbacks:      m.ResumeFallbacks.Load(),
+
+		OpenDocs:         m.OpenDocs.Load(),
+		Subscribers:      m.Subscribers.Load(),
+		MaterializedDocs: m.MaterializedDocs.Load(),
 	}
 }
 

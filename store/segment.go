@@ -24,8 +24,10 @@
 package store
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
 	"strings"
@@ -102,6 +104,85 @@ func replaySegment(path string) (*replayResult, error) {
 		res.validLen = int64(rd.off)
 	}
 }
+
+// blockWalk is what walking a segment's raw blocks yields — the
+// payload-level mirror of replayResult.
+type blockWalk struct {
+	// validLen is the byte offset after the last cleanly parsed block.
+	validLen int64
+	// tail is non-nil when the walk stopped before the end of the data:
+	// the reason the remaining bytes are unusable (same torn-tail
+	// classification as replaySegment).
+	tail error
+}
+
+// walkSegmentBlocks walks a segment byte image's delta-block
+// envelopes, verifying each checksum and handing fn the raw payload —
+// the exact batch bytes a writer journaled, without decoding them.
+// This is the zero-materialization scan: block-serving and journal-
+// only recovery read WAL segments through it. The payload slice
+// aliases data and is only valid during the call. A non-nil error from
+// fn aborts the walk and is returned verbatim; envelope damage is
+// reported via blockWalk.tail instead, so callers share replay's
+// torn-tail policy.
+func walkSegmentBlocks(data []byte, fn func(payload []byte) error) (*blockWalk, error) {
+	if len(data) < segHeaderLen {
+		return &blockWalk{validLen: 0, tail: fmt.Errorf("store: segment header cut short: %w", io.ErrUnexpectedEOF)}, nil
+	}
+	if string(data[:4]) != string(segMagic[:]) {
+		return nil, fmt.Errorf("%w: bad magic %q", errBadSegment, data[:4])
+	}
+	if data[4] != segVersion {
+		return nil, fmt.Errorf("%w: unknown version %d", errBadSegment, data[4])
+	}
+	w := &blockWalk{validLen: segHeaderLen}
+	off := segHeaderLen
+	for off < len(data) {
+		// Length prefix (uvarint).
+		n, width := uint64(0), 0
+		for shift := uint(0); ; shift += 7 {
+			if off+width >= len(data) {
+				w.tail = fmt.Errorf("store: torn delta length: %w", io.ErrUnexpectedEOF)
+				return w, nil
+			}
+			if shift >= 64 {
+				w.tail = fmt.Errorf("store: delta length overflow: %w", egwalker.ErrCorruptDelta)
+				return w, nil
+			}
+			b := data[off+width]
+			width++
+			n |= uint64(b&0x7f) << shift
+			if b < 0x80 {
+				break
+			}
+		}
+		if n > egwalker.MaxDeltaPayload {
+			w.tail = fmt.Errorf("store: delta block claims %d bytes: %w", n, egwalker.ErrCorruptDelta)
+			return w, nil
+		}
+		blockEnd := off + width + 4 + int(n)
+		if blockEnd > len(data) {
+			w.tail = fmt.Errorf("store: torn delta block: %w", io.ErrUnexpectedEOF)
+			return w, nil
+		}
+		crcOff := off + width
+		payload := data[crcOff+4 : blockEnd]
+		if crc32.Checksum(payload, blockCRCTable) != binary.LittleEndian.Uint32(data[crcOff:crcOff+4]) {
+			w.tail = egwalker.ErrCorruptDelta
+			return w, nil
+		}
+		if err := fn(payload); err != nil {
+			return nil, err
+		}
+		off = blockEnd
+		w.validLen = int64(off)
+	}
+	return w, nil
+}
+
+// blockCRCTable mirrors the delta-block checksum polynomial
+// (CRC32-C, see egwalker's delta encoding).
+var blockCRCTable = crc32.MakeTable(crc32.Castagnoli)
 
 // countingReader tracks the offset so replay knows where the last good
 // block ended.

@@ -8,6 +8,7 @@ import (
 	"os"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"egwalker"
@@ -17,11 +18,20 @@ import (
 // ServerOptions tune a multi-document host.
 type ServerOptions struct {
 	// MaxOpenDocs caps how many documents stay materialized in memory
-	// (default 64). Beyond it, the least-recently-used idle document is
-	// synced, closed, and evicted; reopening replays snapshot + WAL
-	// tail on demand. Documents with live connections are never
-	// evicted.
+	// (default 64): the LRU cache of full egwalker.Docs layered over
+	// the much larger population of journal-only open documents.
+	// Beyond it, the least-recently-used idle document sheds its
+	// in-memory doc (the journal and live subscriptions keep working);
+	// it re-materializes on demand. Documents with in-flight work are
+	// never shed.
 	MaxOpenDocs int
+	// MaxJournalDocs caps how many documents stay open at all (default
+	// 1024). A journal-only document costs two file descriptors and a
+	// small ID index, so this cap can sit orders of magnitude above
+	// MaxOpenDocs; beyond it, the least-recently-used idle document is
+	// synced and fully closed. Values below MaxOpenDocs are raised to
+	// it.
+	MaxJournalDocs int
 	// FlushInterval is the group-commit cadence (default 50ms): appends
 	// return after the OS write, and a background flusher fsyncs every
 	// open document's WAL on this interval — one fsync absorbs any
@@ -39,13 +49,20 @@ type ServerOptions struct {
 	DocOptions Options
 	// Logf, when set, receives operational warnings the background
 	// loops cannot return to a caller (fsync failures, compaction
-	// failures). Point it at log.Printf in a server binary.
+	// failures, resume degradation). Point it at log.Printf in a
+	// server binary.
 	Logf func(format string, args ...any)
 }
 
 func (o ServerOptions) withDefaults() ServerOptions {
 	if o.MaxOpenDocs <= 0 {
 		o.MaxOpenDocs = 64
+	}
+	if o.MaxJournalDocs <= 0 {
+		o.MaxJournalDocs = 1024
+	}
+	if o.MaxJournalDocs < o.MaxOpenDocs {
+		o.MaxJournalDocs = o.MaxOpenDocs
 	}
 	if o.FlushInterval == 0 {
 		o.FlushInterval = 50 * time.Millisecond
@@ -62,28 +79,39 @@ func (o ServerOptions) withDefaults() ServerOptions {
 	return o
 }
 
+// closeDrainTimeout bounds how long Close waits for in-flight
+// connections and appends to release their documents before closing
+// the stores anyway.
+const closeDrainTimeout = 5 * time.Second
+
 // peerSub is one live subscriber of a document: its outbox of
-// marshalled batches and the connection behind it, kept so the sever
-// path can close the transport immediately (a writer blocked mid-send
-// on a stalled peer would otherwise never observe its outbox closing).
+// marshalled batches, the connection behind it (kept so the sever path
+// can close the transport immediately — a writer blocked mid-send on a
+// stalled peer would otherwise never observe its outbox closing), and
+// whether the peer advertised the compact encoding.
 type peerSub struct {
-	ch   chan []byte
-	conn io.ReadWriter
+	ch      chan []byte
+	conn    io.ReadWriter
+	compact bool
 }
 
-// entry is one materialized document plus its connected peers. ds is
-// nil until ready is closed (the document is still being materialized
-// by the goroutine that created the entry); openErr records a failed
-// materialization.
+// entry is one open document plus its connected peers. ds is nil until
+// ready is closed (the document is still being opened by the goroutine
+// that created the entry); openErr records a failed open. The document
+// behind ds is usually journal-only; mat mirrors whether it currently
+// holds a materialized doc (maintained by the DocStore's
+// materialization hooks, readable without any lock).
 type entry struct {
 	id      string
 	ready   chan struct{}
 	openErr error
 	ds      *DocStore
 	m       *Metrics
-	// mu serializes apply+fanout against snapshot+subscribe, so a
-	// joining peer misses no events between its snapshot and its first
-	// forwarded batch.
+	logf    func(format string, args ...any)
+	mat     atomic.Bool
+	// mu serializes ingest+fanout against catch-up cuts and subscribe,
+	// so a joining peer misses no events between its catch-up and its
+	// first forwarded batch.
 	mu       sync.Mutex
 	peers    map[int]peerSub
 	nextPeer int
@@ -96,8 +124,11 @@ type entry struct {
 // Server hosts many durable documents behind string doc IDs: the
 // paper's relay server grown a database. One Server owns one store
 // root directory; connections multiplex by document via the netsync
-// doc-ID hello frame (ServeConn), and an LRU keeps only hot documents
-// materialized.
+// doc-ID hello frame (ServeConn). Open documents are journal-only by
+// default — write-mostly documents are hosted without ever building
+// their egwalker.Doc — and an LRU keeps only the documents that needed
+// materializing (text queries, legacy catch-ups, resume diffs,
+// compaction) in memory.
 type Server struct {
 	mu      sync.Mutex
 	root    string
@@ -139,12 +170,12 @@ func (s *Server) logf(format string, args ...any) {
 	}
 }
 
-// acquire pins the document's entry, materializing it (snapshot + WAL
-// replay) if it is not open. The disk work happens outside the server
-// lock — a cold open of one large document must not stall appends to
-// every other document — with an opening latch so concurrent acquires
-// of the same document share one materialization. Callers must
-// release.
+// acquire pins the document's entry, opening it (journal-only when
+// possible) if it is not open. The disk work happens outside the
+// server lock — a cold open of one large document must not stall
+// appends to every other document — with an opening latch so
+// concurrent acquires of the same document share one open. Callers
+// must release.
 func (s *Server) acquire(docID string) (*entry, error) {
 	s.mu.Lock()
 	if s.closed {
@@ -162,11 +193,28 @@ func (s *Server) acquire(docID string) (*entry, error) {
 		}
 		return e, nil
 	}
-	e := &entry{id: docID, ready: make(chan struct{}), peers: make(map[int]peerSub), m: s.metrics, refs: 1}
+	e := &entry{id: docID, ready: make(chan struct{}), peers: make(map[int]peerSub), m: s.metrics, logf: s.logf, refs: 1}
 	e.elem = s.lru.PushFront(e)
 	s.open[docID] = e
 	s.metrics.OpenDocs.Set(int64(len(s.open)))
 	s.mu.Unlock()
+
+	// The materialization hooks keep the entry's mat flag and the
+	// server's materialized-population metrics exact, whether the doc
+	// materializes during open (journal scan fell back), on demand, or
+	// is shed by eviction or close. They fire under the DocStore's
+	// mutex and touch only atomics.
+	docOpts := s.opts.DocOptions
+	docOpts.onMaterialize = func(d time.Duration) {
+		e.mat.Store(true)
+		s.metrics.MaterializedDocs.Add(1)
+		s.metrics.LazyMaterializations.Inc()
+		s.metrics.MaterializeNs.Observe(d.Nanoseconds())
+	}
+	docOpts.onDematerialize = func() {
+		e.mat.Store(false)
+		s.metrics.MaterializedDocs.Add(-1)
+	}
 
 	// A just-evicted store for this document may still be fsync-closing
 	// (eviction closes outside the server lock); its directory flock
@@ -175,7 +223,7 @@ func (s *Server) acquire(docID string) (*entry, error) {
 	var ds *DocStore
 	var err error
 	for attempt := 0; ; attempt++ {
-		ds, err = Open(s.root, docID, s.opts.Agent, s.opts.DocOptions)
+		ds, err = OpenLazy(s.root, docID, s.opts.Agent, docOpts)
 		if err == nil || !errors.Is(err, ErrLocked) || attempt >= 100 {
 			break
 		}
@@ -199,29 +247,41 @@ func (s *Server) acquire(docID string) (*entry, error) {
 	e.ds = ds
 	s.metrics.ColdOpens.Inc()
 	s.metrics.OpenNs.Observe(time.Since(start).Nanoseconds())
-	victims := s.evictLocked()
+	demat, victims := s.evictLocked()
 	s.mu.Unlock()
 	close(e.ready)
-	closeVictims(victims)
+	s.applyEvictions(demat, victims)
 	return e, nil
 }
 
 func (s *Server) release(e *entry) {
 	s.mu.Lock()
 	e.refs--
-	victims := s.evictLocked()
+	demat, victims := s.evictLocked()
 	s.mu.Unlock()
-	closeVictims(victims)
+	s.applyEvictions(demat, victims)
 }
 
-// evictLocked unlinks least-recently-used idle documents until the LRU
-// cap is met and returns their stores; the caller closes them after
-// dropping s.mu (Close fsyncs, and a disk sync must not stall the
-// whole server). Pinned documents (live connections, in-flight work)
-// are skipped, so the map may transiently exceed the cap.
-func (s *Server) evictLocked() []*DocStore {
-	var victims []*DocStore
-	for s.lru.Len() > s.opts.MaxOpenDocs {
+// evictLocked picks eviction work and returns it for the caller to
+// perform after dropping s.mu (dematerializing syncs, closing fsyncs —
+// disk work must not stall the whole server). Two tiers: documents
+// holding a materialized doc beyond MaxOpenDocs are dematerialized
+// (LRU-idle first; each is pinned so it cannot be closed underneath
+// the demat); documents open beyond MaxJournalDocs are fully closed
+// and unlinked. Pinned documents are skipped, so both populations may
+// transiently exceed their caps.
+func (s *Server) evictLocked() (demat []*entry, victims []*DocStore) {
+	over := s.metrics.MaterializedDocs.Load() - int64(s.opts.MaxOpenDocs)
+	if over > 0 {
+		for el := s.lru.Back(); el != nil && over > 0; el = el.Prev() {
+			if e := el.Value.(*entry); e.refs == 0 && e.ds != nil && e.mat.Load() {
+				e.refs++ // released by applyEvictions
+				demat = append(demat, e)
+				over--
+			}
+		}
+	}
+	for s.lru.Len() > s.opts.MaxJournalDocs {
 		var victim *entry
 		for el := s.lru.Back(); el != nil; el = el.Prev() {
 			if e := el.Value.(*entry); e.refs == 0 && e.ds != nil {
@@ -236,30 +296,61 @@ func (s *Server) evictLocked() []*DocStore {
 		delete(s.open, victim.id)
 		victims = append(victims, victim.ds)
 	}
-	if len(victims) > 0 {
-		s.metrics.Evictions.Add(int64(len(victims)))
+	if n := len(demat) + len(victims); n > 0 {
+		s.metrics.Evictions.Add(int64(n))
 		s.metrics.OpenDocs.Set(int64(len(s.open)))
 	}
-	return victims
+	return demat, victims
 }
 
-// closeVictims syncs and closes evicted stores; the documents remain
-// recoverable on disk.
-func closeVictims(victims []*DocStore) {
+// applyEvictions performs eviction work outside s.mu: closes fully
+// evicted stores and dematerializes cache-evicted ones. A document
+// that refuses to dematerialize (buffered causal gap, sticky write
+// error) is fully closed instead — exactly what the old
+// whole-document eviction did to it.
+func (s *Server) applyEvictions(demat []*entry, victims []*DocStore) {
 	for _, ds := range victims {
 		ds.Close()
 	}
+	for _, e := range demat {
+		if err := e.ds.Dematerialize(); err != nil {
+			s.mu.Lock()
+			if e.refs == 1 { // only our pin: safe to unlink and close
+				s.lru.Remove(e.elem)
+				delete(s.open, e.id)
+				s.metrics.OpenDocs.Set(int64(len(s.open)))
+				e.refs--
+				s.mu.Unlock()
+				e.ds.Close()
+				continue
+			}
+			// Someone re-acquired meanwhile; leave it materialized.
+			e.refs--
+			s.mu.Unlock()
+			continue
+		}
+		s.release(e) // may demat/close the next-colder entry
+	}
 }
 
-// OpenCount reports how many documents are currently materialized.
+// OpenCount reports how many documents currently hold a materialized
+// in-memory doc — the LRU cache's population. See JournalCount for
+// the full open population.
 func (s *Server) OpenCount() int {
+	return int(s.metrics.MaterializedDocs.Load())
+}
+
+// JournalCount reports how many documents are open at all, including
+// journal-only ones.
+func (s *Server) JournalCount() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.open)
 }
 
-// With runs fn against the (pinned) document, materializing it if
-// needed.
+// With runs fn against the (pinned) document, opening it if needed.
+// The document may be journal-only; DocStore methods that need the
+// in-memory doc materialize it on demand.
 func (s *Server) With(docID string, fn func(*DocStore) error) error {
 	e, err := s.acquire(docID)
 	if err != nil {
@@ -277,7 +368,7 @@ func (s *Server) Append(docID string, events []egwalker.Event) error {
 		return err
 	}
 	defer s.release(e)
-	return e.applyAndFanout(events, nil, -1)
+	return e.ingest(events, nil, -1)
 }
 
 // Text returns the document's current text, materializing it if
@@ -285,6 +376,9 @@ func (s *Server) Append(docID string, events []egwalker.Event) error {
 func (s *Server) Text(docID string) (string, error) {
 	var text string
 	err := s.With(docID, func(ds *DocStore) error {
+		if err := ds.Materialize(); err != nil {
+			return err
+		}
 		text = ds.Text()
 		return nil
 	})
@@ -312,14 +406,16 @@ func (s *Server) DocIDs() ([]string, error) {
 	return ids, nil
 }
 
-// applyAndFanout journals a batch and forwards the raw payload to
-// every peer except the sender. raw may be nil (API appends); it is
-// then re-marshalled in frame-sized chunks.
-func (e *entry) applyAndFanout(events []egwalker.Event, raw []byte, fromPeer int) error {
+// ingest journals a batch and forwards it to every peer except the
+// sender, building per-capability payloads: a peer gets the uploader's
+// raw bytes verbatim only when it can decode them — compact-encoded
+// uploads are re-marshalled (lazily, once per batch) for peers that
+// never advertised the compact encoding. raw may be nil (API appends).
+func (e *entry) ingest(events []egwalker.Event, raw []byte, fromPeer int) error {
 	start := time.Now()
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if _, err := e.ds.Apply(events); err != nil {
+	if _, err := e.ds.IngestBatch(events, raw); err != nil {
 		return err
 	}
 	// ApplyNs from call entry, so per-document lock contention (many
@@ -328,19 +424,38 @@ func (e *entry) applyAndFanout(events []egwalker.Event, raw []byte, fromPeer int
 	e.m.EventsApplied.Add(int64(len(events)))
 	e.m.BatchesApplied.Inc()
 	e.m.FanoutBatchEvents.Observe(int64(len(events)))
-	var raws [][]byte
+
+	// Verbatim forwarding is the zero-copy default; only a compact
+	// payload headed for a legacy peer needs the re-marshal (a legacy
+	// payload is the common decodable-by-everyone denominator).
+	rawCompact := raw != nil && egwalker.IsCompactBatch(raw)
+	var verbatim [][]byte
 	if raw != nil {
-		raws = [][]byte{raw}
-	} else {
-		var err error
-		raws, err = netsync.MarshalChunks(events)
-		if err != nil {
-			return err
-		}
+		verbatim = [][]byte{raw}
 	}
+	var legacyChunks [][]byte
+	legacyPayloads := func() ([][]byte, error) {
+		if legacyChunks == nil {
+			var err error
+			legacyChunks, err = netsync.MarshalChunks(events)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return legacyChunks, nil
+	}
+
 	for pid, p := range e.peers {
 		if pid == fromPeer {
 			continue
+		}
+		raws := verbatim
+		if raws == nil || (rawCompact && !p.compact) {
+			var err error
+			raws, err = legacyPayloads()
+			if err != nil {
+				return err
+			}
 		}
 		for _, b := range raws {
 			e.m.OutboxDepth.Observe(int64(len(p.ch)))
@@ -368,34 +483,64 @@ func (e *entry) applyAndFanout(events []egwalker.Event, raw []byte, fromPeer int
 	return nil
 }
 
-// subscribe registers a peer and returns its ID, outbox, and the
-// catch-up events to send it first: nothing applied after the cut
-// escapes the outbox, so the peer sees every event exactly once. With
-// resume set, the catch-up is the document's events since the peer's
-// presented version (incremental resume); otherwise it is the full
-// history.
-func (e *entry) subscribe(conn io.ReadWriter, since egwalker.Version, resume bool) (int, chan []byte, []egwalker.Event) {
+// subPlan is what subscribe hands ServeConn: the peer's registration
+// plus its catch-up, which is either a block cut (stream encoded
+// frames verbatim off disk — the zero-materialization path) or a
+// decoded event batch.
+type subPlan struct {
+	id     int
+	outbox chan []byte
+	cut    *BlockCut
+	events []egwalker.Event
+}
+
+// subscribe registers a peer and plans its catch-up: nothing ingested
+// after the cut escapes the outbox, so the peer sees every event
+// exactly once. A resume hello presenting a non-empty version gets the
+// incremental diff (materializing if needed); a failed diff is
+// surfaced (ResumeFallbacks + log) and degrades to a cold join. Cold
+// joins by compact peers stream the document's encoded blocks without
+// materializing it; everything else gets the decoded full history.
+func (e *entry) subscribe(conn io.ReadWriter, since egwalker.Version, resume, compact bool) (*subPlan, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	id := e.nextPeer
 	e.nextPeer++
 	outbox := make(chan []byte, 256)
-	e.peers[id] = peerSub{ch: outbox, conn: conn}
+	e.peers[id] = peerSub{ch: outbox, conn: conn, compact: compact}
 	e.m.Subscribers.Add(1)
-	if resume {
+	if resume && len(since) > 0 {
 		catchup, err := e.ds.EventsSinceKnown(since)
 		if err == nil {
 			e.m.Resumes.Inc()
 			e.m.ResumeEvents.Add(int64(len(catchup)))
-			return id, outbox, catchup
+			return &subPlan{id: id, outbox: outbox, events: catchup}, nil
 		}
-		// An unresolvable version cannot anchor a diff; fall back to
-		// the full history, which is always correct.
+		// An unresolvable version cannot anchor a diff; degrade to a
+		// full catch-up, which is always correct — but say so, because
+		// a fleet of clients silently re-downloading full histories is
+		// a resume regression an operator needs to see.
+		e.m.ResumeFallbacks.Inc()
+		e.logf("store: resume for %q degraded to full catch-up: %v", e.id, err)
 	}
-	snapshot := e.ds.Events()
+	if compact {
+		if cut, ok := e.ds.CutForServe(); ok {
+			e.m.BlockServes.Inc()
+			e.m.BlockServeEvents.Add(int64(cut.NumEvents()))
+			return &subPlan{id: id, outbox: outbox, cut: cut}, nil
+		}
+	}
+	snapshot, err := e.ds.EventsSince(nil)
+	if err != nil {
+		// No catch-up can be built (materialization failed); undo the
+		// registration — this connection is unusable.
+		delete(e.peers, id)
+		e.m.Subscribers.Add(-1)
+		return nil, err
+	}
 	e.m.FullSnapshots.Inc()
 	e.m.SnapshotEvents.Add(int64(len(snapshot)))
-	return id, outbox, snapshot
+	return &subPlan{id: id, outbox: outbox, events: snapshot}, nil
 }
 
 // severConn force-closes a peer connection when the transport supports
@@ -420,16 +565,19 @@ func (e *entry) unsubscribe(id int) {
 }
 
 // ServeConn handles one client connection: it reads the doc-ID hello
-// frame naming which hosted document the peer wants, sends the catch-up
-// history (everything, or — when the hello presents a resume version —
-// only the events the peer is missing), and thereafter journals and
-// fans out every batch the peer uploads — netsync.Relay semantics,
-// multiplexed over every document in the store and durable across
-// restarts. A v2 hello advertising the compact columnar encoding gets
-// its snapshot/catch-up in that format — the bulk of a cold join's
-// bytes — while fan-out frames stay on the shared legacy payloads every
-// peer understands. Run it in its own goroutine per connection; it
-// returns when the peer disconnects.
+// frame naming which hosted document the peer wants, sends the
+// catch-up history (everything, or — when the hello presents a resume
+// version — only the events the peer is missing), and thereafter
+// journals and fans out every batch the peer uploads —
+// netsync.Relay semantics, multiplexed over every document in the
+// store and durable across restarts.
+//
+// A v2 hello advertising the compact columnar encoding changes what a
+// cold join costs the server: the catch-up is streamed as the
+// document's encoded blocks (snapshot frame + WAL blocks) verbatim off
+// disk, without materializing the document at all. Legacy peers get
+// the decoded history. Run ServeConn in its own goroutine per
+// connection; it returns when the peer disconnects.
 func (s *Server) ServeConn(conn io.ReadWriter) error {
 	docID, since, resume, compact, err := netsync.ReadDocHelloAny(conn)
 	if err != nil {
@@ -442,20 +590,30 @@ func (s *Server) ServeConn(conn io.ReadWriter) error {
 	}
 	defer s.release(e)
 
-	id, outbox, catchup := e.subscribe(conn, since, resume)
-	defer e.unsubscribe(id)
-
-	sendCatchup := pc.SendEvents
-	if compact {
-		sendCatchup = pc.SendEventsCompact
-	}
-	if err := sendCatchup(catchup); err != nil {
+	plan, err := e.subscribe(conn, since, resume, compact)
+	if err != nil {
 		return err
+	}
+	defer e.unsubscribe(plan.id)
+
+	switch {
+	case plan.cut != nil:
+		if err := e.streamCatchup(pc, plan.cut, compact); err != nil {
+			return err
+		}
+	case compact:
+		if err := pc.SendEventsCompact(plan.events); err != nil {
+			return err
+		}
+	default:
+		if err := pc.SendEvents(plan.events); err != nil {
+			return err
+		}
 	}
 
 	writeErr := make(chan error, 1)
 	go func() {
-		for b := range outbox {
+		for b := range plan.outbox {
 			if err := pc.SendRaw(b); err != nil {
 				writeErr <- err
 				severConn(conn)
@@ -463,9 +621,9 @@ func (s *Server) ServeConn(conn io.ReadWriter) error {
 			}
 		}
 		// Outbox closed: normal teardown, or the peer was dropped as
-		// too slow (applyAndFanout). Sever the connection so a Recv
-		// blocked on an idle diverged client unblocks and the client
-		// reconnects for a fresh snapshot.
+		// too slow (ingest). Sever the connection so a Recv blocked on
+		// an idle diverged client unblocks and the client reconnects
+		// for a fresh snapshot.
 		writeErr <- nil
 		severConn(conn)
 	}()
@@ -486,10 +644,37 @@ func (s *Server) ServeConn(conn io.ReadWriter) error {
 		if done {
 			return nil
 		}
-		if err := e.applyAndFanout(events, raw, id); err != nil {
+		if err := e.ingest(events, raw, plan.id); err != nil {
 			return err
 		}
 	}
+}
+
+// streamCatchup sends a block cut's frames to a joining compact peer,
+// falling back to the decoded full history if the stream breaks
+// (concurrent compaction can delete a cut's files mid-stream; the peer
+// deduplicates whatever blocks already arrived).
+func (e *entry) streamCatchup(pc *netsync.PeerConn, cut *BlockCut, compact bool) error {
+	sent, serr := e.ds.StreamBlocks(cut, pc.SendRaw)
+	if serr == nil {
+		if sent == 0 {
+			// Empty document: the contract is that the first events
+			// frame is the snapshot, even when empty.
+			return pc.SendEventsCompact(nil)
+		}
+		return nil
+	}
+	e.logf("store: block catch-up for %q fell back to decoded events after %d frames: %v", e.id, sent, serr)
+	snapshot, err := e.ds.EventsSince(nil)
+	if err != nil {
+		return serr
+	}
+	e.m.FullSnapshots.Inc()
+	e.m.SnapshotEvents.Add(int64(len(snapshot)))
+	if compact {
+		return pc.SendEventsCompact(snapshot)
+	}
+	return pc.SendEvents(snapshot)
 }
 
 // flusher is the group-commit loop: one fsync per open document per
@@ -520,7 +705,7 @@ func (s *Server) flushOnce() {
 	var pinned []*entry
 	for _, e := range s.open {
 		if e.ds == nil {
-			continue // still materializing
+			continue // still opening
 		}
 		e.refs++
 		pinned = append(pinned, e)
@@ -567,11 +752,15 @@ func (s *Server) scheduleCompact(e *entry) {
 	s.mu.Unlock()
 	select {
 	case s.compactCh <- e:
-	default: // compactor saturated; retry next flush
+	default:
+		// Compactor saturated; retry next flush. The rollback goes
+		// through release so the unpin runs eviction like any other —
+		// an inline refs-- here once left over-cap documents pinned
+		// until some unrelated release happened by.
 		s.mu.Lock()
 		e.compacting = false
-		e.refs--
 		s.mu.Unlock()
+		s.release(e)
 	}
 }
 
@@ -597,8 +786,12 @@ func (s *Server) compactor() {
 	}
 }
 
-// Close stops the background loops and syncs and closes every open
-// document.
+// Close stops the background loops, severs live peer connections, and
+// — after in-flight work has drained (bounded wait) — syncs and
+// closes every open document. Closing a store out from under an
+// in-flight Apply was a real race; Close now waits for every pin to
+// release (severed connections release theirs promptly) before
+// touching the stores.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -610,12 +803,50 @@ func (s *Server) Close() error {
 	close(s.done)
 	s.wg.Wait()
 
+	// Queued compactions each hold a pin the stopped compactor will
+	// never release.
+drainQueue:
+	for {
+		select {
+		case e := <-s.compactCh:
+			s.mu.Lock()
+			e.compacting = false
+			e.refs--
+			s.mu.Unlock()
+		default:
+			break drainQueue
+		}
+	}
+drain:
+	for deadline := time.Now().Add(closeDrainTimeout); ; {
+		s.mu.Lock()
+		busy := 0
+		for _, e := range s.open {
+			if e.refs > 0 {
+				busy++
+			}
+			e.mu.Lock()
+			for _, p := range e.peers {
+				severConn(p.conn)
+			}
+			e.mu.Unlock()
+		}
+		s.mu.Unlock()
+		if busy == 0 || time.Now().After(deadline) {
+			break drain
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	var err error
 	for _, e := range s.open {
 		if e.ds == nil {
 			continue // in-flight opener observes s.closed and cleans up
+		}
+		if e.refs > 0 {
+			s.logf("store: closing %q with %d refs still held", e.id, e.refs)
 		}
 		if cerr := e.ds.Close(); err == nil {
 			err = cerr

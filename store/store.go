@@ -10,6 +10,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"egwalker"
 )
@@ -42,6 +43,15 @@ type Options struct {
 	// Save controls snapshot encoding. CacheFinalDoc is forced on so
 	// cold opens need no replay of the snapshot itself.
 	Save egwalker.SaveOptions
+
+	// onMaterialize and onDematerialize are package-internal hooks the
+	// Server uses to track its materialized-document population. Both
+	// fire under the store's mutex, so they must not call back into the
+	// DocStore and should touch only atomics. onMaterialize receives
+	// the time the materialization took; Close fires onDematerialize
+	// when it releases a materialized document.
+	onMaterialize   func(d time.Duration)
+	onDematerialize func()
 }
 
 func (o Options) withDefaults() Options {
@@ -71,6 +81,15 @@ type RecoveryInfo struct {
 // DocStore is one durable document: an egwalker.Doc whose every change
 // is appended to a segmented write-ahead log, checkpointed by
 // snapshots. All methods are safe for concurrent use.
+//
+// A DocStore has two modes. Materialized (doc != nil) is the classic
+// one: the full egwalker.Doc lives in memory and every method works.
+// Journal-only (doc == nil, known != nil) holds just the known-ID set
+// scanned from disk: uploads validate and journal without decoding
+// beyond their causal structure, and cold catch-ups stream encoded
+// blocks straight off disk (CutForServe/StreamBlocks). Methods that
+// need the document — Text, Version, EventsSince, Snapshot —
+// materialize it on demand by replaying snapshot + WAL from disk.
 type DocStore struct {
 	mu    sync.Mutex
 	root  string // store root; this doc lives in root/<escaped docID>/
@@ -79,7 +98,9 @@ type DocStore struct {
 	agent string
 	opts  Options
 
-	doc *egwalker.Doc
+	doc       *egwalker.Doc
+	known     *idSet // journal-only mode: the IDs the WAL+snapshot hold
+	numEvents int    // journal-only mode: distinct events on disk
 
 	lock       *os.File // inter-process flock on the doc directory
 	active     *os.File
@@ -88,6 +109,8 @@ type DocStore struct {
 	syncedSize int64 // bytes of the active segment known fsynced
 
 	snapSeq         uint64 // newest snapshot covers segments < snapSeq
+	firstSeg        uint64 // oldest live segment (>= snapSeq)
+	blockServable   bool   // snapshot (if any) is a compact frame a peer can take verbatim
 	persisted       egwalker.Version
 	eventsSinceSnap int
 	sealedSinceSnap int // sealed segments not yet covered by a snapshot
@@ -117,6 +140,22 @@ func parseSeq(name, prefix, suffix string) (uint64, bool) {
 // root, recovering snapshot + WAL tail from disk. The agent names this
 // replica for future local edits, exactly as in egwalker.Load.
 func Open(root, docID, agent string, opts Options) (*DocStore, error) {
+	return open(root, docID, agent, opts, false)
+}
+
+// OpenLazy opens (or creates) the document journal-only when it can:
+// instead of decoding the history into an egwalker.Doc, recovery scans
+// the snapshot's and WAL blocks' ID runs and causal references — a
+// fraction of the work and near-zero resident memory per document.
+// Anything the scan cannot vouch for (a legacy-format snapshot, a
+// causal gap, damage beyond a torn tail) falls back to the
+// materialized recovery Open performs. The document materializes
+// lazily on first use of a method that needs it.
+func OpenLazy(root, docID, agent string, opts Options) (*DocStore, error) {
+	return open(root, docID, agent, opts, true)
+}
+
+func open(root, docID, agent string, opts Options, lazy bool) (*DocStore, error) {
 	opts = opts.withDefaults()
 	dir := filepath.Join(root, escapeDocID(docID))
 	if err := os.MkdirAll(dir, 0o777); err != nil {
@@ -133,12 +172,30 @@ func Open(root, docID, agent string, opts Options) (*DocStore, error) {
 		}
 	}()
 	s := &DocStore{root: root, dir: dir, docID: docID, agent: agent, opts: opts, lock: lock}
-
-	entries, err := os.ReadDir(dir)
-	if err != nil {
+	if lazy {
+		if err := s.recoverJournal(); err == nil {
+			opened = true
+			return s, nil
+		}
+		// The scan hit something only the full decoder can judge; start
+		// over on the materialized path, which reports real errors
+		// precisely (and can fall past a corrupt newest snapshot).
+		*s = DocStore{root: root, dir: dir, docID: docID, agent: agent, opts: opts, lock: lock}
+	}
+	if err := s.recoverMaterialized(); err != nil {
 		return nil, err
 	}
-	var snaps, segs []uint64
+	opened = true
+	return s, nil
+}
+
+// scanDirSeqs lists the document directory's snapshot and segment
+// sequence numbers, each sorted ascending.
+func (s *DocStore) scanDirSeqs() (snaps, segs []uint64, err error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, nil, err
+	}
 	for _, e := range entries {
 		if seq, ok := parseSeq(e.Name(), "snap-", ".egw"); ok {
 			snaps = append(snaps, seq)
@@ -149,17 +206,28 @@ func Open(root, docID, agent string, opts Options) (*DocStore, error) {
 	}
 	sort.Slice(snaps, func(i, j int) bool { return snaps[i] < snaps[j] })
 	sort.Slice(segs, func(i, j int) bool { return segs[i] < segs[j] })
+	return snaps, segs, nil
+}
+
+// recoverMaterialized is the classic recovery: load the newest
+// loadable snapshot and replay the WAL tail into an egwalker.Doc.
+func (s *DocStore) recoverMaterialized() error {
+	snaps, segs, err := s.scanDirSeqs()
+	if err != nil {
+		return err
+	}
 
 	// Newest loadable snapshot wins; unreadable ones (torn by a crash
 	// mid-rename, or bit-rotted) are skipped in favour of older ones —
 	// the WAL segments they covered replay the difference.
+	start := time.Now()
 	for i := len(snaps) - 1; i >= 0; i-- {
-		f, err := os.Open(filepath.Join(dir, snapName(snaps[i])))
+		f, err := os.Open(filepath.Join(s.dir, snapName(snaps[i])))
 		if err != nil {
 			s.recovery.SkippedSnapshots++
 			continue
 		}
-		doc, err := egwalker.Load(f, agent)
+		doc, err := egwalker.Load(f, s.agent)
 		f.Close()
 		if err != nil {
 			s.recovery.SkippedSnapshots++
@@ -171,7 +239,7 @@ func Open(root, docID, agent string, opts Options) (*DocStore, error) {
 		break
 	}
 	if s.doc == nil {
-		s.doc = egwalker.NewDoc(agent)
+		s.doc = egwalker.NewDoc(s.agent)
 	}
 
 	// Replay WAL segments the snapshot does not cover, oldest first.
@@ -180,57 +248,76 @@ func Open(root, docID, agent string, opts Options) (*DocStore, error) {
 		if seq < s.snapSeq {
 			continue
 		}
-		path := filepath.Join(dir, segName(seq))
+		path := filepath.Join(s.dir, segName(seq))
 		res, err := replaySegment(path)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		last := i == len(segs)-1
 		if res.tail != nil {
 			if !last || !tornTail(res.tail) {
-				return nil, fmt.Errorf("store: segment %s corrupt: %w", path, res.tail)
+				return fmt.Errorf("store: segment %s corrupt: %w", path, res.tail)
 			}
 			// Torn tail from a crash mid-append: cut it off. A segment
 			// torn inside its own header is recreated from scratch — a
 			// headerless file must never be appended to.
 			fi, err := os.Stat(path)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			s.recovery.TruncatedBytes = fi.Size() - res.validLen
 			if res.validLen < segHeaderLen {
 				if err := os.Remove(path); err != nil {
-					return nil, err
+					return err
 				}
 				lastRemoved = true
 			} else if err := os.Truncate(path, res.validLen); err != nil {
-				return nil, err
+				return err
 			}
 		}
 		for _, evs := range res.batches {
 			if _, err := s.doc.Apply(evs); err != nil {
-				return nil, fmt.Errorf("store: replaying %s: %w", path, err)
+				return fmt.Errorf("store: replaying %s: %w", path, err)
 			}
 			s.recovery.EventsReplayed += len(evs)
 		}
 		s.recovery.SegmentsReplayed++
 	}
 	if p := s.doc.PendingEvents(); p > 0 {
-		return nil, fmt.Errorf("store: recovery left %d events with missing parents (WAL gap: a segment the snapshot needed is gone)", p)
+		return fmt.Errorf("store: recovery left %d events with missing parents (WAL gap: a segment the snapshot needed is gone)", p)
 	}
 
-	// Reopen (or create) the active segment.
+	if err := s.openActive(segs, lastRemoved); err != nil {
+		return err
+	}
+	s.persisted = s.doc.Version()
+	s.eventsSinceSnap = s.recovery.EventsReplayed
+	s.sealedSinceSnap = s.recovery.SegmentsReplayed - 1
+	if s.sealedSinceSnap < 0 {
+		s.sealedSinceSnap = 0
+	}
+	s.blockServable = s.snapSeq == 0 || snapshotServable(filepath.Join(s.dir, snapName(s.snapSeq)))
+	if s.opts.onMaterialize != nil {
+		s.opts.onMaterialize(time.Since(start))
+	}
+	return nil
+}
+
+// openActive reopens (or creates) the active segment and records the
+// oldest live segment for block streaming. Shared tail of both
+// recovery paths.
+func (s *DocStore) openActive(segs []uint64, lastRemoved bool) error {
 	switch {
 	case len(segs) > 0 && !lastRemoved:
 		s.activeSeq = segs[len(segs)-1]
-		f, err := os.OpenFile(filepath.Join(dir, segName(s.activeSeq)), os.O_RDWR, 0)
+		f, err := os.OpenFile(filepath.Join(s.dir, segName(s.activeSeq)), os.O_RDWR, 0)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		size, err := f.Seek(0, io.SeekEnd)
 		if err != nil {
 			f.Close()
-			return nil, err
+			return err
 		}
 		s.active, s.activeSize = f, size
 	default:
@@ -242,18 +329,183 @@ func Open(root, docID, agent string, opts Options) (*DocStore, error) {
 			s.activeSeq = 1
 		}
 		if err := s.createActive(); err != nil {
-			return nil, err
+			return err
 		}
 	}
 	s.syncedSize = s.activeSize
-	s.persisted = s.doc.Version()
-	s.eventsSinceSnap = s.recovery.EventsReplayed
+	s.firstSeg = s.activeSeq
+	for _, seq := range segs {
+		if seq >= s.snapSeq && !(lastRemoved && seq == segs[len(segs)-1]) {
+			s.firstSeg = seq
+			break
+		}
+	}
+	return nil
+}
+
+// snapshotServable reports whether a snapshot file can be handed to a
+// compact peer verbatim as one catch-up frame: compact columnar format
+// and within the frame payload cap.
+func snapshotServable(path string) bool {
+	fi, err := os.Stat(path)
+	if err != nil || fi.Size() > egwalker.MaxDeltaPayload {
+		return false
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return false
+	}
+	var magic [4]byte
+	_, rerr := io.ReadFull(f, magic[:])
+	f.Close()
+	return rerr == nil && egwalker.IsCompactBatch(magic[:])
+}
+
+// recoverJournal brings the store up journal-only: it reads the newest
+// snapshot's ID runs and walks every later WAL block's causal
+// structure — egwalker.InspectBatch for compact payloads, a full (but
+// proportional) decode for legacy ones — without ever constructing the
+// document. Any obstacle it cannot vouch for (a legacy-format
+// snapshot, a causal gap, damage beyond a torn tail) aborts with an
+// error; the caller falls back to materialized recovery.
+func (s *DocStore) recoverJournal() error {
+	snaps, segs, err := s.scanDirSeqs()
+	if err != nil {
+		return err
+	}
+	known := newIDSet()
+	s.blockServable = true
+
+	if len(snaps) > 0 {
+		seq := snaps[len(snaps)-1]
+		data, err := os.ReadFile(filepath.Join(s.dir, snapName(seq)))
+		if err != nil {
+			return err
+		}
+		if !egwalker.IsCompactBatch(data) {
+			return fmt.Errorf("store: snapshot %s is not a compact frame", snapName(seq))
+		}
+		info, err := egwalker.InspectBatch(data)
+		if err != nil {
+			return fmt.Errorf("store: snapshot %s: %w", snapName(seq), err)
+		}
+		for _, r := range info.Runs {
+			known.addRun(r.Agent, r.Seq, r.Len)
+		}
+		for _, p := range info.ExternalParents {
+			if !known.has(p) {
+				return fmt.Errorf("store: snapshot %s references unknown parent %s/%d", snapName(seq), p.Agent, p.Seq)
+			}
+		}
+		s.numEvents = info.Events
+		s.snapSeq = seq
+		s.recovery.SnapshotSeq = seq
+		if int64(len(data)) > egwalker.MaxDeltaPayload {
+			s.blockServable = false
+		}
+	}
+
+	// Scan WAL segments the snapshot does not cover, oldest first,
+	// with the same torn-tail repair policy as materialized recovery.
+	lastRemoved := false
+	prevSeq := uint64(0)
+	for i, seq := range segs {
+		if seq < s.snapSeq {
+			continue
+		}
+		if prevSeq != 0 && seq != prevSeq+1 {
+			return fmt.Errorf("store: segment numbering gap %d -> %d", prevSeq, seq)
+		}
+		prevSeq = seq
+		path := filepath.Join(s.dir, segName(seq))
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		segEvents := 0
+		w, err := walkSegmentBlocks(data, func(payload []byte) error {
+			fresh, err := scanBlockPayload(payload, known)
+			segEvents += fresh
+			return err
+		})
+		if err != nil {
+			return fmt.Errorf("store: scanning %s: %w", path, err)
+		}
+		last := i == len(segs)-1
+		if w.tail != nil {
+			if !last || !tornTail(w.tail) {
+				return fmt.Errorf("store: segment %s corrupt: %w", path, w.tail)
+			}
+			s.recovery.TruncatedBytes = int64(len(data)) - w.validLen
+			if w.validLen < segHeaderLen {
+				if err := os.Remove(path); err != nil {
+					return err
+				}
+				lastRemoved = true
+			} else if err := os.Truncate(path, w.validLen); err != nil {
+				return err
+			}
+		}
+		s.recovery.EventsReplayed += segEvents
+		s.recovery.SegmentsReplayed++
+		s.numEvents += segEvents
+		s.eventsSinceSnap += segEvents
+	}
+
+	if err := s.openActive(segs, lastRemoved); err != nil {
+		return err
+	}
+	s.known = known
 	s.sealedSinceSnap = s.recovery.SegmentsReplayed - 1
 	if s.sealedSinceSnap < 0 {
 		s.sealedSinceSnap = 0
 	}
-	opened = true
-	return s, nil
+	return nil
+}
+
+// scanBlockPayload folds one WAL block's IDs into known, verifying
+// every causal reference lands on an already-known event (or an
+// earlier event of the same batch). Returns how many of the block's
+// events were not already known.
+func scanBlockPayload(payload []byte, known *idSet) (int, error) {
+	if egwalker.IsCompactBatch(payload) {
+		info, err := egwalker.InspectBatch(payload)
+		if err != nil {
+			return 0, err
+		}
+		fresh := 0
+		for _, r := range info.Runs {
+			fresh += known.countNew(r.Agent, r.Seq, r.Len)
+			known.addRun(r.Agent, r.Seq, r.Len)
+		}
+		// External-form parents may still point in-batch (beyond the
+		// encoder's back-reference window), so the batch's own runs are
+		// added before the check.
+		for _, p := range info.ExternalParents {
+			if !known.has(p) {
+				return fresh, fmt.Errorf("store: block references unknown parent %s/%d", p.Agent, p.Seq)
+			}
+		}
+		return fresh, nil
+	}
+	evs, err := egwalker.UnmarshalEvents(payload)
+	if err != nil {
+		return 0, err
+	}
+	fresh := 0
+	for _, ev := range evs {
+		if known.has(ev.ID) {
+			continue
+		}
+		for _, p := range ev.Parents {
+			if !known.has(p) {
+				return fresh, fmt.Errorf("store: block references unknown parent %s/%d", p.Agent, p.Seq)
+			}
+		}
+		known.addRun(ev.ID.Agent, ev.ID.Seq, 1)
+		fresh++
+	}
+	return fresh, nil
 }
 
 // createActive makes wal-<activeSeq>.seg with a fresh header and
@@ -296,50 +548,192 @@ func (s *DocStore) Recovery() RecoveryInfo {
 	return s.recovery
 }
 
-// Doc exposes the underlying replica for reads (Events, EventsSince,
-// Fingerprint, TextAt...). Mutate only through DocStore methods, or the
-// changes will not be journaled.
-func (s *DocStore) Doc() *egwalker.Doc { return s.doc }
+// Materialized reports whether the document is currently in memory
+// (as opposed to journal-only).
+func (s *DocStore) Materialized() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.doc != nil
+}
 
-// Text returns the current document text.
+// Materialize brings the document into memory if it is journal-only,
+// replaying snapshot + WAL from disk. Most callers never need it —
+// every method that requires the document materializes on demand —
+// but it surfaces the replay error precisely for callers about to use
+// a value-returning accessor.
+func (s *DocStore) Materialize() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.materializeLocked()
+}
+
+// materializeLocked loads the document from disk (snapshot snapSeq
+// plus segments firstSeg..activeSeq — everything written is visible
+// through the filesystem, fsynced or not) and leaves journal-only
+// mode.
+func (s *DocStore) materializeLocked() error {
+	if s.doc != nil {
+		return nil
+	}
+	if s.closed {
+		return fmt.Errorf("store: %s is closed", s.docID)
+	}
+	start := time.Now()
+	var doc *egwalker.Doc
+	if s.snapSeq > 0 {
+		f, err := os.Open(filepath.Join(s.dir, snapName(s.snapSeq)))
+		if err != nil {
+			return fmt.Errorf("store: materializing %s: %w", s.docID, err)
+		}
+		doc, err = egwalker.Load(f, s.agent)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("store: materializing %s: %w", s.docID, err)
+		}
+	} else {
+		doc = egwalker.NewDoc(s.agent)
+	}
+	for seq := s.firstSeg; seq <= s.activeSeq; seq++ {
+		path := filepath.Join(s.dir, segName(seq))
+		res, err := replaySegment(path)
+		if err != nil {
+			return fmt.Errorf("store: materializing %s: %w", s.docID, err)
+		}
+		// A torn tail on the active segment is tolerated only when the
+		// store already refuses writes for it (sticky werr after a
+		// partial append); anything else is damage that appeared while
+		// the store was live.
+		if res.tail != nil && !(seq == s.activeSeq && s.werr != nil && tornTail(res.tail)) {
+			return fmt.Errorf("store: materializing %s: segment %s: %w", s.docID, path, res.tail)
+		}
+		for _, evs := range res.batches {
+			if _, err := doc.Apply(evs); err != nil {
+				return fmt.Errorf("store: materializing %s: replaying %s: %w", s.docID, path, err)
+			}
+		}
+	}
+	if p := doc.PendingEvents(); p > 0 {
+		return fmt.Errorf("store: materializing %s left %d events with missing parents", s.docID, p)
+	}
+	s.doc = doc
+	s.persisted = doc.Version()
+	s.known = nil
+	if s.opts.onMaterialize != nil {
+		s.opts.onMaterialize(time.Since(start))
+	}
+	return nil
+}
+
+// Dematerialize releases the in-memory document, dropping the store
+// back to journal-only mode: the known-ID set is rebuilt from the doc
+// and the doc freed. It refuses (keeping the doc) when in-memory
+// state would be lost — events buffered for missing parents live
+// nowhere else — or when a sticky write error means disk lags the doc.
+func (s *DocStore) Dematerialize() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("store: %s is closed", s.docID)
+	}
+	if s.doc == nil {
+		return nil
+	}
+	if s.werr != nil {
+		return s.werr
+	}
+	if p := s.doc.PendingEvents(); p > 0 {
+		return fmt.Errorf("store: %s holds %d events buffered for missing parents", s.docID, p)
+	}
+	if err := s.syncLocked(); err != nil {
+		return err
+	}
+	known := newIDSet()
+	evs := s.doc.Events()
+	known.addEvents(evs)
+	s.known = known
+	s.numEvents = len(evs)
+	s.doc = nil
+	s.persisted = nil
+	if s.opts.onDematerialize != nil {
+		s.opts.onDematerialize()
+	}
+	return nil
+}
+
+// Doc exposes the underlying replica for reads (Events, EventsSince,
+// Fingerprint, TextAt...), materializing it if needed (nil only if
+// materialization fails). Mutate only through DocStore methods, or the
+// changes will not be journaled.
+func (s *DocStore) Doc() *egwalker.Doc {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.materializeLocked()
+	return s.doc
+}
+
+// Text returns the current document text, materializing if needed
+// ("" if materialization fails; use Materialize for the error).
 func (s *DocStore) Text() string {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.materializeLocked() != nil {
+		return ""
+	}
 	return s.doc.Text()
 }
 
-// Len returns the document length in runes.
+// Len returns the document length in runes, materializing if needed.
 func (s *DocStore) Len() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.materializeLocked() != nil {
+		return 0
+	}
 	return s.doc.Len()
 }
 
-// Version returns the document's current version.
+// Version returns the document's current version, materializing if
+// needed (nil if materialization fails).
 func (s *DocStore) Version() egwalker.Version {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.materializeLocked() != nil {
+		return nil
+	}
 	return s.doc.Version()
 }
 
 // NumEvents returns the number of events in the document's history.
+// Journal-only stores answer from the known-ID set without
+// materializing.
 func (s *DocStore) NumEvents() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.doc == nil {
+		return s.numEvents
+	}
 	return s.doc.NumEvents()
 }
 
-// Events returns the full history in causal order (see Doc.Events).
+// Events returns the full history in causal order (see Doc.Events),
+// materializing if needed (nil if materialization fails).
 func (s *DocStore) Events() []egwalker.Event {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.materializeLocked() != nil {
+		return nil
+	}
 	return s.doc.Events()
 }
 
-// EventsSince returns the events not within v (see Doc.EventsSince).
+// EventsSince returns the events not within v (see Doc.EventsSince),
+// materializing if needed.
 func (s *DocStore) EventsSince(v egwalker.Version) ([]egwalker.Event, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.materializeLocked(); err != nil {
+		return nil, err
+	}
 	return s.doc.EventsSince(v)
 }
 
@@ -351,6 +745,9 @@ func (s *DocStore) EventsSince(v egwalker.Version) ([]egwalker.Event, error) {
 func (s *DocStore) EventsSinceKnown(v egwalker.Version) ([]egwalker.Event, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.materializeLocked(); err != nil {
+		return nil, err
+	}
 	return s.doc.EventsSince(s.doc.KnownSubset(v))
 }
 
@@ -363,11 +760,15 @@ func (s *DocStore) UnsnapshottedEvents() int {
 	return s.eventsSinceSnap
 }
 
-// Insert applies a local insert and journals it.
+// Insert applies a local insert and journals it, materializing first
+// if needed.
 func (s *DocStore) Insert(pos int, text string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if err := s.writable(); err != nil {
+		return err
+	}
+	if err := s.materializeLocked(); err != nil {
 		return err
 	}
 	if err := s.doc.Insert(pos, text); err != nil {
@@ -376,11 +777,15 @@ func (s *DocStore) Insert(pos int, text string) error {
 	return s.commitLocked()
 }
 
-// Delete applies a local delete and journals it.
+// Delete applies a local delete and journals it, materializing first
+// if needed.
 func (s *DocStore) Delete(pos, count int) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if err := s.writable(); err != nil {
+		return err
+	}
+	if err := s.materializeLocked(); err != nil {
 		return err
 	}
 	if err := s.doc.Delete(pos, count); err != nil {
@@ -390,13 +795,17 @@ func (s *DocStore) Delete(pos, count int) error {
 }
 
 // Apply merges remote events (as Doc.Apply) and journals whatever was
-// admitted. Events still waiting for missing parents are buffered in
-// memory only — a causal gap lost in a crash is recovered the same way
-// a message lost on the network is: by anti-entropy with peers.
+// admitted, materializing first if needed. Events still waiting for
+// missing parents are buffered in memory only — a causal gap lost in a
+// crash is recovered the same way a message lost on the network is: by
+// anti-entropy with peers.
 func (s *DocStore) Apply(events []egwalker.Event) ([]egwalker.Patch, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if err := s.writable(); err != nil {
+		return nil, err
+	}
+	if err := s.materializeLocked(); err != nil {
 		return nil, err
 	}
 	patches, err := s.doc.Apply(events)
@@ -407,6 +816,98 @@ func (s *DocStore) Apply(events []egwalker.Event) ([]egwalker.Patch, error) {
 		return nil, err
 	}
 	return patches, nil
+}
+
+// errCausalGap reports an uploaded batch whose parents the journal
+// does not hold; IngestBatch responds by materializing, since only
+// Doc.Apply can buffer a causal gap.
+var errCausalGap = errors.New("store: batch references events the journal does not hold")
+
+// IngestBatch merges an uploaded batch and journals it — the hosted
+// server's upload path. When the store is journal-only and the batch's
+// causal references check out against the known-ID set, the uploader's
+// raw encoded payload (if provided) is appended to the WAL verbatim:
+// no document, no decode beyond what the wire already did, no
+// re-encode. Otherwise it behaves exactly like Apply. Returns how
+// many of the batch's events were new to this store.
+//
+// The journal-only path validates causal structure but not positions;
+// a structurally valid but semantically impossible event surfaces as
+// an error at materialization time instead of at upload time — the
+// price of never building the document on the hot path.
+func (s *DocStore) IngestBatch(events []egwalker.Event, raw []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.writable(); err != nil {
+		return 0, err
+	}
+	if s.doc == nil {
+		n, err := s.journalAppendLocked(events, raw)
+		if err == nil || !errors.Is(err, errCausalGap) {
+			return n, err
+		}
+		if err := s.materializeLocked(); err != nil {
+			return 0, err
+		}
+	}
+	before := s.doc.NumEvents()
+	if _, err := s.doc.Apply(events); err != nil {
+		return 0, err
+	}
+	if err := s.commitLocked(); err != nil {
+		return 0, err
+	}
+	return s.doc.NumEvents() - before, nil
+}
+
+// journalAppendLocked admits a batch in journal-only mode: every event
+// must be a duplicate or have all parents in the known set (or earlier
+// in the batch — uploads arrive in causal order). Fully duplicate
+// batches journal nothing. The raw payload is preferred verbatim; a
+// nil or uncappable raw is re-encoded from the decoded events.
+func (s *DocStore) journalAppendLocked(events []egwalker.Event, raw []byte) (int, error) {
+	fresh := 0
+	var batch map[egwalker.EventID]bool
+	for _, ev := range events {
+		if batch == nil {
+			batch = make(map[egwalker.EventID]bool, len(events))
+		}
+		if !s.known.has(ev.ID) && !batch[ev.ID] {
+			for _, p := range ev.Parents {
+				if !s.known.has(p) && !batch[p] {
+					return 0, fmt.Errorf("%w: %s/%d needs %s/%d", errCausalGap, ev.ID.Agent, ev.ID.Seq, p.Agent, p.Seq)
+				}
+			}
+			fresh++
+		}
+		batch[ev.ID] = true
+	}
+	if fresh == 0 {
+		return 0, nil
+	}
+	var blocks [][]byte
+	if raw != nil {
+		if block, err := egwalker.WrapDeltaPayload(raw); err == nil {
+			blocks = [][]byte{block}
+		}
+	}
+	if blocks == nil {
+		var err error
+		if len(events) >= compactWALThreshold {
+			blocks, err = egwalker.DeltaBlocksCompact(events)
+		} else {
+			blocks, err = egwalker.DeltaBlocks(events)
+		}
+		if err != nil {
+			return 0, fmt.Errorf("store: encoding WAL batch: %w", err)
+		}
+	}
+	if err := s.appendBlocksLocked(blocks); err != nil {
+		return 0, err
+	}
+	s.known.addEvents(events)
+	s.numEvents += fresh
+	return fresh, s.afterAppendLocked(fresh)
 }
 
 func (s *DocStore) writable() error {
@@ -445,6 +946,16 @@ func (s *DocStore) commitLocked() error {
 	if err != nil {
 		return fmt.Errorf("store: encoding WAL batch: %w", err)
 	}
+	if err := s.appendBlocksLocked(blocks); err != nil {
+		return err
+	}
+	s.persisted = s.doc.Version()
+	return s.afterAppendLocked(len(evs))
+}
+
+// appendBlocksLocked writes encoded delta blocks to the active
+// segment, poisoning the store on a partial write.
+func (s *DocStore) appendBlocksLocked(blocks [][]byte) error {
 	for _, block := range blocks {
 		n, err := s.active.Write(block)
 		s.activeSize += int64(n)
@@ -455,9 +966,14 @@ func (s *DocStore) commitLocked() error {
 			return s.werr
 		}
 	}
-	s.persisted = s.doc.Version()
-	s.eventsSinceSnap += len(evs)
-	s.unsyncedEvents += len(evs)
+	return nil
+}
+
+// afterAppendLocked applies the post-append policy shared by both
+// commit paths: sync, rotate, and snapshot per options.
+func (s *DocStore) afterAppendLocked(newEvents int) error {
+	s.eventsSinceSnap += newEvents
+	s.unsyncedEvents += newEvents
 	if s.opts.SyncEveryCommit {
 		if err := s.syncLocked(); err != nil {
 			return err
@@ -538,6 +1054,9 @@ func (s *DocStore) Snapshot() error {
 }
 
 func (s *DocStore) snapshotLocked() error {
+	if err := s.materializeLocked(); err != nil {
+		return err
+	}
 	if err := s.rotateLocked(); err != nil {
 		return err
 	}
@@ -563,8 +1082,10 @@ func (s *DocStore) snapshotLocked() error {
 	}
 	syncDir(s.dir)
 	s.snapSeq = s.activeSeq
+	s.firstSeg = s.activeSeq
 	s.eventsSinceSnap = 0
 	s.sealedSinceSnap = 0
+	s.blockServable = snapshotServable(final)
 	return nil
 }
 
@@ -643,6 +1164,11 @@ func (s *DocStore) Close() error {
 		err = cerr
 	}
 	unlockDir(s.lock)
+	if s.doc != nil && s.opts.onDematerialize != nil {
+		// Closing a materialized store releases its document; keep the
+		// server's materialized-population accounting exact.
+		s.opts.onDematerialize()
+	}
 	return err
 }
 
