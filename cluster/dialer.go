@@ -1,0 +1,129 @@
+package cluster
+
+import (
+	"fmt"
+	"net"
+	"sync/atomic"
+	"time"
+
+	"egwalker"
+	"egwalker/netsync"
+)
+
+// Dialer is a cluster-aware client connector. It spreads connections
+// across its seed addresses (rotating the starting point per attempt)
+// and advertises the redirect capability, so a node that does not own
+// the requested document answers with a redirect frame instead of
+// proxying. The redirect surfaces through Recv/RecvFrame on the
+// returned Peer as *netsync.RedirectError; pass its Addrs back to
+// Connect as preferred addresses to land on the owner directly.
+type Dialer struct {
+	// Addrs are the cluster's seed addresses (any subset of nodes).
+	Addrs []string
+	// Dial opens one connection. Defaults to TCP with a 5s timeout.
+	Dial func(addr string) (net.Conn, error)
+	// Compact advertises the compact-encoding capability in the hello.
+	Compact bool
+
+	next uint32
+}
+
+// Conn is one established cluster connection: the raw conn, its
+// framed peer, and which address answered.
+type Conn struct {
+	net.Conn
+	Peer *netsync.PeerConn
+	Addr string
+}
+
+// Connect dials for docID and writes the doc hello (resuming at v
+// when resume is set), trying preferred addresses first — typically a
+// prior RedirectError's Addrs — then the seed list. It returns as soon
+// as a hello is written; whether the node serves, redirects, or
+// proxies shows up in the subsequent frames.
+func (d *Dialer) Connect(docID string, v egwalker.Version, resume bool, preferred ...string) (*Conn, error) {
+	dial := d.Dial
+	if dial == nil {
+		dial = func(addr string) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, 5*time.Second)
+		}
+	}
+	candidates := make([]string, 0, len(preferred)+len(d.Addrs))
+	candidates = append(candidates, preferred...)
+	if len(d.Addrs) > 0 {
+		off := int(atomic.AddUint32(&d.next, 1)-1) % len(d.Addrs)
+		for i := range d.Addrs {
+			candidates = append(candidates, d.Addrs[(off+i)%len(d.Addrs)])
+		}
+	}
+	seen := make(map[string]bool, len(candidates))
+	var lastErr error
+	for _, addr := range candidates {
+		if seen[addr] {
+			continue
+		}
+		seen[addr] = true
+		c, err := dial(addr)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		pc := netsync.NewPeerConn(c)
+		err = pc.SendHello(netsync.Hello{
+			DocID:    docID,
+			Version:  v,
+			Resume:   resume,
+			Compact:  d.Compact,
+			Redirect: true,
+		})
+		if err != nil {
+			c.Close()
+			lastErr = err
+			continue
+		}
+		return &Conn{Conn: c, Peer: pc, Addr: addr}, nil
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("cluster: no addresses to dial for doc %q", docID)
+	}
+	return nil, lastErr
+}
+
+// ConnectServing connects for docID and resolves routing before
+// returning: the serve contract guarantees the first inbound frame
+// immediately (the catch-up snapshot or resume diff, empty or not),
+// so it reads one frame and either follows the redirect it names or
+// hands back the serving connection together with that first frame —
+// which the caller must process before calling RecvFrame again.
+func (d *Dialer) ConnectServing(docID string, v egwalker.Version, resume bool) (*Conn, netsync.Frame, error) {
+	var preferred []string
+	var lastErr error
+	for hop := 0; hop < 8; hop++ {
+		c, err := d.Connect(docID, v, resume, preferred...)
+		if err != nil {
+			if lastErr == nil {
+				lastErr = err
+			}
+			return nil, netsync.Frame{}, lastErr
+		}
+		f, err := c.Peer.RecvFrame()
+		if err != nil {
+			// The node died between accept and serve; retry from the
+			// seed list.
+			c.Close()
+			lastErr = err
+			preferred = nil
+			continue
+		}
+		if f.Kind == netsync.FrameRedirect {
+			c.Close()
+			preferred = f.Addrs
+			continue
+		}
+		return c, f, nil
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("cluster: doc %q: redirect loop", docID)
+	}
+	return nil, netsync.Frame{}, lastErr
+}

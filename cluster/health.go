@@ -1,0 +1,51 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// healthTable tracks peer reachability as observed by this node's own
+// dials: replica-link reconnect attempts and proxy dials both feed
+// it. A peer is "down" from its first failed dial and "failed" once
+// it has stayed down past the grace period — only then does routing
+// fail a document over to the next replica, so a blip (one dropped
+// connection, a restart inside the grace window) never moves
+// ownership.
+type healthTable struct {
+	mu   sync.Mutex
+	down map[string]time.Time // addr -> when it was first seen down
+}
+
+func newHealthTable() *healthTable {
+	return &healthTable{down: make(map[string]time.Time)}
+}
+
+func (t *healthTable) markDown(addr string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.down[addr]; !ok {
+		t.down[addr] = time.Now()
+	}
+}
+
+func (t *healthTable) markUp(addr string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.down, addr)
+}
+
+// failed reports whether addr has been down for at least grace.
+func (t *healthTable) failed(addr string, grace time.Duration) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	since, ok := t.down[addr]
+	return ok && time.Since(since) >= grace
+}
+
+// downSince returns when addr was first seen down (zero if up).
+func (t *healthTable) downSince(addr string) time.Time {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.down[addr]
+}

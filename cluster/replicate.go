@@ -1,0 +1,351 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"egwalker"
+	"egwalker/netsync"
+	"egwalker/store"
+)
+
+// replicator owns this node's outbound replica links: one persistent
+// connection per (document, peer) pair, created lazily the first time
+// the pair matters and kept dialing until the node closes.
+//
+// Two things feed a link. The hot path is the origin push: the store's
+// OnIngest tap hands every batch this node accepted from a client to
+// the links of the document's other replicas, so replicas see new data
+// one hop after the origin does. The safety net is anti-entropy: each
+// link periodically sends its version on the live stream; the remote
+// answers with its own version plus the events the sender lacks, and
+// the sender pushes back the remote's gap — netsync's resume exchange,
+// embedded in a persistent stream, so a rejoining or lagging replica
+// converges from its journal without a full retransfer.
+//
+// The tap never blocks (it runs under the document's fan-out lock): a
+// full outbox drops the push and flags the link, and the next exchange
+// heals the gap.
+type replicator struct {
+	n *Node
+
+	mu     sync.Mutex
+	links  map[linkKey]*link
+	closed bool
+
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+type linkKey struct {
+	docID string
+	addr  string
+}
+
+type pushBatch struct {
+	events []egwalker.Event
+	raw    []byte // origin client's encoded batch, forwarded verbatim when set
+}
+
+func newReplicator(n *Node) *replicator {
+	return &replicator{
+		n:     n,
+		links: make(map[linkKey]*link),
+		done:  make(chan struct{}),
+	}
+}
+
+// start launches the mesh loop. Called once the node's server is in
+// place — the loop reads it.
+func (r *replicator) start() {
+	r.wg.Add(1)
+	go r.meshLoop()
+}
+
+// tap receives every batch the local store accepted from a client or
+// the API (never from a replica link). Called with the document's
+// fan-out lock held: enqueue and return.
+func (r *replicator) tap(docID string, events []egwalker.Event, raw []byte) {
+	for _, addr := range r.n.ring.Replicas(docID) {
+		if addr == r.n.opts.Self {
+			continue
+		}
+		l := r.link(docID, addr)
+		if l == nil {
+			return // replicator closed
+		}
+		select {
+		case l.ch <- pushBatch{events: events, raw: raw}:
+		default:
+			// Outbox full — drop the push and let the next exchange
+			// carry the gap.
+			l.kickExchange()
+		}
+	}
+}
+
+// link returns the (docID, addr) link, creating and starting it if
+// needed. Returns nil once the replicator is closed.
+func (r *replicator) link(docID, addr string) *link {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return nil
+	}
+	k := linkKey{docID, addr}
+	if l, ok := r.links[k]; ok {
+		return l
+	}
+	l := &link{
+		n:     r.n,
+		docID: docID,
+		addr:  addr,
+		ch:    make(chan pushBatch, 256),
+		kick:  make(chan struct{}, 1),
+	}
+	r.links[k] = l
+	r.wg.Add(1)
+	go func() {
+		defer r.wg.Done()
+		l.run(r.done)
+	}()
+	return l
+}
+
+// meshLoop ensures every document this node hosts has links to the
+// rest of its replica set, even when this node never accepted a write
+// for it — without this, a document whose origin node died would have
+// no one running anti-entropy for it. Runs once at start (so a
+// restarted node immediately reconciles its journal with its peers)
+// and then once per anti-entropy period.
+func (r *replicator) meshLoop() {
+	defer r.wg.Done()
+	for {
+		r.ensureMesh()
+		select {
+		case <-r.done:
+			return
+		case <-time.After(r.n.opts.AntiEntropyEvery):
+		}
+	}
+}
+
+func (r *replicator) ensureMesh() {
+	ids, err := r.n.srv.DocIDs()
+	if err != nil {
+		r.n.logf("cluster: list docs for replication mesh: %v", err)
+		return
+	}
+	for _, id := range ids {
+		reps := r.n.ring.Replicas(id)
+		mine := false
+		for _, a := range reps {
+			if a == r.n.opts.Self {
+				mine = true
+			}
+		}
+		if !mine {
+			continue
+		}
+		for _, a := range reps {
+			if a != r.n.opts.Self {
+				if r.link(id, a) == nil {
+					return
+				}
+			}
+		}
+	}
+}
+
+func (r *replicator) close() {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	r.closed = true
+	r.mu.Unlock()
+	close(r.done)
+	r.wg.Wait()
+}
+
+// link is one persistent replica connection for one document to one
+// peer. run dials forever (with backoff) until the replicator closes;
+// each successful dial becomes a session.
+type link struct {
+	n     *Node
+	docID string
+	addr  string
+	ch    chan pushBatch
+	kick  chan struct{} // coalesced "run an exchange now" signal
+	dirty atomic.Bool
+}
+
+func (l *link) kickExchange() {
+	l.dirty.Store(true)
+	select {
+	case l.kick <- struct{}{}:
+	default:
+	}
+}
+
+func (l *link) version() (egwalker.Version, error) {
+	var v egwalker.Version
+	err := l.n.srv.With(l.docID, func(ds *store.DocStore) error {
+		v = ds.Version()
+		return nil
+	})
+	return v, err
+}
+
+func (l *link) diff(theirs egwalker.Version) ([]egwalker.Event, error) {
+	var events []egwalker.Event
+	err := l.n.srv.With(l.docID, func(ds *store.DocStore) error {
+		var err error
+		events, err = ds.EventsSinceKnown(theirs)
+		return err
+	})
+	return events, err
+}
+
+func (l *link) run(done <-chan struct{}) {
+	backoff := 100 * time.Millisecond
+	const maxBackoff = 2 * time.Second
+	for {
+		select {
+		case <-done:
+			return
+		default:
+		}
+		conn, err := l.n.opts.Dial(l.addr)
+		if err != nil {
+			l.n.health.markDown(l.addr)
+			select {
+			case <-done:
+				return
+			case <-time.After(backoff):
+			}
+			if backoff *= 2; backoff > maxBackoff {
+				backoff = maxBackoff
+			}
+			continue
+		}
+		l.n.health.markUp(l.addr)
+		backoff = 100 * time.Millisecond
+		if err := l.session(conn, done); err != nil {
+			l.n.logf("cluster: replica link %s -> %s doc %q: %v", l.n.opts.Self, l.addr, l.docID, err)
+			l.n.health.markDown(l.addr)
+		}
+		conn.Close()
+		select {
+		case <-done:
+			return
+		case <-time.After(backoff):
+		}
+	}
+}
+
+// session drives one live connection: hello with our version (the
+// remote answers with its version plus our gap), then pushes, periodic
+// exchanges, and a reader ingesting whatever the remote sends.
+func (l *link) session(conn net.Conn, done <-chan struct{}) error {
+	pc := netsync.NewPeerConn(conn)
+	v, err := l.version()
+	if err != nil {
+		return err
+	}
+	err = pc.SendHello(netsync.Hello{
+		DocID:   l.docID,
+		Version: v,
+		Resume:  true,
+		Compact: true,
+		Replica: true,
+	})
+	if err != nil {
+		return err
+	}
+	readErr := make(chan error, 1)
+	go func() { readErr <- l.readLoop(pc) }()
+	fail := func(err error) error {
+		conn.Close()
+		<-readErr
+		return err
+	}
+	exchange := func() error {
+		l.dirty.Store(false)
+		v, err := l.version()
+		if err != nil {
+			return err
+		}
+		return pc.SendVersion(v)
+	}
+	ticker := time.NewTicker(l.n.opts.AntiEntropyEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-done:
+			pc.SendDone()
+			conn.Close()
+			<-readErr
+			return nil
+		case err := <-readErr:
+			return err
+		case b := <-l.ch:
+			if b.raw != nil {
+				err = pc.SendRaw(b.raw)
+			} else {
+				err = pc.SendEventsCompact(b.events)
+			}
+			if err != nil {
+				return fail(err)
+			}
+		case <-l.kick:
+			if err := exchange(); err != nil {
+				return fail(err)
+			}
+		case <-ticker.C:
+			if err := exchange(); err != nil {
+				return fail(err)
+			}
+		}
+	}
+}
+
+// readLoop ingests what the remote sends: version frames (its side of
+// an exchange — answer by pushing its gap) and event batches (our
+// gap, journaled as replica data so it is never re-forwarded).
+func (l *link) readLoop(pc *netsync.PeerConn) error {
+	for {
+		f, err := pc.RecvFrame()
+		if err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return err
+		}
+		switch f.Kind {
+		case netsync.FrameVersion:
+			diff, err := l.diff(f.Version)
+			if err != nil {
+				return err
+			}
+			if len(diff) > 0 {
+				if err := pc.SendEventsCompact(diff); err != nil {
+					return err
+				}
+			}
+		case netsync.FrameEvents:
+			if err := l.n.srv.IngestReplica(l.docID, f.Events, f.Raw); err != nil {
+				return err
+			}
+		case netsync.FrameDone:
+			return nil
+		default:
+			return fmt.Errorf("cluster: unexpected frame kind %d on replica link", f.Kind)
+		}
+	}
+}

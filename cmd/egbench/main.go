@@ -9,6 +9,8 @@
 //	egbench store [-store-events N] [-store-batch N] [-store-dir D]
 //	egbench [-scale F] [-iters N] [-core-out FILE] [-core-traces LIST] core
 //	egbench [-scale F] [-size-out FILE] [-size-traces LIST] size
+//	egbench cluster [-cluster-docs N] [-cluster-writers N] [-cluster-rate F]
+//	                [-cluster-duration D] [-cluster-out FILE]
 //
 // (Flags must precede the subcommand name.) The core subcommand compares
 // span-wise replay against the per-unit reference and writes
@@ -68,6 +70,9 @@ func main() {
 		return
 	}
 	if maybeRunSize(cmd) {
+		return
+	}
+	if maybeRunCluster(cmd) {
 		return
 	}
 	ws, err := generate()

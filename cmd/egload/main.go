@@ -10,7 +10,14 @@
 //	       [-duration 10s] [-mix seq,burst,trace,resume,hotdoc,colddocs]
 //	       [-cold-docs 10000] [-cold-joins 500]
 //	       [-out BENCH_server.json] [-metrics-url http://127.0.0.1:4223/metrics]
-//	       [-seed 1] [-doc-prefix NAME]
+//	       [-seed 1] [-doc-prefix NAME] [-cluster host1:4222,host2:4222,...]
+//
+// Against an egserve cluster, -cluster lists seed addresses: initial
+// dials rotate across them and every client advertises the redirect
+// capability, following redirect frames to each document's serving
+// replica (fail-over included — a redirect landing on a dead node is
+// retried against the remaining candidates). The colddocs mix keeps
+// dialing the first seed directly; non-owners proxy those joins.
 //
 // Workload mixes (each runs for -duration against its own fresh set of
 // documents):
@@ -57,6 +64,8 @@ import (
 	"os"
 	"strings"
 	"time"
+
+	"egwalker/cluster"
 )
 
 var (
@@ -95,6 +104,17 @@ func main() {
 	flag.Parse()
 	if *docPrefix == "" {
 		*docPrefix = fmt.Sprintf("load-%d-%d", os.Getpid(), time.Now().Unix())
+	}
+	if *clusterFlag != "" {
+		seeds := strings.Split(*clusterFlag, ",")
+		for i := range seeds {
+			seeds[i] = strings.TrimSpace(seeds[i])
+		}
+		clusterDialer = &cluster.Dialer{Addrs: seeds}
+		// Remaining direct-dial paths (colddocs population and joins)
+		// target the first seed; a non-owner proxies them to the
+		// serving replica.
+		*addr = seeds[0]
 	}
 	names := strings.Split(*mixFlag, ",")
 	rep := report{

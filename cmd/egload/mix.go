@@ -198,14 +198,21 @@ func (r *loadReader) run(lat *tracker) {
 		if err != nil || done {
 			return
 		}
-		for _, ev := range evs {
-			lat.observe(ev.ID)
-		}
-		r.delivered.Add(int64(len(evs)))
-		if _, err := r.doc.Apply(evs); err != nil {
+		if err := r.absorb(evs, lat); err != nil {
 			return
 		}
 	}
+}
+
+// absorb accounts for and applies one delivered batch (the run loop's
+// body, also used for a catch-up frame the cluster dialer consumed).
+func (r *loadReader) absorb(evs []egwalker.Event, lat *tracker) error {
+	for _, ev := range evs {
+		lat.observe(ev.ID)
+	}
+	r.delivered.Add(int64(len(evs)))
+	_, err := r.doc.Apply(evs)
+	return err
 }
 
 // churner models a flaky client: it repeatedly connects with a resume
@@ -220,22 +227,24 @@ func churner(docID string, agent string, res *resumeAgg, stop <-chan struct{}) {
 		default:
 		}
 		start := time.Now()
-		conn, err := net.DialTimeout("tcp", *addr, 2*time.Second)
+		conn, pc, first, haveFirst, err := connectDoc(docID, doc.Version(), true)
 		if err != nil {
 			res.dialErrors.Add(1)
 			time.Sleep(100 * time.Millisecond)
 			continue
 		}
-		pc := netsync.NewPeerConn(conn)
 		// Bound the whole reconnect: a stalled server must not wedge
 		// the churner past the mix's stop signal.
 		conn.SetReadDeadline(time.Now().Add(2 * time.Second))
-		err = pc.SendDocHelloResume(docID, doc.Version())
-		if err == nil {
-			// The first frame is the catch-up (live batches follow). A
+		{
+			// The first frame is the catch-up (live batches follow) —
+			// already consumed by the cluster dialer, or read here. A
 			// catch-up over 64k events would span frames; churn cadences
 			// keep it far below that.
-			evs, _, done, rerr := pc.Recv()
+			evs, done, rerr := first, false, error(nil)
+			if !haveFirst {
+				evs, _, done, rerr = pc.Recv()
+			}
 			if rerr == nil && !done {
 				res.catchupNs.Observe(time.Since(start).Nanoseconds())
 				res.reconnects.Add(1)
@@ -283,14 +292,16 @@ func runMix(spec mixSpec) (mixResult, error) {
 	readers := make([]*loadReader, len(docIDs))
 	var readerWG sync.WaitGroup
 	for i, id := range docIDs {
-		conn, err := net.DialTimeout("tcp", *addr, 5*time.Second)
+		conn, pc, first, haveFirst, err := connectDoc(id, nil, false)
 		if err != nil {
 			return mixResult{}, fmt.Errorf("dialing reader for %s: %w", id, err)
 		}
-		r := &loadReader{doc: egwalker.NewDoc(fmt.Sprintf("rd-%s-%d", spec.name, i)), pc: netsync.NewPeerConn(conn), conn: conn}
-		if err := r.pc.SendDocHello(id); err != nil {
-			conn.Close()
-			return mixResult{}, err
+		r := &loadReader{doc: egwalker.NewDoc(fmt.Sprintf("rd-%s-%d", spec.name, i)), pc: pc, conn: conn}
+		if haveFirst {
+			if err := r.absorb(first, lat); err != nil {
+				conn.Close()
+				return mixResult{}, err
+			}
 		}
 		readers[i] = r
 		readerWG.Add(1)
@@ -314,22 +325,24 @@ func runMix(spec mixSpec) (mixResult, error) {
 		if zipf != nil {
 			di = int(zipf.Uint64())
 		}
-		conn, err := net.DialTimeout("tcp", *addr, 5*time.Second)
+		conn, pc, first, haveFirst, err := connectDoc(docIDs[di], nil, false)
 		if err != nil {
 			close(stop)
 			return mixResult{}, fmt.Errorf("dialing writer %d: %w", i, err)
 		}
 		w := &loadWriter{
 			doc:  egwalker.NewDoc(fmt.Sprintf("w-%s-%d", spec.name, i)),
-			pc:   netsync.NewPeerConn(conn),
+			pc:   pc,
 			conn: conn,
 			ty:   spec.newTypist(i),
 			sent: &sentPerDoc[di],
 		}
-		if err := w.pc.SendDocHello(docIDs[di]); err != nil {
-			conn.Close()
-			close(stop)
-			return mixResult{}, err
+		if haveFirst && len(first) > 0 {
+			if _, err := w.doc.Apply(first); err != nil {
+				conn.Close()
+				close(stop)
+				return mixResult{}, err
+			}
 		}
 		ws = append(ws, w)
 		go w.inbound()

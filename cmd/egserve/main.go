@@ -12,11 +12,23 @@
 //
 //	egserve [-addr :4222] [-data DIR] [-flush 50ms] [-max-open 64] [-max-journal 1024]
 //	        [-snapshot-every 8192] [-metrics-addr :4223] [-metrics-every 0]
+//	        [-cluster host1:4222,host2:4222,... -cluster-self host1:4222 -replicas 3]
+//
+// Cluster mode: -cluster lists the full static membership (every node
+// must be started with the same list; the placement ring is a pure
+// function of it) and -cluster-self names this node's advertised
+// address within it. Each document gets -replicas owners on the ring;
+// the serving replica journals client uploads and pushes them to the
+// others over persistent replica links, with periodic anti-entropy
+// healing anything a link dropped. Clients landing on a non-owner are
+// redirected (capability-negotiated) or transparently proxied.
 //
 // Observability: -metrics-addr serves the store.Server metrics
 // snapshot (apply/fsync latency histograms with p50/p95/p99,
 // group-commit batch sizes, outbox depths, sever/eviction/resume
-// counters) as JSON on GET /metrics; -metrics-every additionally logs
+// counters) as JSON on GET /metrics, plus a GET /healthz readiness
+// probe (200 when the process is serving and its WAL directory is
+// writable, 503 otherwise); -metrics-every additionally logs
 // the same JSON on an interval. cmd/egload drives this server under
 // configurable workload mixes and folds the endpoint's snapshot into
 // its BENCH_server.json report.
@@ -39,10 +51,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
 
+	"egwalker/cluster"
 	"egwalker/store"
 )
 
@@ -53,8 +67,14 @@ var (
 	maxOpen     = flag.Int("max-open", 64, "documents kept materialized (LRU)")
 	maxJournal  = flag.Int("max-journal", 1024, "documents kept open journal-only (two fds each)")
 	snapshot    = flag.Int("snapshot-every", 8192, "events per document between background compactions (0: never)")
-	metricsAddr = flag.String("metrics-addr", "", "serve GET /metrics (JSON snapshot) on this address (empty: off)")
+	metricsAddr = flag.String("metrics-addr", "", "serve GET /metrics (JSON snapshot) and GET /healthz on this address (empty: off)")
 	metricsLog  = flag.Duration("metrics-every", 0, "log a metrics JSON snapshot on this interval (0: off)")
+
+	clusterPeers = flag.String("cluster", "", "comma-separated full cluster membership (empty: single-node)")
+	clusterSelf  = flag.String("cluster-self", "", "this node's advertised address within -cluster (default: -addr)")
+	replicas     = flag.Int("replicas", 3, "replica-set size per document in cluster mode (clamped to the node count)")
+	grace        = flag.Duration("grace", 5*time.Second, "how long a peer stays unreachable before its documents fail over")
+	antiEntropy  = flag.Duration("anti-entropy", 5*time.Second, "period of the replica-link version exchange")
 )
 
 func main() {
@@ -62,17 +82,60 @@ func main() {
 	log.SetPrefix("egserve: ")
 	log.SetFlags(log.LstdFlags | log.Lmsgprefix)
 
-	srv, err := store.NewServer(*dataDir, store.ServerOptions{
+	srvOpts := store.ServerOptions{
 		MaxOpenDocs:    *maxOpen,
 		MaxJournalDocs: *maxJournal,
 		FlushInterval:  *flush,
 		SnapshotEvery:  *snapshot,
 		Logf:           log.Printf,
-	})
-	if err != nil {
-		log.Fatal(err)
 	}
-	if ids, err := srv.DocIDs(); err == nil && len(ids) > 0 {
+
+	// serveConn/healthz/shutdown abstract over the two modes: a bare
+	// store.Server, or a cluster.Node routing and replicating on top of
+	// one.
+	var (
+		srv       *store.Server
+		serveConn func(net.Conn) error
+		shutdown  func() error
+	)
+	if *clusterPeers != "" {
+		peers := strings.Split(*clusterPeers, ",")
+		for i := range peers {
+			peers[i] = strings.TrimSpace(peers[i])
+		}
+		self := *clusterSelf
+		if self == "" {
+			self = *addr
+		}
+		node, err := cluster.NewNode(*dataDir, srvOpts, cluster.Options{
+			Self:             self,
+			Peers:            peers,
+			Replication:      *replicas,
+			GracePeriod:      *grace,
+			AntiEntropyEvery: *antiEntropy,
+			Logf:             log.Printf,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		srv = node.Server()
+		serveConn = node.ServeConn
+		shutdown = node.Close
+		log.Printf("cluster member %s of %v (replicas: %d, grace: %v)", self, peers, *replicas, *grace)
+	} else {
+		s, err := store.NewServer(*dataDir, srvOpts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		srv = s
+		serveConn = func(conn net.Conn) error { return s.ServeConn(conn) }
+		shutdown = s.Close
+	}
+	if ids, err := srv.DocIDs(); err != nil {
+		// A store that cannot list its documents will fail requests
+		// too; say so now instead of as per-connection mysteries.
+		log.Printf("list documents in %s: %v", *dataDir, err)
+	} else if len(ids) > 0 {
 		log.Printf("recovered %d documents from %s", len(ids), *dataDir)
 	}
 
@@ -91,6 +154,14 @@ func main() {
 			if err := enc.Encode(srv.MetricsSnapshot()); err != nil {
 				log.Printf("metrics: %v", err)
 			}
+		})
+		mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+			if err := srv.Healthz(); err != nil {
+				log.Printf("healthz: %v", err)
+				http.Error(w, err.Error(), http.StatusServiceUnavailable)
+				return
+			}
+			fmt.Fprintln(w, "ok")
 		})
 		mln, err := net.Listen("tcp", *metricsAddr)
 		if err != nil {
@@ -138,7 +209,7 @@ func main() {
 					mu.Unlock()
 					conn.Close()
 				}()
-				if err := srv.ServeConn(conn); err != nil {
+				if err := serveConn(conn); err != nil {
 					log.Printf("conn %s: %v", conn.RemoteAddr(), err)
 				}
 			}()
@@ -157,7 +228,7 @@ func main() {
 	}
 	mu.Unlock()
 	wg.Wait()
-	if err := srv.Close(); err != nil {
+	if err := shutdown(); err != nil {
 		log.Printf("close: %v", err)
 		os.Exit(1)
 	}

@@ -1,0 +1,39 @@
+package sim
+
+import "testing"
+
+func TestClusterScenarioPartitionHeal(t *testing.T) {
+	res, err := RunCluster(ClusterConfig{
+		Nodes:     3,
+		Clients:   3,
+		Rounds:    25,
+		Seed:      7,
+		Partition: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Events == 0 {
+		t.Fatal("scenario generated no events")
+	}
+	t.Logf("partition/heal: %d events across %d clients, %d reconnects, converged in %v",
+		res.Events, res.Clients, res.Reconnects, res.ConvergeTime)
+}
+
+func TestClusterScenarioCrashRestart(t *testing.T) {
+	res, err := RunCluster(ClusterConfig{
+		Nodes:        3,
+		Clients:      3,
+		Rounds:       25,
+		Seed:         11,
+		CrashRestart: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Events == 0 {
+		t.Fatal("scenario generated no events")
+	}
+	t.Logf("crash/restart: %d events across %d clients, %d reconnects, converged in %v",
+		res.Events, res.Clients, res.Reconnects, res.ConvergeTime)
+}

@@ -1,6 +1,8 @@
 package netsync
 
 import (
+	"bytes"
+	"encoding/binary"
 	"testing"
 
 	"egwalker"
@@ -31,5 +33,67 @@ func FuzzUnmarshal(f *testing.F) {
 		}
 		doc := egwalker.NewDoc("fuzz")
 		_, _ = doc.Apply(events)
+	})
+}
+
+// FuzzReadHello: the doc hello is the unauthenticated first frame of
+// every server connection, so ReadHello must never panic on hostile
+// bytes, and any hello it accepts must survive a Forward → ReadHello
+// round trip with the same parse (the cluster proxy path replays
+// accepted hellos verbatim to the owning node).
+func FuzzReadHello(f *testing.F) {
+	seed := func(h Hello) []byte {
+		var buf bytes.Buffer
+		if err := WriteHello(&buf, h); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	ver := egwalker.Version{{Agent: "alice", Seq: 41}, {Agent: "bob", Seq: 3}}
+	f.Add(seed(Hello{DocID: "plain"}))
+	f.Add(seed(Hello{DocID: "notes/alpha", Resume: true, Version: ver}))
+	f.Add(seed(Hello{DocID: "v2", Compact: true, Redirect: true, Resume: true, Version: ver}))
+	f.Add(seed(Hello{DocID: "replica", Replica: true, Resume: true}))
+	// Truncated v2 hello.
+	full := seed(Hello{DocID: "cut", Compact: true})
+	f.Add(full[:len(full)-2])
+	// Unknown frame type, unknown flag bits, hostile doc-ID length, and
+	// a length header past the frame cap.
+	f.Add([]byte{0, 0, 0, 1, 0x7f, 0x00})
+	badFlags := binary.AppendUvarint(nil, uint64(knownHelloFlags)<<1)
+	badFlags = binary.AppendUvarint(badFlags, 1)
+	badFlags = append(badFlags, 'd')
+	var frame bytes.Buffer
+	if err := writeFrame(&frame, msgDocHello2, badFlags); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(append([]byte(nil), frame.Bytes()...))
+	frame.Reset()
+	if err := writeFrame(&frame, msgDocHello, binary.AppendUvarint(nil, 1<<40)); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(append([]byte(nil), frame.Bytes()...))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, msgDocHello})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, err := ReadHello(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if h.DocID == "" || len(h.DocID) > maxDocID {
+			t.Fatalf("accepted hello with bad doc ID length %d", len(h.DocID))
+		}
+		var fwd bytes.Buffer
+		if err := h.Forward(&fwd); err != nil {
+			t.Fatalf("Forward on accepted hello: %v", err)
+		}
+		h2, err := ReadHello(&fwd)
+		if err != nil {
+			t.Fatalf("re-read forwarded hello: %v", err)
+		}
+		if h2.DocID != h.DocID || h2.Resume != h.Resume || h2.Compact != h.Compact ||
+			h2.Redirect != h.Redirect || h2.Replica != h.Replica || len(h2.Version) != len(h.Version) {
+			t.Fatalf("forward round-trip drift: %+v vs %+v", h, h2)
+		}
 	})
 }

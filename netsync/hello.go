@@ -1,0 +1,311 @@
+package netsync
+
+import (
+	"fmt"
+	"io"
+
+	"egwalker"
+)
+
+// Hello is a parsed doc hello: the first frame of every connection to a
+// multi-document host, naming the document and what the peer can do.
+// Cluster routers parse it once (ReadHello), decide where the document
+// lives, and either serve it (store.Server.ServeHello), answer with a
+// redirect frame, or forward the hello verbatim to the owning node
+// (Forward) and proxy the rest of the stream.
+type Hello struct {
+	DocID   string
+	Version egwalker.Version
+	// Resume reports whether Version was presented (an empty presented
+	// version still counts: "send everything, incrementally").
+	Resume bool
+	// Compact: the peer decodes the compact columnar event encoding.
+	Compact bool
+	// Redirect: the peer understands redirect frames — a non-owner node
+	// may answer with one instead of serving or proxying. Like the
+	// compact capability it is version-negotiated: only v2 hellos can
+	// carry it, and a node never sends a redirect frame to a peer that
+	// did not advertise it.
+	Redirect bool
+	// Replica marks a server-to-server replication link: the host
+	// answers with its own version (so the dialing node can push what
+	// the host is missing) and does not subscribe the connection to
+	// live fan-out — replica links receive data only through the
+	// anti-entropy exchange and the origin node's pushes.
+	Replica bool
+
+	// typ/payload preserve the exact frame received, so a proxy can
+	// forward it verbatim (Forward) without re-encoding drift.
+	typ     byte
+	payload []byte
+}
+
+// ReadHello reads either generation of doc hello into parsed form.
+func ReadHello(r io.Reader) (Hello, error) {
+	typ, payload, err := readFrame(r)
+	if err != nil {
+		return Hello{}, err
+	}
+	return parseHello(typ, payload)
+}
+
+func parseHello(typ byte, payload []byte) (Hello, error) {
+	h := Hello{typ: typ, payload: payload}
+	br := &byteReader{buf: payload}
+	var flags uint64
+	var err error
+	switch typ {
+	case msgDocHello:
+	case msgDocHello2:
+		flags, err = br.uvarint()
+		if err != nil {
+			return Hello{}, err
+		}
+		if flags&^uint64(knownHelloFlags) != 0 {
+			return Hello{}, fmt.Errorf("netsync: unknown doc hello flags %#x", flags)
+		}
+	default:
+		return Hello{}, fmt.Errorf("netsync: expected doc hello, got frame type %#x", typ)
+	}
+	n, err := br.uvarint()
+	if err != nil {
+		return Hello{}, err
+	}
+	if n == 0 || n > maxDocID {
+		return Hello{}, fmt.Errorf("netsync: bad doc ID length %d", n)
+	}
+	b, err := br.bytes(int(n))
+	if err != nil {
+		return Hello{}, err
+	}
+	h.DocID = string(b)
+	h.Compact = flags&capCompact != 0
+	h.Redirect = flags&helloRedirect != 0
+	h.Replica = flags&helloReplica != 0
+	if typ == msgDocHello2 {
+		if flags&helloResume == 0 {
+			return h, nil
+		}
+		h.Version, _, err = unmarshalVersionRest(payload[br.off:])
+		if err != nil {
+			return Hello{}, fmt.Errorf("netsync: bad resume version in doc hello: %w", err)
+		}
+		h.Resume = true
+		return h, nil
+	}
+	if br.off == len(payload) {
+		return h, nil // pre-resume hello: full snapshot
+	}
+	h.Version, _, err = unmarshalVersionRest(payload[br.off:])
+	if err != nil {
+		return Hello{}, fmt.Errorf("netsync: bad resume version in doc hello: %w", err)
+	}
+	h.Resume = true
+	return h, nil
+}
+
+// WriteHello sends h. A hello with no v2 capability (compact, redirect,
+// replica) is emitted in the legacy frame, so plain clients stay
+// wire-compatible with hosts predating the v2 hello.
+func WriteHello(w io.Writer, h Hello) error {
+	if len(h.DocID) == 0 || len(h.DocID) > maxDocID {
+		return fmt.Errorf("netsync: bad doc ID length %d", len(h.DocID))
+	}
+	if !h.Compact && !h.Redirect && !h.Replica {
+		if h.Resume {
+			return WriteDocHelloResume(w, h.DocID, h.Version)
+		}
+		return WriteDocHello(w, h.DocID)
+	}
+	flags := uint64(0)
+	if h.Compact {
+		flags |= capCompact
+	}
+	if h.Resume {
+		flags |= helloResume
+	}
+	if h.Redirect {
+		flags |= helloRedirect
+	}
+	if h.Replica {
+		flags |= helloReplica
+	}
+	var payload []byte
+	payload = putUvarint(payload, flags)
+	payload = putUvarint(payload, uint64(len(h.DocID)))
+	payload = append(payload, h.DocID...)
+	if h.Resume {
+		payload = append(payload, marshalVersion(h.Version)...)
+	}
+	return writeFrame(w, msgDocHello2, payload)
+}
+
+// Forward re-emits the hello exactly as it arrived — the proxy path: a
+// non-owner node that must serve a legacy client replays the client's
+// hello to the owning node and then pipes bytes both ways.
+func (h Hello) Forward(w io.Writer) error {
+	if h.typ == 0 {
+		// Hello was built locally, not parsed off the wire.
+		return WriteHello(w, h)
+	}
+	return writeFrame(w, h.typ, h.payload)
+}
+
+// --- redirect frames ------------------------------------------------------
+
+// maxRedirectAddrs and maxAddr bound a redirect frame: it arrives on an
+// unauthenticated connection, so hostile counts must not allocate.
+const (
+	maxRedirectAddrs = 64
+	maxAddr          = 256
+)
+
+// RedirectError is returned by PeerConn.Recv when the host answers the
+// hello with a redirect frame instead of serving the document: the
+// document lives on another node. Addrs lists where to go, preference
+// order first (the serving node, then the rest of its replica set, so a
+// client can fail over without a second round trip).
+type RedirectError struct {
+	Addrs []string
+}
+
+func (e *RedirectError) Error() string {
+	return fmt.Sprintf("netsync: redirected to %v", e.Addrs)
+}
+
+func marshalRedirect(addrs []string) ([]byte, error) {
+	if len(addrs) == 0 || len(addrs) > maxRedirectAddrs {
+		return nil, fmt.Errorf("netsync: bad redirect addr count %d", len(addrs))
+	}
+	var payload []byte
+	payload = putUvarint(payload, uint64(len(addrs)))
+	for _, a := range addrs {
+		if len(a) == 0 || len(a) > maxAddr {
+			return nil, fmt.Errorf("netsync: bad redirect addr length %d", len(a))
+		}
+		payload = putUvarint(payload, uint64(len(a)))
+		payload = append(payload, a...)
+	}
+	return payload, nil
+}
+
+func unmarshalRedirect(payload []byte) ([]string, error) {
+	br := &byteReader{buf: payload}
+	n, err := br.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 || n > maxRedirectAddrs {
+		return nil, fmt.Errorf("netsync: bad redirect addr count %d", n)
+	}
+	addrs := make([]string, 0, n)
+	for i := uint64(0); i < n; i++ {
+		ln, err := br.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if ln == 0 || ln > maxAddr {
+			return nil, fmt.Errorf("netsync: bad redirect addr length %d", ln)
+		}
+		b, err := br.bytes(int(ln))
+		if err != nil {
+			return nil, err
+		}
+		addrs = append(addrs, string(b))
+	}
+	return addrs, nil
+}
+
+// --- frame-level receive --------------------------------------------------
+
+// Frame kinds returned by PeerConn.RecvFrame.
+const (
+	FrameEvents = iota
+	FrameDone
+	FrameVersion
+	FrameRedirect
+)
+
+// Frame is one received protocol frame in decoded form. Replica links
+// and redirect-aware clients use RecvFrame where plain clients use
+// Recv: the extra kinds (a version hello during an anti-entropy
+// exchange, a redirect answer to a doc hello) are part of their
+// protocol, not errors.
+type Frame struct {
+	Kind    int
+	Events  []egwalker.Event // FrameEvents
+	Raw     []byte           // FrameEvents: the undecoded batch, for re-forwarding
+	Version egwalker.Version // FrameVersion
+	Addrs   []string         // FrameRedirect
+}
+
+// RecvFrame blocks for the next frame of any kind. Like Recv it must be
+// called from a single goroutine.
+func (p *PeerConn) RecvFrame() (Frame, error) {
+	typ, payload, err := readFrame(p.br)
+	if err != nil {
+		return Frame{}, err
+	}
+	switch typ {
+	case msgEvents:
+		events, err := Unmarshal(payload)
+		if err != nil {
+			return Frame{}, err
+		}
+		return Frame{Kind: FrameEvents, Events: events, Raw: payload}, nil
+	case msgDone:
+		return Frame{Kind: FrameDone}, nil
+	case msgHello:
+		v, _, err := unmarshalVersionRest(payload)
+		if err != nil {
+			return Frame{}, err
+		}
+		return Frame{Kind: FrameVersion, Version: v}, nil
+	case msgRedirect:
+		addrs, err := unmarshalRedirect(payload)
+		if err != nil {
+			return Frame{}, err
+		}
+		return Frame{Kind: FrameRedirect, Addrs: addrs}, nil
+	default:
+		return Frame{}, fmt.Errorf("netsync: unexpected frame type %#x", typ)
+	}
+}
+
+// SendHello sends a doc hello in parsed form (see WriteHello).
+func (p *PeerConn) SendHello(h Hello) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := WriteHello(p.bw, h); err != nil {
+		return err
+	}
+	return p.bw.Flush()
+}
+
+// SendRedirect answers a redirect-capable hello: the document lives at
+// addrs (preference order). The connection should be closed after.
+func (p *PeerConn) SendRedirect(addrs []string) error {
+	payload, err := marshalRedirect(addrs)
+	if err != nil {
+		return err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := writeFrame(p.bw, msgRedirect, payload); err != nil {
+		return err
+	}
+	return p.bw.Flush()
+}
+
+// SendVersion sends a bare version frame — the anti-entropy exchange on
+// a replica link: each side tells the other what it has, each side
+// pushes what the other is missing (netsync.Sync's handshake, embedded
+// in a persistent relay stream).
+func (p *PeerConn) SendVersion(v egwalker.Version) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := writeFrame(p.bw, msgHello, marshalVersion(v)); err != nil {
+		return err
+	}
+	return p.bw.Flush()
+}

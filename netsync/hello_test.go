@@ -1,0 +1,179 @@
+package netsync
+
+import (
+	"bytes"
+	"encoding/binary"
+	"strings"
+	"testing"
+
+	"egwalker"
+)
+
+// TestReadHelloBothGenerations: ReadHello parses both hello frame
+// generations into the same struct, round-tripping every capability
+// combination through WriteHello.
+func TestReadHelloBothGenerations(t *testing.T) {
+	ver := egwalker.Version{{Agent: "alice", Seq: 7}}
+	cases := []Hello{
+		{DocID: "plain"},
+		{DocID: "resume", Resume: true, Version: ver},
+		{DocID: "empty-resume", Resume: true},
+		{DocID: "compact", Compact: true},
+		{DocID: "redir", Redirect: true},
+		{DocID: "replica", Replica: true, Resume: true, Version: ver},
+		{DocID: "all", Compact: true, Redirect: true, Replica: true, Resume: true, Version: ver},
+	}
+	for _, want := range cases {
+		var buf bytes.Buffer
+		if err := WriteHello(&buf, want); err != nil {
+			t.Fatalf("WriteHello(%+v): %v", want, err)
+		}
+		got, err := ReadHello(&buf)
+		if err != nil {
+			t.Fatalf("ReadHello(%+v): %v", want, err)
+		}
+		if got.DocID != want.DocID || got.Resume != want.Resume ||
+			got.Compact != want.Compact || got.Redirect != want.Redirect ||
+			got.Replica != want.Replica || len(got.Version) != len(want.Version) {
+			t.Fatalf("round-trip: got %+v, want %+v", got, want)
+		}
+		for i := range want.Version {
+			if got.Version[i] != want.Version[i] {
+				t.Fatalf("version round-trip: got %v, want %v", got.Version, want.Version)
+			}
+		}
+	}
+}
+
+// TestReadHelloForwardVerbatim: a parsed hello re-emitted by Forward is
+// byte-identical to the frame that arrived — the proxy path must not
+// re-encode (drift there would break version negotiation downstream).
+func TestReadHelloForwardVerbatim(t *testing.T) {
+	for _, h := range []Hello{
+		{DocID: "legacy", Resume: true, Version: egwalker.Version{{Agent: "a", Seq: 1}}},
+		{DocID: "v2", Compact: true, Redirect: true},
+	} {
+		var orig bytes.Buffer
+		if err := WriteHello(&orig, h); err != nil {
+			t.Fatal(err)
+		}
+		raw := append([]byte(nil), orig.Bytes()...)
+		parsed, err := ReadHello(&orig)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var fwd bytes.Buffer
+		if err := parsed.Forward(&fwd); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(fwd.Bytes(), raw) {
+			t.Fatalf("Forward re-encoded the hello:\n got %x\nwant %x", fwd.Bytes(), raw)
+		}
+	}
+}
+
+// TestReadHelloTruncated: a hello cut off at any byte must error (short
+// header, short payload, payload cut mid-doc-ID or mid-version), never
+// panic or succeed.
+func TestReadHelloTruncated(t *testing.T) {
+	var full bytes.Buffer
+	h := Hello{
+		DocID:   "notes/alpha",
+		Compact: true,
+		Resume:  true,
+		Version: egwalker.Version{{Agent: "alice", Seq: 41}, {Agent: "bob", Seq: 3}},
+	}
+	if err := WriteHello(&full, h); err != nil {
+		t.Fatal(err)
+	}
+	raw := full.Bytes()
+	for cut := 0; cut < len(raw); cut++ {
+		if _, err := ReadHello(bytes.NewReader(raw[:cut])); err == nil {
+			t.Fatalf("hello truncated to %d/%d bytes accepted", cut, len(raw))
+		}
+	}
+	// A frame whose header promises more payload than follows fails on
+	// the short read, not with a partial parse.
+	hdr := append([]byte(nil), raw[:5]...)
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(raw)))
+	if _, err := ReadHello(bytes.NewReader(append(hdr, raw[5:]...))); err == nil {
+		t.Fatal("hello with inflated length header accepted")
+	}
+}
+
+// TestReadHelloOversized: a hostile length header past the frame cap is
+// refused before any payload allocation, and an in-bounds frame whose
+// doc-ID length field is hostile is refused by the doc-ID cap.
+func TestReadHelloOversized(t *testing.T) {
+	var hdr [5]byte
+	binary.BigEndian.PutUint32(hdr[:4], maxFrame+1)
+	hdr[4] = msgDocHello2
+	_, err := ReadHello(bytes.NewReader(hdr[:]))
+	if err == nil || !strings.Contains(err.Error(), "oversized") {
+		t.Fatalf("over-cap hello frame: err = %v, want oversized-frame error", err)
+	}
+	for _, idLen := range []uint64{0, maxDocID + 1, 1 << 40} {
+		payload := binary.AppendUvarint(nil, 0) // flags
+		payload = binary.AppendUvarint(payload, idLen)
+		payload = append(payload, make([]byte, 64)...)
+		var buf bytes.Buffer
+		if err := writeFrame(&buf, msgDocHello2, payload); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ReadHello(&buf); err == nil {
+			t.Fatalf("doc ID length %d accepted", idLen)
+		}
+	}
+}
+
+// TestReadHelloUnknownVersion: frames that are not a doc hello, and v2
+// hellos carrying flag bits this build does not know, must be rejected
+// — unknown flags may change the meaning of the rest of the payload,
+// so ignoring them is not an option.
+func TestReadHelloUnknownVersion(t *testing.T) {
+	for _, typ := range []byte{msgEvents, msgDone, msgHello, msgRedirect, 0x00, 0x7f} {
+		var buf bytes.Buffer
+		if err := writeFrame(&buf, typ, []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+		_, err := ReadHello(&buf)
+		if err == nil || !strings.Contains(err.Error(), "expected doc hello") {
+			t.Fatalf("frame type %#x: err = %v, want expected-doc-hello error", typ, err)
+		}
+	}
+	payload := binary.AppendUvarint(nil, uint64(knownHelloFlags)<<1) // one bit past every known flag
+	payload = binary.AppendUvarint(payload, 3)
+	payload = append(payload, "doc"...)
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, msgDocHello2, payload); err != nil {
+		t.Fatal(err)
+	}
+	_, err := ReadHello(&buf)
+	if err == nil || !strings.Contains(err.Error(), "unknown doc hello flags") {
+		t.Fatalf("unknown flag bits: err = %v, want unknown-flags error", err)
+	}
+}
+
+// TestReadHelloGarbageResumeVersion: both hello generations reject a
+// resume version that does not decode, including hostile head counts
+// that must fail the truncation checks without allocating.
+func TestReadHelloGarbageResumeVersion(t *testing.T) {
+	for _, typ := range []byte{msgDocHello, msgDocHello2} {
+		var payload []byte
+		if typ == msgDocHello2 {
+			payload = binary.AppendUvarint(payload, helloResume)
+		}
+		payload = binary.AppendUvarint(payload, 3)
+		payload = append(payload, "doc"...)
+		payload = binary.AppendUvarint(payload, 1<<50) // version head count
+		payload = append(payload, make([]byte, 1024)...)
+		var buf bytes.Buffer
+		if err := writeFrame(&buf, typ, payload); err != nil {
+			t.Fatal(err)
+		}
+		_, err := ReadHello(&buf)
+		if err == nil || !strings.Contains(err.Error(), "bad resume version") {
+			t.Fatalf("frame type %#x: err = %v, want bad-resume-version error", typ, err)
+		}
+	}
+}

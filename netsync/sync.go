@@ -320,23 +320,25 @@ func (p *PeerConn) SendDone() error {
 
 // Recv blocks for the next frame. It returns the decoded events plus
 // the raw batch payload (for re-forwarding), or done=true on an orderly
-// DONE frame. io.EOF reports the peer hanging up without one.
+// DONE frame. io.EOF reports the peer hanging up without one. A
+// redirect frame (the answer a cluster node gives a redirect-capable
+// hello for a document it does not own) is returned as a
+// *RedirectError, so callers that advertised the capability can follow
+// it with errors.As; any other unexpected frame type is a plain error.
 func (p *PeerConn) Recv() (events []egwalker.Event, raw []byte, done bool, err error) {
-	typ, payload, err := readFrame(p.br)
+	f, err := p.RecvFrame()
 	if err != nil {
 		return nil, nil, false, err
 	}
-	switch typ {
-	case msgEvents:
-		events, err = Unmarshal(payload)
-		if err != nil {
-			return nil, nil, false, err
-		}
-		return events, payload, false, nil
-	case msgDone:
+	switch f.Kind {
+	case FrameEvents:
+		return f.Events, f.Raw, false, nil
+	case FrameDone:
 		return nil, nil, true, nil
+	case FrameRedirect:
+		return nil, nil, false, &RedirectError{Addrs: f.Addrs}
 	default:
-		return nil, nil, false, fmt.Errorf("netsync: unexpected frame type %#x", typ)
+		return nil, nil, false, fmt.Errorf("netsync: unexpected version frame")
 	}
 }
 

@@ -39,6 +39,7 @@ const (
 	msgDone      = 0x03 // payload: empty
 	msgDocHello  = 0x04 // payload: uvarint-length-prefixed document ID, optional resume version
 	msgDocHello2 = 0x05 // payload: uvarint flags, doc ID, optional resume version
+	msgRedirect  = 0x06 // payload: uvarint count, then length-prefixed node addresses
 )
 
 // Flag bits in a v2 doc hello (msgDocHello2) and in the capability
@@ -48,8 +49,16 @@ const (
 const (
 	capCompact  = 1 << 0
 	helloResume = 1 << 1 // v2 doc hello only: a resume version follows the doc ID
+	// helloRedirect advertises that the client understands redirect
+	// frames: a cluster node that does not own the named document may
+	// answer msgRedirect instead of serving or proxying. Negotiated
+	// exactly like the compact capability — never sent unsolicited.
+	helloRedirect = 1 << 2
+	// helloReplica marks a server-to-server replication link (see
+	// Hello.Replica).
+	helloReplica = 1 << 3
 
-	knownHelloFlags = capCompact | helloResume
+	knownHelloFlags = capCompact | helloResume | helloRedirect | helloReplica
 )
 
 // maxFrame bounds a single frame's payload. The cap is checked before
@@ -264,58 +273,14 @@ func ReadDocHelloVersion(r io.Reader) (docID string, v egwalker.Version, resume 
 
 // ReadDocHelloAny reads either generation of doc hello. compact
 // reports whether the client advertised the compact columnar event
-// encoding (always false for legacy hellos).
+// encoding (always false for legacy hellos). See ReadHello for the
+// parsed form carrying the full capability set.
 func ReadDocHelloAny(r io.Reader) (docID string, v egwalker.Version, resume, compact bool, err error) {
-	typ, payload, err := readFrame(r)
+	h, err := ReadHello(r)
 	if err != nil {
 		return "", nil, false, false, err
 	}
-	br := &byteReader{buf: payload}
-	var flags uint64
-	switch typ {
-	case msgDocHello:
-	case msgDocHello2:
-		flags, err = br.uvarint()
-		if err != nil {
-			return "", nil, false, false, err
-		}
-		if flags&^uint64(knownHelloFlags) != 0 {
-			return "", nil, false, false, fmt.Errorf("netsync: unknown doc hello flags %#x", flags)
-		}
-	default:
-		return "", nil, false, false, fmt.Errorf("netsync: expected doc hello, got frame type %#x", typ)
-	}
-	n, err := br.uvarint()
-	if err != nil {
-		return "", nil, false, false, err
-	}
-	if n == 0 || n > maxDocID {
-		return "", nil, false, false, fmt.Errorf("netsync: bad doc ID length %d", n)
-	}
-	b, err := br.bytes(int(n))
-	if err != nil {
-		return "", nil, false, false, err
-	}
-	docID = string(b)
-	compact = flags&capCompact != 0
-	if typ == msgDocHello2 {
-		if flags&helloResume == 0 {
-			return docID, nil, false, compact, nil
-		}
-		v, _, err = unmarshalVersionRest(payload[br.off:])
-		if err != nil {
-			return "", nil, false, false, fmt.Errorf("netsync: bad resume version in doc hello: %w", err)
-		}
-		return docID, v, true, compact, nil
-	}
-	if br.off == len(payload) {
-		return docID, nil, false, false, nil // pre-resume hello: full snapshot
-	}
-	v, _, err = unmarshalVersionRest(payload[br.off:])
-	if err != nil {
-		return "", nil, false, false, fmt.Errorf("netsync: bad resume version in doc hello: %w", err)
-	}
-	return docID, v, true, false, nil
+	return h.DocID, h.Version, h.Resume, h.Compact, nil
 }
 
 // --- varint helpers -------------------------------------------------------

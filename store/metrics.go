@@ -62,6 +62,14 @@ type Metrics struct {
 	LazyMaterializations metrics.Counter
 	ResumeFallbacks      metrics.Counter
 
+	// Cluster replication: batches/events ingested over server-to-server
+	// replica links, anti-entropy version exchanges answered, and events
+	// shipped out as exchange catch-ups.
+	ReplicaBatchesIn metrics.Counter
+	ReplicaEventsIn  metrics.Counter
+	ReplicaExchanges metrics.Counter
+	ReplicaEventsOut metrics.Counter
+
 	OpenDocs    metrics.Gauge
 	Subscribers metrics.Gauge
 	// MaterializedDocs tracks how many open documents currently hold a
@@ -101,6 +109,11 @@ type MetricsSnapshot struct {
 	LazyMaterializations int64 `json:"lazy_materializations"`
 	ResumeFallbacks      int64 `json:"resume_fallbacks"`
 
+	ReplicaBatchesIn int64 `json:"replica_batches_in"`
+	ReplicaEventsIn  int64 `json:"replica_events_in"`
+	ReplicaExchanges int64 `json:"replica_exchanges"`
+	ReplicaEventsOut int64 `json:"replica_events_out"`
+
 	OpenDocs         int64 `json:"open_docs"`
 	Subscribers      int64 `json:"subscribers"`
 	MaterializedDocs int64 `json:"materialized_docs"`
@@ -137,6 +150,11 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		BlockServeEvents:     m.BlockServeEvents.Load(),
 		LazyMaterializations: m.LazyMaterializations.Load(),
 		ResumeFallbacks:      m.ResumeFallbacks.Load(),
+
+		ReplicaBatchesIn: m.ReplicaBatchesIn.Load(),
+		ReplicaEventsIn:  m.ReplicaEventsIn.Load(),
+		ReplicaExchanges: m.ReplicaExchanges.Load(),
+		ReplicaEventsOut: m.ReplicaEventsOut.Load(),
 
 		OpenDocs:         m.OpenDocs.Load(),
 		Subscribers:      m.Subscribers.Load(),

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -52,6 +53,14 @@ type ServerOptions struct {
 	// failures, resume degradation). Point it at log.Printf in a
 	// server binary.
 	Logf func(format string, args ...any)
+	// OnIngest, when set, is called after a batch from a client or the
+	// API (never from a server-to-server replica link) is accepted with
+	// at least one new event — the cluster replication tap: the cluster
+	// node forwards the batch to the document's other replicas. raw is
+	// the uploader's encoded payload (nil for API appends). Called with
+	// the document's fan-out lock held, so it must not block; enqueue
+	// and return.
+	OnIngest func(docID string, events []egwalker.Event, raw []byte)
 }
 
 func (o ServerOptions) withDefaults() ServerOptions {
@@ -102,13 +111,14 @@ type peerSub struct {
 // holds a materialized doc (maintained by the DocStore's
 // materialization hooks, readable without any lock).
 type entry struct {
-	id      string
-	ready   chan struct{}
-	openErr error
-	ds      *DocStore
-	m       *Metrics
-	logf    func(format string, args ...any)
-	mat     atomic.Bool
+	id       string
+	ready    chan struct{}
+	openErr  error
+	ds       *DocStore
+	m        *Metrics
+	logf     func(format string, args ...any)
+	onIngest func(docID string, events []egwalker.Event, raw []byte)
+	mat      atomic.Bool
 	// mu serializes ingest+fanout against catch-up cuts and subscribe,
 	// so a joining peer misses no events between its catch-up and its
 	// first forwarded batch.
@@ -193,7 +203,7 @@ func (s *Server) acquire(docID string) (*entry, error) {
 		}
 		return e, nil
 	}
-	e := &entry{id: docID, ready: make(chan struct{}), peers: make(map[int]peerSub), m: s.metrics, logf: s.logf, refs: 1}
+	e := &entry{id: docID, ready: make(chan struct{}), peers: make(map[int]peerSub), m: s.metrics, logf: s.logf, onIngest: s.opts.OnIngest, refs: 1}
 	e.elem = s.lru.PushFront(e)
 	s.open[docID] = e
 	s.metrics.OpenDocs.Set(int64(len(s.open)))
@@ -368,7 +378,26 @@ func (s *Server) Append(docID string, events []egwalker.Event) error {
 		return err
 	}
 	defer s.release(e)
-	return e.ingest(events, nil, -1)
+	return e.ingest(events, nil, -1, false)
+}
+
+// IngestReplica merges a batch received over a cluster replication
+// link: events are journaled (raw verbatim when provided) and fanned
+// out to local subscribers, but the OnIngest replication tap does not
+// fire — replicated data is never re-forwarded, which is what keeps
+// the cluster's origin-push topology loop-free.
+func (s *Server) IngestReplica(docID string, events []egwalker.Event, raw []byte) error {
+	e, err := s.acquire(docID)
+	if err != nil {
+		return err
+	}
+	defer s.release(e)
+	if err := e.ingest(events, raw, -1, true); err != nil {
+		return err
+	}
+	e.m.ReplicaBatchesIn.Inc()
+	e.m.ReplicaEventsIn.Add(int64(len(events)))
+	return nil
 }
 
 // Text returns the document's current text, materializing it if
@@ -411,12 +440,21 @@ func (s *Server) DocIDs() ([]string, error) {
 // raw bytes verbatim only when it can decode them — compact-encoded
 // uploads are re-marshalled (lazily, once per batch) for peers that
 // never advertised the compact encoding. raw may be nil (API appends).
-func (e *entry) ingest(events []egwalker.Event, raw []byte, fromPeer int) error {
+// replica marks a batch arriving over a server-to-server replication
+// link: it still fans out to local subscribers, but never fires the
+// OnIngest tap — the origin node already pushed it to every replica,
+// and re-forwarding replicated batches would echo them around the
+// cluster forever.
+func (e *entry) ingest(events []egwalker.Event, raw []byte, fromPeer int, replica bool) error {
 	start := time.Now()
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if _, err := e.ds.IngestBatch(events, raw); err != nil {
+	fresh, err := e.ds.IngestBatch(events, raw)
+	if err != nil {
 		return err
+	}
+	if fresh > 0 && !replica && e.onIngest != nil {
+		e.onIngest(e.id, events, raw)
 	}
 	// ApplyNs from call entry, so per-document lock contention (many
 	// writers on one hot document) shows up in the latency it causes.
@@ -579,22 +617,36 @@ func (e *entry) unsubscribe(id int) {
 // the decoded history. Run ServeConn in its own goroutine per
 // connection; it returns when the peer disconnects.
 func (s *Server) ServeConn(conn io.ReadWriter) error {
-	docID, since, resume, compact, err := netsync.ReadDocHelloAny(conn)
+	h, err := netsync.ReadHello(conn)
 	if err != nil {
 		return err
 	}
+	return s.ServeHello(conn, h)
+}
+
+// ServeHello is ServeConn after the doc hello has already been read —
+// the entry point for routers (cluster nodes) that parse the hello
+// themselves to decide whether this server owns the document before
+// handing the connection over. A hello flagged as a replica link gets
+// the server-to-server treatment: a version exchange instead of a
+// fan-out subscription (see serveReplica).
+func (s *Server) ServeHello(conn io.ReadWriter, h netsync.Hello) error {
+	if h.Replica {
+		return s.serveReplica(conn, h)
+	}
 	pc := netsync.NewPeerConn(conn)
-	e, err := s.acquire(docID)
+	e, err := s.acquire(h.DocID)
 	if err != nil {
 		return err
 	}
 	defer s.release(e)
 
-	plan, err := e.subscribe(conn, since, resume, compact)
+	plan, err := e.subscribe(conn, h.Version, h.Resume, h.Compact)
 	if err != nil {
 		return err
 	}
 	defer e.unsubscribe(plan.id)
+	compact := h.Compact
 
 	switch {
 	case plan.cut != nil:
@@ -644,7 +696,7 @@ func (s *Server) ServeConn(conn io.ReadWriter) error {
 		if done {
 			return nil
 		}
-		if err := e.ingest(events, raw, plan.id); err != nil {
+		if err := e.ingest(events, raw, plan.id, false); err != nil {
 			return err
 		}
 	}
@@ -675,6 +727,103 @@ func (e *entry) streamCatchup(pc *netsync.PeerConn, cut *BlockCut, compact bool)
 		return pc.SendEventsCompact(snapshot)
 	}
 	return pc.SendEvents(snapshot)
+}
+
+// serveReplica handles a server-to-server replication link: the peer
+// node presented its version; we answer with our own version followed
+// by the events the peer is missing (so the link establishes a full
+// bidirectional anti-entropy round — the peer pushes back what we are
+// missing, netsync.Sync's exchange embedded in the relay protocol).
+// Thereafter the peer pushes batches its clients upload (journaled and
+// fanned out to our local subscribers, but never re-replicated — the
+// origin pushes to every replica itself) and may initiate fresh
+// version exchanges on a timer, which converge a lagging side from its
+// journal without full retransfer.
+func (s *Server) serveReplica(conn io.ReadWriter, h netsync.Hello) error {
+	pc := netsync.NewPeerConn(conn)
+	e, err := s.acquire(h.DocID)
+	if err != nil {
+		return err
+	}
+	defer s.release(e)
+	if err := e.replicaExchange(pc, h.Version, h.Compact); err != nil {
+		return err
+	}
+	for {
+		f, err := pc.RecvFrame()
+		if err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return err
+		}
+		switch f.Kind {
+		case netsync.FrameEvents:
+			if err := e.ingest(f.Events, f.Raw, -1, true); err != nil {
+				return err
+			}
+			e.m.ReplicaBatchesIn.Inc()
+			e.m.ReplicaEventsIn.Add(int64(len(f.Events)))
+		case netsync.FrameVersion:
+			if err := e.replicaExchange(pc, f.Version, h.Compact); err != nil {
+				return err
+			}
+		case netsync.FrameDone:
+			return nil
+		default:
+			return fmt.Errorf("store: replica link for %q: unexpected frame kind %d", h.DocID, f.Kind)
+		}
+	}
+}
+
+// replicaExchange answers one anti-entropy round on a replica link:
+// send our version, then the events the peer's version is missing. The
+// version is captured before the catch-up, so it can only understate
+// what the catch-up carries — the peer's push-back is then a superset
+// of what we lack, and ingest deduplicates.
+func (e *entry) replicaExchange(pc *netsync.PeerConn, theirs egwalker.Version, compact bool) error {
+	ours := e.ds.Version()
+	catchup, err := e.ds.EventsSinceKnown(theirs)
+	if err != nil {
+		return err
+	}
+	if err := pc.SendVersion(ours); err != nil {
+		return err
+	}
+	e.m.ReplicaExchanges.Inc()
+	e.m.ReplicaEventsOut.Add(int64(len(catchup)))
+	if compact {
+		return pc.SendEventsCompact(catchup)
+	}
+	return pc.SendEvents(catchup)
+}
+
+// Healthz reports whether this server can currently accept and persist
+// writes: it is not closed and its store root is writable (a probe
+// file is created, synced, and removed). The egserve /healthz endpoint
+// and cluster fail-over probes are built on it.
+func (s *Server) Healthz() error {
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		return fmt.Errorf("store: server closed")
+	}
+	probe := filepath.Join(s.root, ".healthz")
+	f, err := os.OpenFile(probe, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o666)
+	if err != nil {
+		return fmt.Errorf("store: root not writable: %w", err)
+	}
+	_, werr := f.Write([]byte("ok"))
+	serr := f.Sync()
+	cerr := f.Close()
+	os.Remove(probe)
+	for _, err := range []error{werr, serr, cerr} {
+		if err != nil {
+			return fmt.Errorf("store: root not writable: %w", err)
+		}
+	}
+	return nil
 }
 
 // flusher is the group-commit loop: one fsync per open document per

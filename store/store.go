@@ -692,6 +692,18 @@ func (s *DocStore) Len() int {
 	return s.doc.Len()
 }
 
+// Fingerprint returns the document's history fingerprint (see
+// Doc.Fingerprint), materializing if needed — the cluster convergence
+// oracle: replicas holding the same history agree on it.
+func (s *DocStore) Fingerprint() (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.materializeLocked(); err != nil {
+		return 0, err
+	}
+	return s.doc.Fingerprint(), nil
+}
+
 // Version returns the document's current version, materializing if
 // needed (nil if materialization fails).
 func (s *DocStore) Version() egwalker.Version {
