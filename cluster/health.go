@@ -49,3 +49,26 @@ func (t *healthTable) downSince(addr string) time.Time {
 	defer t.mu.Unlock()
 	return t.down[addr]
 }
+
+// prune drops entries for addresses that are not current members.
+// Dials feed the table by address, so an address that leaves the
+// membership (a reconfig, a decommissioned peer still named in a
+// stale redirect) would otherwise sit in the map forever; the
+// replicator's mesh loop calls this every anti-entropy tick with the
+// ring's node list.
+func (t *healthTable) prune(members []string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.down) == 0 {
+		return
+	}
+	keep := make(map[string]bool, len(members))
+	for _, m := range members {
+		keep[m] = true
+	}
+	for addr := range t.down {
+		if !keep[addr] {
+			delete(t.down, addr)
+		}
+	}
+}

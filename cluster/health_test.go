@@ -1,0 +1,48 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+func TestHealthTableFailedAfterGrace(t *testing.T) {
+	h := newHealthTable()
+	h.markDown("a")
+	if h.failed("a", time.Hour) {
+		t.Fatal("failed before the grace period elapsed")
+	}
+	if !h.failed("a", 0) {
+		t.Fatal("not failed with a zero grace period")
+	}
+	h.markUp("a")
+	if h.failed("a", 0) {
+		t.Fatal("still failed after markUp")
+	}
+	if !h.downSince("a").IsZero() {
+		t.Fatal("downSince non-zero after markUp")
+	}
+}
+
+func TestHealthTablePrune(t *testing.T) {
+	h := newHealthTable()
+	h.markDown("a")
+	h.markDown("b")
+	h.markDown("gone")
+	h.prune([]string{"a", "b", "c"})
+	if !h.failed("a", 0) || !h.failed("b", 0) {
+		t.Fatal("prune dropped a current member")
+	}
+	if h.failed("gone", 0) || !h.downSince("gone").IsZero() {
+		t.Fatal("prune kept an address outside the membership")
+	}
+	// Pruning must not resurrect state: a re-added member starts clean.
+	h.prune([]string{"a"})
+	if h.failed("b", 0) {
+		t.Fatal("prune kept b after it left the membership")
+	}
+	// Repeated pruning with an unchanged membership is a no-op.
+	h.prune([]string{"a"})
+	if !h.failed("a", 0) {
+		t.Fatal("repeated prune dropped a member")
+	}
+}

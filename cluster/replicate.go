@@ -121,15 +121,24 @@ func (r *replicator) link(docID, addr string) *link {
 // for it — without this, a document whose origin node died would have
 // no one running anti-entropy for it. Runs once at start (so a
 // restarted node immediately reconciles its journal with its peers)
-// and then once per anti-entropy period.
+// and then once per anti-entropy period. Each tick also prunes the
+// health table to the current membership, so addresses that left the
+// ring do not accumulate forever.
 func (r *replicator) meshLoop() {
 	defer r.wg.Done()
+	// One reused timer for the whole loop: a per-iteration time.After
+	// leaks a live timer per tick until it fires, which adds up at
+	// short anti-entropy intervals.
+	t := time.NewTimer(r.n.opts.AntiEntropyEvery)
+	defer t.Stop()
 	for {
 		r.ensureMesh()
+		r.n.health.prune(r.n.ring.Nodes())
 		select {
 		case <-r.done:
 			return
-		case <-time.After(r.n.opts.AntiEntropyEvery):
+		case <-t.C:
+			t.Reset(r.n.opts.AntiEntropyEvery)
 		}
 	}
 }
@@ -193,13 +202,14 @@ func (l *link) kickExchange() {
 	}
 }
 
-func (l *link) version() (egwalker.Version, error) {
-	var v egwalker.Version
+func (l *link) summary() (egwalker.VersionSummary, error) {
+	var s egwalker.VersionSummary
 	err := l.n.srv.With(l.docID, func(ds *store.DocStore) error {
-		v = ds.Version()
-		return nil
+		var err error
+		s, err = ds.Summary()
+		return err
 	})
-	return v, err
+	return s, err
 }
 
 func (l *link) diff(theirs egwalker.Version) ([]egwalker.Event, error) {
@@ -212,9 +222,40 @@ func (l *link) diff(theirs egwalker.Version) ([]egwalker.Event, error) {
 	return events, err
 }
 
+func (l *link) diffSummary(theirs egwalker.VersionSummary) ([]egwalker.Event, error) {
+	var events []egwalker.Event
+	err := l.n.srv.With(l.docID, func(ds *store.DocStore) error {
+		var err error
+		events, err = ds.EventsSinceSummary(theirs)
+		return err
+	})
+	return events, err
+}
+
 func (l *link) run(done <-chan struct{}) {
 	backoff := 100 * time.Millisecond
 	const maxBackoff = 2 * time.Second
+	// One reused timer for every backoff sleep: per-iteration
+	// time.After leaks a live timer per failed dial until it fires —
+	// real memory with many links dialing a dead peer on a short
+	// interval. sleep returns false when the replicator closed.
+	retry := time.NewTimer(time.Hour)
+	defer retry.Stop()
+	sleep := func(d time.Duration) bool {
+		if !retry.Stop() {
+			select {
+			case <-retry.C:
+			default:
+			}
+		}
+		retry.Reset(d)
+		select {
+		case <-done:
+			return false
+		case <-retry.C:
+			return true
+		}
+	}
 	for {
 		select {
 		case <-done:
@@ -224,10 +265,8 @@ func (l *link) run(done <-chan struct{}) {
 		conn, err := l.n.opts.Dial(l.addr)
 		if err != nil {
 			l.n.health.markDown(l.addr)
-			select {
-			case <-done:
+			if !sleep(backoff) {
 				return
-			case <-time.After(backoff):
 			}
 			if backoff *= 2; backoff > maxBackoff {
 				backoff = maxBackoff
@@ -241,27 +280,30 @@ func (l *link) run(done <-chan struct{}) {
 			l.n.health.markDown(l.addr)
 		}
 		conn.Close()
-		select {
-		case <-done:
+		if !sleep(backoff) {
 			return
-		case <-time.After(backoff):
 		}
 	}
 }
 
-// session drives one live connection: hello with our version (the
-// remote answers with its version plus our gap), then pushes, periodic
-// exchanges, and a reader ingesting whatever the remote sends.
+// session drives one live connection: hello with our run-length
+// version summary (the remote answers with its own summary plus our
+// exact gap), then pushes, periodic exchanges, and a reader ingesting
+// whatever the remote sends. Summaries, not frontiers: a frontier
+// exchange between a healed node and a peer that advanced without it
+// re-sends the lagging side's whole covered history (the peer cannot
+// anchor a diff on heads it never saw); the summary exchange ships
+// only the true gap, and between converged replicas a journal-only
+// document answers without even materializing.
 func (l *link) session(conn net.Conn, done <-chan struct{}) error {
 	pc := netsync.NewPeerConn(conn)
-	v, err := l.version()
+	s, err := l.summary()
 	if err != nil {
 		return err
 	}
 	err = pc.SendHello(netsync.Hello{
 		DocID:   l.docID,
-		Version: v,
-		Resume:  true,
+		Summary: s,
 		Compact: true,
 		Replica: true,
 	})
@@ -277,11 +319,11 @@ func (l *link) session(conn net.Conn, done <-chan struct{}) error {
 	}
 	exchange := func() error {
 		l.dirty.Store(false)
-		v, err := l.version()
+		s, err := l.summary()
 		if err != nil {
 			return err
 		}
-		return pc.SendVersion(v)
+		return pc.SendSummary(s)
 	}
 	ticker := time.NewTicker(l.n.opts.AntiEntropyEvery)
 	defer ticker.Stop()
@@ -315,9 +357,11 @@ func (l *link) session(conn net.Conn, done <-chan struct{}) error {
 	}
 }
 
-// readLoop ingests what the remote sends: version frames (its side of
-// an exchange — answer by pushing its gap) and event batches (our
-// gap, journaled as replica data so it is never re-forwarded).
+// readLoop ingests what the remote sends: summary or version frames
+// (its side of an exchange — answer by pushing its gap; the summary
+// form is exact, the version form is the legacy known-subset superset)
+// and event batches (our gap, journaled as replica data so it is
+// never re-forwarded).
 func (l *link) readLoop(pc *netsync.PeerConn) error {
 	for {
 		f, err := pc.RecvFrame()
@@ -328,6 +372,16 @@ func (l *link) readLoop(pc *netsync.PeerConn) error {
 			return err
 		}
 		switch f.Kind {
+		case netsync.FrameSummary:
+			diff, err := l.diffSummary(f.Summary)
+			if err != nil {
+				return err
+			}
+			if len(diff) > 0 {
+				if err := pc.SendEventsCompact(diff); err != nil {
+					return err
+				}
+			}
 		case netsync.FrameVersion:
 			diff, err := l.diff(f.Version)
 			if err != nil {

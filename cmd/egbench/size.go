@@ -16,6 +16,7 @@ package main
 //	egbench size [-scale F] [-size-out FILE] [-size-traces S1,C1,...]
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -28,6 +29,7 @@ import (
 	"egwalker/internal/bench"
 	"egwalker/internal/colenc"
 	"egwalker/internal/trace"
+	"egwalker/netsync"
 )
 
 var (
@@ -51,6 +53,35 @@ type sizeTraceResult struct {
 	NaiveEncNsPerEvent float64 `json:"naive_encode_ns_per_event"`
 }
 
+// handshakeResult measures one post-failover reconnect at one history
+// length: a client holding the full history plus a small offline tail
+// reconnects to a replica that never saw the tail, so the client's
+// frontier names events the server lacks. The legacy frontier hello
+// collapses to the empty known subset and the server re-sends the
+// whole covered history; the summary hello intersects exactly and the
+// server sends nothing the client already holds. The anti-entropy
+// columns measure the per-round frame each exchange style puts on a
+// replica link between converged peers. Hello and frame sizes are true
+// wire bytes (frame headers included); both stay O(distinct agent
+// runs) for summaries — flat as the history grows — while the legacy
+// resend grows with the history.
+type handshakeResult struct {
+	Events      int `json:"events"`
+	Agents      int `json:"agents"`
+	OfflineTail int `json:"offline_tail_events"`
+
+	FrontierHelloBytes int `json:"frontier_hello_bytes"`
+	LegacyResendBytes  int `json:"legacy_resend_bytes"`
+	LegacyTotalBytes   int `json:"legacy_total_bytes"`
+
+	SummaryHelloBytes  int `json:"summary_hello_bytes"`
+	SummaryResendBytes int `json:"summary_resend_bytes"`
+	SummaryTotalBytes  int `json:"summary_total_bytes"`
+
+	AntiEntropyVersionFrameBytes int `json:"anti_entropy_version_frame_bytes"`
+	AntiEntropySummaryFrameBytes int `json:"anti_entropy_summary_frame_bytes"`
+}
+
 type sizeReport struct {
 	Schema      string            `json:"schema"`
 	GeneratedAt string            `json:"generated_at"`
@@ -59,6 +90,7 @@ type sizeReport struct {
 	TotalNaive  int               `json:"total_naive_bytes"`
 	TotalCol    int               `json:"total_columnar_bytes"`
 	TotalFlate  int               `json:"total_columnar_flate_bytes"`
+	Handshake   []handshakeResult `json:"handshake"`
 }
 
 func maybeRunSize(cmd string) bool {
@@ -80,7 +112,7 @@ func runSize() error {
 		}
 	}
 	report := sizeReport{
-		Schema:      "egbench-size/v1",
+		Schema:      "egbench-size/v2",
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 		Scale:       *scale,
 	}
@@ -166,6 +198,9 @@ func runSize() error {
 			bench.FmtBytes(uint64(report.TotalCol)), 100*float64(report.TotalCol)/float64(report.TotalNaive),
 			bench.FmtBytes(uint64(report.TotalFlate)), 100*float64(report.TotalFlate)/float64(report.TotalNaive))
 	}
+	if err := runHandshake(&report); err != nil {
+		return err
+	}
 	data, err := json.MarshalIndent(&report, "", "  ")
 	if err != nil {
 		return err
@@ -175,6 +210,141 @@ func runSize() error {
 		return err
 	}
 	fmt.Printf("wrote %s\n", *sizeOut)
+	return nil
+}
+
+// handshake benchmark parameters: fixed history lengths (independent
+// of -scale, so the flatness of the summary columns is measured over a
+// full 16× growth even in the CI smoke), a handful of contributing
+// agents, and a small offline tail — the shape of a real reconnect
+// after fail-over.
+const (
+	handshakeAgents = 8
+	handshakeTail   = 16
+)
+
+var handshakeSizes = []int{2048, 8192, 32768}
+
+// buildHandshakeDoc grows a document by `agents` collaborators taking
+// turns, each contributing one contiguous run of events — the shape
+// every real editing history has, and what makes a full replica's
+// summary one range per agent.
+func buildHandshakeDoc(events, agents int) (*egwalker.Doc, error) {
+	doc := egwalker.NewDoc("agent-00")
+	per := events / agents
+	for a := 0; a < agents; a++ {
+		if a > 0 {
+			var err error
+			doc, err = doc.Fork(fmt.Sprintf("agent-%02d", a))
+			if err != nil {
+				return nil, err
+			}
+		}
+		n := per
+		if a == agents-1 {
+			n = events - per*(agents-1)
+		}
+		for i := 0; i < n; i++ {
+			if err := doc.Insert(doc.Len(), "x"); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return doc, nil
+}
+
+// wireBytes runs send against a PeerConn writing into a buffer and
+// returns the exact bytes it put on the wire, frame headers included.
+func wireBytes(send func(pc *netsync.PeerConn) error) (int, error) {
+	var buf bytes.Buffer
+	if err := send(netsync.NewPeerConn(&buf)); err != nil {
+		return 0, err
+	}
+	return buf.Len(), nil
+}
+
+func runHandshake(report *sizeReport) error {
+	const docID = "bench/handshake"
+	fmt.Printf("\n== handshake: post-failover reconnect, frontier vs summary (%d agents, %d-event offline tail) ==\n",
+		handshakeAgents, handshakeTail)
+	fmt.Printf("%8s %12s %12s %12s %12s %10s %10s\n",
+		"events", "front-hello", "resend", "sum-hello", "sum-resend", "ae-ver", "ae-sum")
+	for _, n := range handshakeSizes {
+		server, err := buildHandshakeDoc(n, handshakeAgents)
+		if err != nil {
+			return fmt.Errorf("handshake %d: %w", n, err)
+		}
+		// The client holds everything the server does plus an offline
+		// tail the server never saw: its frontier is unresolvable there.
+		client, err := server.Fork("client")
+		if err != nil {
+			return fmt.Errorf("handshake %d: %w", n, err)
+		}
+		for i := 0; i < handshakeTail; i++ {
+			if err := client.Insert(client.Len(), "y"); err != nil {
+				return err
+			}
+		}
+
+		hr := handshakeResult{Events: n, Agents: handshakeAgents, OfflineTail: handshakeTail}
+		hr.FrontierHelloBytes, err = wireBytes(func(pc *netsync.PeerConn) error {
+			return pc.SendHello(netsync.Hello{DocID: docID, Resume: true, Version: client.Version(), Compact: true})
+		})
+		if err != nil {
+			return err
+		}
+		// Legacy answer: the client's one frontier head is unknown, the
+		// known subset collapses to nothing, and the server re-sends its
+		// entire history — events the client already holds.
+		hr.LegacyResendBytes, err = wireBytes(func(pc *netsync.PeerConn) error {
+			return pc.SendEventsCompact(server.Events())
+		})
+		if err != nil {
+			return err
+		}
+		sum := client.Summary()
+		hr.SummaryHelloBytes, err = wireBytes(func(pc *netsync.PeerConn) error {
+			return pc.SendHello(netsync.Hello{DocID: docID, Summary: sum, Compact: true})
+		})
+		if err != nil {
+			return err
+		}
+		diff, err := server.EventsSinceSummary(sum)
+		if err != nil {
+			return fmt.Errorf("handshake %d: summary diff: %w", n, err)
+		}
+		if len(diff) != 0 {
+			return fmt.Errorf("handshake %d: summary diff re-sent %d events the client already holds", n, len(diff))
+		}
+		hr.SummaryResendBytes, err = wireBytes(func(pc *netsync.PeerConn) error {
+			return pc.SendEventsCompact(diff)
+		})
+		if err != nil {
+			return err
+		}
+		hr.LegacyTotalBytes = hr.FrontierHelloBytes + hr.LegacyResendBytes
+		hr.SummaryTotalBytes = hr.SummaryHelloBytes + hr.SummaryResendBytes
+
+		// Anti-entropy frames between converged replicas: what one
+		// periodic exchange round costs on a replica link.
+		hr.AntiEntropyVersionFrameBytes, err = wireBytes(func(pc *netsync.PeerConn) error {
+			return pc.SendVersion(server.Version())
+		})
+		if err != nil {
+			return err
+		}
+		hr.AntiEntropySummaryFrameBytes, err = wireBytes(func(pc *netsync.PeerConn) error {
+			return pc.SendSummary(server.Summary())
+		})
+		if err != nil {
+			return err
+		}
+		report.Handshake = append(report.Handshake, hr)
+		fmt.Printf("%8d %12d %12d %12d %12d %10d %10d\n",
+			hr.Events, hr.FrontierHelloBytes, hr.LegacyResendBytes,
+			hr.SummaryHelloBytes, hr.SummaryResendBytes,
+			hr.AntiEntropyVersionFrameBytes, hr.AntiEntropySummaryFrameBytes)
+	}
 	return nil
 }
 

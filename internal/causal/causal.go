@@ -273,6 +273,30 @@ func (g *Graph) EachEntry(fn func(span Span, agent string, seqStart int, parents
 	}
 }
 
+// EachAgentRun calls fn for each maximal run [seqStart, seqEnd) of
+// consecutive sequence numbers the graph holds for each agent, agents
+// in first-seen order and runs ascending. Adjacent storage spans that
+// abut in seq space are coalesced, so the runs are the minimal
+// run-length description of the per-agent event sets — the basis of a
+// version summary. The per-agent index is maintained incrementally by
+// Add, so this walk costs O(spans), never O(events). Iteration stops
+// if fn returns false.
+func (g *Graph) EachAgentRun(fn func(agent string, seqStart, seqEnd int) bool) {
+	for aid, spans := range g.byAgent {
+		for i := 0; i < len(spans); {
+			start, end := spans[i].seqStart, spans[i].seqEnd
+			i++
+			for i < len(spans) && spans[i].seqStart == end {
+				end = spans[i].seqEnd
+				i++
+			}
+			if !fn(g.agents[aid], start, end) {
+				return
+			}
+		}
+	}
+}
+
 // EntrySpanAt returns the maximal run starting at lv such that every event
 // in [lv, end) after the first has its predecessor as sole parent and all
 // belong to one storage entry. Used by replay to batch linear runs.

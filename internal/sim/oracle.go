@@ -37,6 +37,9 @@ func CheckAll(docs []*egwalker.Doc) error {
 	if err := CheckColencRoundTrip(docs[0]); err != nil {
 		return err
 	}
+	if err := CheckSummaryDifferential(docs); err != nil {
+		return err
+	}
 	return CheckForkMerge(docs)
 }
 
@@ -245,6 +248,121 @@ func CheckSaveLoad(d *egwalker.Doc) error {
 			return fmt.Errorf("oracle: save/load %+v changed event count: %d != %d",
 				opts, loaded.NumEvents(), d.NumEvents())
 		}
+	}
+	return nil
+}
+
+// CheckSummaryDifferential validates the run-length version summaries
+// against brute-force event-ID sets. Every replica's Summary() must
+// enumerate exactly the IDs it holds; for a pair of freshly diverged
+// forks, IntersectSummary must equal the set intersection,
+// EventsSinceSummary must yield exactly the set difference (no
+// re-sends, no gaps, no duplicates), and exchanging the two diffs must
+// converge both forks — the reconnect-handshake guarantee, checked
+// against every randomized history the simulator produces.
+func CheckSummaryDifferential(docs []*egwalker.Doc) error {
+	idSet := func(d *egwalker.Doc) map[egwalker.EventID]bool {
+		s := make(map[egwalker.EventID]bool, d.NumEvents())
+		for _, ev := range d.Events() {
+			s[ev.ID] = true
+		}
+		return s
+	}
+	sumSet := func(s egwalker.VersionSummary) map[egwalker.EventID]bool {
+		m := make(map[egwalker.EventID]bool, s.NumEvents())
+		for agent, ranges := range s {
+			for _, r := range ranges {
+				for q := r.Start; q < r.End; q++ {
+					m[egwalker.EventID{Agent: agent, Seq: q}] = true
+				}
+			}
+		}
+		return m
+	}
+	for i, d := range docs {
+		sum := d.Summary()
+		if err := sum.Validate(); err != nil {
+			return fmt.Errorf("oracle: replica %d summary invalid: %w", i, err)
+		}
+		if want := idSet(d); !reflect.DeepEqual(sumSet(sum), want) {
+			return fmt.Errorf("oracle: replica %d summary covers %d events, holds %d — summary set diverged from event set",
+				i, sum.NumEvents(), len(want))
+		}
+	}
+	a, err := docs[0].Fork("oracle-sum-a")
+	if err != nil {
+		return fmt.Errorf("oracle: fork a: %w", err)
+	}
+	b, err := docs[0].Fork("oracle-sum-b")
+	if err != nil {
+		return fmt.Errorf("oracle: fork b: %w", err)
+	}
+	if err := a.Insert(0, "sum-a!"); err != nil {
+		return err
+	}
+	if err := b.Insert(b.Len(), "sum-b!"); err != nil {
+		return err
+	}
+	setA, setB := idSet(a), idSet(b)
+	inter := egwalker.IntersectSummary(a.Summary(), b.Summary())
+	if err := inter.Validate(); err != nil {
+		return fmt.Errorf("oracle: intersection invalid: %w", err)
+	}
+	bruteInter := make(map[egwalker.EventID]bool, len(setA))
+	for id := range setA {
+		if setB[id] {
+			bruteInter[id] = true
+		}
+	}
+	if !reflect.DeepEqual(sumSet(inter), bruteInter) {
+		return fmt.Errorf("oracle: IntersectSummary covers %d events, brute-force intersection has %d",
+			inter.NumEvents(), len(bruteInter))
+	}
+	diff := func(from *egwalker.Doc, have, theirs map[egwalker.EventID]bool, sum egwalker.VersionSummary) ([]egwalker.Event, error) {
+		events, err := from.EventsSinceSummary(sum)
+		if err != nil {
+			return nil, fmt.Errorf("oracle: EventsSinceSummary: %w", err)
+		}
+		seen := make(map[egwalker.EventID]bool, len(events))
+		for _, ev := range events {
+			if seen[ev.ID] {
+				return nil, fmt.Errorf("oracle: summary diff duplicated event %v", ev.ID)
+			}
+			seen[ev.ID] = true
+			if !have[ev.ID] {
+				return nil, fmt.Errorf("oracle: summary diff invented event %v", ev.ID)
+			}
+			if theirs[ev.ID] {
+				return nil, fmt.Errorf("oracle: summary diff re-sent event %v the peer already holds", ev.ID)
+			}
+		}
+		want := 0
+		for id := range have {
+			if !theirs[id] {
+				want++
+			}
+		}
+		if len(events) != want {
+			return nil, fmt.Errorf("oracle: summary diff has %d events, set difference has %d", len(events), want)
+		}
+		return events, nil
+	}
+	aNotB, err := diff(a, setA, setB, b.Summary())
+	if err != nil {
+		return err
+	}
+	bNotA, err := diff(b, setB, setA, a.Summary())
+	if err != nil {
+		return err
+	}
+	if _, err := a.Apply(bNotA); err != nil {
+		return fmt.Errorf("oracle: applying summary diff to a: %w", err)
+	}
+	if _, err := b.Apply(aNotB); err != nil {
+		return fmt.Errorf("oracle: applying summary diff to b: %w", err)
+	}
+	if a.Fingerprint() != b.Fingerprint() || a.Text() != b.Text() {
+		return divergence(1, b.Text(), a.Text())
 	}
 	return nil
 }

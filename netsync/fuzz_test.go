@@ -50,10 +50,16 @@ func FuzzReadHello(f *testing.F) {
 		return buf.Bytes()
 	}
 	ver := egwalker.Version{{Agent: "alice", Seq: 41}, {Agent: "bob", Seq: 3}}
+	sum := egwalker.VersionSummary{
+		"alice": {{Start: 0, End: 42}},
+		"bob":   {{Start: 0, End: 2}, {Start: 3, End: 4}},
+	}
 	f.Add(seed(Hello{DocID: "plain"}))
 	f.Add(seed(Hello{DocID: "notes/alpha", Resume: true, Version: ver}))
 	f.Add(seed(Hello{DocID: "v2", Compact: true, Redirect: true, Resume: true, Version: ver}))
 	f.Add(seed(Hello{DocID: "replica", Replica: true, Resume: true}))
+	f.Add(seed(Hello{DocID: "sum", Compact: true, Summary: sum}))
+	f.Add(seed(Hello{DocID: "sum/replica", Replica: true, Summary: sum}))
 	// Truncated v2 hello.
 	full := seed(Hello{DocID: "cut", Compact: true})
 	f.Add(full[:len(full)-2])
@@ -92,7 +98,8 @@ func FuzzReadHello(f *testing.F) {
 			t.Fatalf("re-read forwarded hello: %v", err)
 		}
 		if h2.DocID != h.DocID || h2.Resume != h.Resume || h2.Compact != h.Compact ||
-			h2.Redirect != h.Redirect || h2.Replica != h.Replica || len(h2.Version) != len(h.Version) {
+			h2.Redirect != h.Redirect || h2.Replica != h.Replica || len(h2.Version) != len(h.Version) ||
+			(h2.Summary == nil) != (h.Summary == nil) || len(h2.Summary) != len(h.Summary) {
 			t.Fatalf("forward round-trip drift: %+v vs %+v", h, h2)
 		}
 	})

@@ -33,6 +33,16 @@ type Hello struct {
 	// live fan-out — replica links receive data only through the
 	// anti-entropy exchange and the origin node's pushes.
 	Replica bool
+	// Summary, when non-nil, is the peer's run-length version summary:
+	// its complete event set as per-agent seq ranges. Unlike a frontier
+	// version, a summary intersects exactly with the host's own, so
+	// the host answers with the true diff even when it is missing some
+	// of the peer's events (a fail-over to a slightly-behind replica)
+	// — no known-subset fallback, no re-sent history. Non-nil but
+	// empty means a cold peer asking for everything. Negotiated like
+	// the other v2 capabilities: only v2 hellos carry it, and a host
+	// answers with summary frames only to peers that sent one.
+	Summary egwalker.VersionSummary
 
 	// typ/payload preserve the exact frame received, so a proxy can
 	// forward it verbatim (Forward) without re-encoding drift.
@@ -83,14 +93,20 @@ func parseHello(typ byte, payload []byte) (Hello, error) {
 	h.Redirect = flags&helloRedirect != 0
 	h.Replica = flags&helloReplica != 0
 	if typ == msgDocHello2 {
-		if flags&helloResume == 0 {
-			return h, nil
+		rest := payload[br.off:]
+		if flags&helloResume != 0 {
+			h.Version, rest, err = unmarshalVersionRest(rest)
+			if err != nil {
+				return Hello{}, fmt.Errorf("netsync: bad resume version in doc hello: %w", err)
+			}
+			h.Resume = true
 		}
-		h.Version, _, err = unmarshalVersionRest(payload[br.off:])
-		if err != nil {
-			return Hello{}, fmt.Errorf("netsync: bad resume version in doc hello: %w", err)
+		if flags&helloSummary != 0 {
+			h.Summary, _, err = unmarshalSummaryRest(rest)
+			if err != nil {
+				return Hello{}, fmt.Errorf("netsync: bad version summary in doc hello: %w", err)
+			}
 		}
-		h.Resume = true
 		return h, nil
 	}
 	if br.off == len(payload) {
@@ -111,7 +127,7 @@ func WriteHello(w io.Writer, h Hello) error {
 	if len(h.DocID) == 0 || len(h.DocID) > maxDocID {
 		return fmt.Errorf("netsync: bad doc ID length %d", len(h.DocID))
 	}
-	if !h.Compact && !h.Redirect && !h.Replica {
+	if !h.Compact && !h.Redirect && !h.Replica && h.Summary == nil {
 		if h.Resume {
 			return WriteDocHelloResume(w, h.DocID, h.Version)
 		}
@@ -130,12 +146,18 @@ func WriteHello(w io.Writer, h Hello) error {
 	if h.Replica {
 		flags |= helloReplica
 	}
+	if h.Summary != nil {
+		flags |= helloSummary
+	}
 	var payload []byte
 	payload = putUvarint(payload, flags)
 	payload = putUvarint(payload, uint64(len(h.DocID)))
 	payload = append(payload, h.DocID...)
 	if h.Resume {
 		payload = append(payload, marshalVersion(h.Version)...)
+	}
+	if h.Summary != nil {
+		payload = append(payload, MarshalVersionSummary(h.Summary)...)
 	}
 	return writeFrame(w, msgDocHello2, payload)
 }
@@ -224,6 +246,7 @@ const (
 	FrameDone
 	FrameVersion
 	FrameRedirect
+	FrameSummary
 )
 
 // Frame is one received protocol frame in decoded form. Replica links
@@ -233,10 +256,11 @@ const (
 // protocol, not errors.
 type Frame struct {
 	Kind    int
-	Events  []egwalker.Event // FrameEvents
-	Raw     []byte           // FrameEvents: the undecoded batch, for re-forwarding
-	Version egwalker.Version // FrameVersion
-	Addrs   []string         // FrameRedirect
+	Events  []egwalker.Event        // FrameEvents
+	Raw     []byte                  // FrameEvents: the undecoded batch, for re-forwarding
+	Version egwalker.Version        // FrameVersion
+	Addrs   []string                // FrameRedirect
+	Summary egwalker.VersionSummary // FrameSummary
 }
 
 // RecvFrame blocks for the next frame of any kind. Like Recv it must be
@@ -267,6 +291,12 @@ func (p *PeerConn) RecvFrame() (Frame, error) {
 			return Frame{}, err
 		}
 		return Frame{Kind: FrameRedirect, Addrs: addrs}, nil
+	case msgSummary:
+		s, err := UnmarshalVersionSummary(payload)
+		if err != nil {
+			return Frame{}, err
+		}
+		return Frame{Kind: FrameSummary, Summary: s}, nil
 	default:
 		return Frame{}, fmt.Errorf("netsync: unexpected frame type %#x", typ)
 	}
@@ -305,6 +335,21 @@ func (p *PeerConn) SendVersion(v egwalker.Version) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if err := writeFrame(p.bw, msgHello, marshalVersion(v)); err != nil {
+		return err
+	}
+	return p.bw.Flush()
+}
+
+// SendSummary sends a version-summary frame — the anti-entropy
+// exchange upgraded from frontiers to summaries, so the answering
+// side computes an exact diff even when it is behind the sender. Send
+// only to peers that negotiated the summary capability (a summary
+// hello, or an earlier summary frame on the same link); peers
+// predating it reject the unknown frame type.
+func (p *PeerConn) SendSummary(s egwalker.VersionSummary) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := writeFrame(p.bw, msgSummary, MarshalVersionSummary(s)); err != nil {
 		return err
 	}
 	return p.bw.Flush()

@@ -29,12 +29,15 @@ func Sync(doc *egwalker.Doc, conn io.ReadWriter) error {
 	// transports (both sides write their HELLO before either reads).
 	// The two send stages are sequenced through channels, so the writer
 	// is never used concurrently. The capability byte appended after
-	// the version advertises the compact columnar encoding; peers
-	// predating it ignore trailing hello bytes, and absent the byte we
-	// send legacy frames — so mixed-generation pairs still converge.
+	// the version advertises the compact columnar encoding and the
+	// summary handshake, and the summary itself follows the byte; peers
+	// predating either ignore trailing hello bytes, and absent the bits
+	// we use the legacy paths — so mixed-generation pairs still
+	// converge.
 	helloErr := make(chan error, 1)
 	go func() {
-		hello := append(marshalVersion(doc.Version()), capCompact)
+		hello := append(marshalVersion(doc.Version()), capCompact|capSummary)
+		hello = append(hello, MarshalVersionSummary(doc.Summary())...)
 		err := writeFrame(bw, msgHello, hello)
 		if err == nil {
 			err = bw.Flush()
@@ -57,12 +60,24 @@ func Sync(doc *egwalker.Doc, conn io.ReadWriter) error {
 		return err
 	}
 	peerCompact := len(rest) > 0 && rest[0]&capCompact != 0
+	peerSummary := len(rest) > 0 && rest[0]&capSummary != 0
 
-	// Send what they are missing. Their version may reference events we
-	// have never seen; those can't anchor a graph diff, so fall back to
-	// the subset of their version we do know (extra events we send are
+	// Send what they are missing. A summary-capable peer told us its
+	// exact event set, so the diff is exact even when it holds events
+	// we have never seen. A legacy frontier may reference events we
+	// don't know; those can't anchor a graph diff, so fall back to the
+	// subset of their version we do know (extra events we send are
 	// deduplicated on their side).
-	missing, err := doc.EventsSince(doc.KnownSubset(theirVersion))
+	var missing []egwalker.Event
+	if peerSummary {
+		theirSummary, _, serr := unmarshalSummaryRest(rest[1:])
+		if serr != nil {
+			return fmt.Errorf("netsync: bad version summary in hello: %w", serr)
+		}
+		missing, err = doc.EventsSinceSummary(theirSummary)
+	} else {
+		missing, err = doc.EventsSince(doc.KnownSubset(theirVersion))
+	}
 	if err != nil {
 		return err
 	}
@@ -387,6 +402,21 @@ func NewResumingClientForDoc(doc *egwalker.Doc, conn io.ReadWriter, docID string
 func NewCompactResumingClientForDoc(doc *egwalker.Doc, conn io.ReadWriter, docID string) (*Client, error) {
 	c := &Client{doc: doc, pc: NewPeerConn(conn)}
 	if err := c.pc.SendDocHelloV2(docID, doc.Version(), true, true); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// NewSummaryResumingClientForDoc is the reconnect constructor that
+// survives fail-over: the v2 hello carries the doc's run-length
+// version summary (plus the compact capability), so the host answers
+// with the exact diff even when it is missing some of this replica's
+// events — where a frontier-resume hello against such a host degrades
+// to a full-history resend. Hosts predating the summary flag reject
+// the hello; use NewCompactResumingClientForDoc against them.
+func NewSummaryResumingClientForDoc(doc *egwalker.Doc, conn io.ReadWriter, docID string) (*Client, error) {
+	c := &Client{doc: doc, pc: NewPeerConn(conn)}
+	if err := c.pc.SendHello(Hello{DocID: docID, Summary: doc.Summary(), Compact: true}); err != nil {
 		return nil, err
 	}
 	return c, nil

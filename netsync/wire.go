@@ -40,6 +40,7 @@ const (
 	msgDocHello  = 0x04 // payload: uvarint-length-prefixed document ID, optional resume version
 	msgDocHello2 = 0x05 // payload: uvarint flags, doc ID, optional resume version
 	msgRedirect  = 0x06 // payload: uvarint count, then length-prefixed node addresses
+	msgSummary   = 0x07 // payload: version summary (anti-entropy exchange)
 )
 
 // Flag bits in a v2 doc hello (msgDocHello2) and in the capability
@@ -57,9 +58,21 @@ const (
 	// helloReplica marks a server-to-server replication link (see
 	// Hello.Replica).
 	helloReplica = 1 << 3
+	// helloSummary: a run-length version summary follows (after the
+	// resume version, when both are present). A summary describes the
+	// peer's complete event set, so the host can answer with an exact
+	// diff instead of the lossy known-subset a bare frontier forces
+	// when the host is missing one of its heads (see Hello.Summary).
+	helloSummary = 1 << 4
 
-	knownHelloFlags = capCompact | helloResume | helloRedirect | helloReplica
+	knownHelloFlags = capCompact | helloResume | helloRedirect | helloReplica | helloSummary
 )
+
+// capSummary is the summary bit in the capability byte of a symmetric
+// Sync hello: the sender understands summaries, and one follows the
+// capability byte. Shares its value with helloSummary deliberately —
+// it is the same negotiated capability on both handshakes.
+const capSummary = helloSummary
 
 // maxFrame bounds a single frame's payload. The cap is checked before
 // any allocation, so a corrupt or hostile peer advertising a huge
@@ -69,6 +82,19 @@ const maxFrame = 16 << 20
 
 // maxDocID bounds the document ID in a doc-hello frame.
 const maxDocID = 4096
+
+// maxAgentName bounds an agent name in a decoded version or summary,
+// and maxSeq bounds a decoded sequence number. Both arrive in the
+// unauthenticated first frame of a connection, and both were once
+// cast to int unchecked — a 2^63 seq uvarint decoded to a *negative*
+// EventID.Seq, poisoning every downstream comparison and map keyed on
+// it. maxSeq is far above any real history (2^48 single-character
+// events is ~280 TB of text) while keeping all arithmetic on the
+// value safely inside int64.
+const (
+	maxAgentName = 4096
+	maxSeq       = 1 << 48
+)
 
 // writeFrame writes a length-prefixed, typed frame.
 func writeFrame(w io.Writer, typ byte, payload []byte) error {
@@ -381,6 +407,9 @@ func unmarshalVersionRest(data []byte) (egwalker.Version, []byte, error) {
 		if err != nil {
 			return nil, nil, err
 		}
+		if ln > maxAgentName {
+			return nil, nil, fmt.Errorf("netsync: agent name length %d over cap %d", ln, maxAgentName)
+		}
 		b, err := r.bytes(int(ln))
 		if err != nil {
 			return nil, nil, err
@@ -388,6 +417,9 @@ func unmarshalVersionRest(data []byte) (egwalker.Version, []byte, error) {
 		seq, err := r.uvarint()
 		if err != nil {
 			return nil, nil, err
+		}
+		if seq > maxSeq {
+			return nil, nil, fmt.Errorf("netsync: seq %d over cap %d", seq, uint64(maxSeq))
 		}
 		v = append(v, egwalker.EventID{Agent: string(b), Seq: int(seq)})
 	}

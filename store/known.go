@@ -96,6 +96,35 @@ func (s *idSet) addEvents(events []egwalker.Event) {
 	}
 }
 
+// summary exports the set as a version summary — the run structures
+// are identical, so this is a per-agent copy, O(runs).
+func (s *idSet) summary() egwalker.VersionSummary {
+	sum := make(egwalker.VersionSummary, len(s.runs))
+	for agent, runs := range s.runs {
+		ranges := make([]egwalker.SeqRange, len(runs))
+		for i, r := range runs {
+			ranges[i] = egwalker.SeqRange{Start: r.start, End: r.end}
+		}
+		sum[agent] = ranges
+	}
+	return sum
+}
+
+// coveredBy reports whether every ID in the set is covered by the
+// summary — when true, a diff against the summary is empty.
+func (s *idSet) coveredBy(sum egwalker.VersionSummary) bool {
+	for agent, runs := range s.runs {
+		ranges := sum[agent]
+		for _, run := range runs {
+			i := sort.Search(len(ranges), func(i int) bool { return ranges[i].End > run.start })
+			if i == len(ranges) || ranges[i].Start > run.start || ranges[i].End < run.end {
+				return false
+			}
+		}
+	}
+	return true
+}
+
 // numEvents counts the IDs in the set (the journal's event total).
 func (s *idSet) numEvents() int {
 	n := 0

@@ -55,12 +55,17 @@ type Metrics struct {
 	// streamed as verbatim encoded blocks (no document built);
 	// LazyMaterializations counts documents that had to be built on
 	// demand (a Text query, a legacy catch-up, a resume diff, a
-	// compaction); ResumeFallbacks counts resume hellos that degraded
-	// to a full catch-up because the incremental diff failed.
+	// compaction); ResumeFallbacks counts resume handshakes that lost
+	// information — a summary hello that degraded to a full catch-up
+	// (diff failed), or a legacy frontier hello whose version named
+	// events this server lacks, forcing a known-subset resend of
+	// history the client already had. SummaryResumes counts resume
+	// hellos answered with an exact summary diff.
 	BlockServes          metrics.Counter
 	BlockServeEvents     metrics.Counter
 	LazyMaterializations metrics.Counter
 	ResumeFallbacks      metrics.Counter
+	SummaryResumes       metrics.Counter
 
 	// Cluster replication: batches/events ingested over server-to-server
 	// replica links, anti-entropy version exchanges answered, and events
@@ -108,6 +113,7 @@ type MetricsSnapshot struct {
 	BlockServeEvents     int64 `json:"block_serve_events"`
 	LazyMaterializations int64 `json:"lazy_materializations"`
 	ResumeFallbacks      int64 `json:"resume_fallbacks"`
+	SummaryResumes       int64 `json:"summary_resumes"`
 
 	ReplicaBatchesIn int64 `json:"replica_batches_in"`
 	ReplicaEventsIn  int64 `json:"replica_events_in"`
@@ -150,6 +156,7 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		BlockServeEvents:     m.BlockServeEvents.Load(),
 		LazyMaterializations: m.LazyMaterializations.Load(),
 		ResumeFallbacks:      m.ResumeFallbacks.Load(),
+		SummaryResumes:       m.SummaryResumes.Load(),
 
 		ReplicaBatchesIn: m.ReplicaBatchesIn.Load(),
 		ReplicaEventsIn:  m.ReplicaEventsIn.Load(),

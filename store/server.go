@@ -534,22 +534,45 @@ type subPlan struct {
 
 // subscribe registers a peer and plans its catch-up: nothing ingested
 // after the cut escapes the outbox, so the peer sees every event
-// exactly once. A resume hello presenting a non-empty version gets the
-// incremental diff (materializing if needed); a failed diff is
-// surfaced (ResumeFallbacks + log) and degrades to a cold join. Cold
-// joins by compact peers stream the document's encoded blocks without
-// materializing it; everything else gets the decoded full history.
-func (e *entry) subscribe(conn io.ReadWriter, since egwalker.Version, resume, compact bool) (*subPlan, error) {
+// exactly once. A summary hello gets the exact diff — correct even
+// when this server lacks some of the peer's events, so it never
+// resends history. A legacy resume hello presenting a non-empty
+// version gets the known-subset diff (materializing if needed); when
+// the version named events this server lacks, the answer re-sends
+// history the client already had, which is counted as a resume
+// fallback so operators see legacy clients paying the reconnect tax.
+// A failed diff degrades to a cold join. Cold joins by compact peers
+// stream the document's encoded blocks without materializing it;
+// everything else gets the decoded full history.
+func (e *entry) subscribe(conn io.ReadWriter, h netsync.Hello) (*subPlan, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	id := e.nextPeer
 	e.nextPeer++
 	outbox := make(chan []byte, 256)
-	e.peers[id] = peerSub{ch: outbox, conn: conn, compact: compact}
+	e.peers[id] = peerSub{ch: outbox, conn: conn, compact: h.Compact}
 	e.m.Subscribers.Add(1)
-	if resume && len(since) > 0 {
-		catchup, err := e.ds.EventsSinceKnown(since)
+	if len(h.Summary) > 0 {
+		catchup, err := e.ds.EventsSinceSummary(h.Summary)
 		if err == nil {
+			e.m.SummaryResumes.Inc()
+			e.m.Resumes.Inc()
+			e.m.ResumeEvents.Add(int64(len(catchup)))
+			return &subPlan{id: id, outbox: outbox, events: catchup}, nil
+		}
+		e.m.ResumeFallbacks.Inc()
+		e.logf("store: summary resume for %q degraded to full catch-up: %v", e.id, err)
+	} else if h.Resume && len(h.Version) > 0 {
+		catchup, dropped, err := e.ds.EventsSinceKnownLossy(h.Version)
+		if err == nil {
+			if dropped > 0 {
+				// The frontier named events we lack: the diff anchored
+				// below them and re-sends history the client already
+				// has. Correct but wasteful — the lost-information case
+				// the summary hello exists to eliminate.
+				e.m.ResumeFallbacks.Inc()
+				e.logf("store: legacy resume for %q dropped %d unknown heads, re-sending covered history", e.id, dropped)
+			}
 			e.m.Resumes.Inc()
 			e.m.ResumeEvents.Add(int64(len(catchup)))
 			return &subPlan{id: id, outbox: outbox, events: catchup}, nil
@@ -561,7 +584,7 @@ func (e *entry) subscribe(conn io.ReadWriter, since egwalker.Version, resume, co
 		e.m.ResumeFallbacks.Inc()
 		e.logf("store: resume for %q degraded to full catch-up: %v", e.id, err)
 	}
-	if compact {
+	if h.Compact {
 		if cut, ok := e.ds.CutForServe(); ok {
 			e.m.BlockServes.Inc()
 			e.m.BlockServeEvents.Add(int64(cut.NumEvents()))
@@ -641,7 +664,7 @@ func (s *Server) ServeHello(conn io.ReadWriter, h netsync.Hello) error {
 	}
 	defer s.release(e)
 
-	plan, err := e.subscribe(conn, h.Version, h.Resume, h.Compact)
+	plan, err := e.subscribe(conn, h)
 	if err != nil {
 		return err
 	}
@@ -730,8 +753,9 @@ func (e *entry) streamCatchup(pc *netsync.PeerConn, cut *BlockCut, compact bool)
 }
 
 // serveReplica handles a server-to-server replication link: the peer
-// node presented its version; we answer with our own version followed
-// by the events the peer is missing (so the link establishes a full
+// node presented its version (or, on summary-capable links, its
+// run-length version summary); we answer in kind, followed by the
+// events the peer is missing (so the link establishes a full
 // bidirectional anti-entropy round — the peer pushes back what we are
 // missing, netsync.Sync's exchange embedded in the relay protocol).
 // Thereafter the peer pushes batches its clients upload (journaled and
@@ -746,7 +770,7 @@ func (s *Server) serveReplica(conn io.ReadWriter, h netsync.Hello) error {
 		return err
 	}
 	defer s.release(e)
-	if err := e.replicaExchange(pc, h.Version, h.Compact); err != nil {
+	if err := e.replicaExchange(pc, h.Version, h.Summary, h.Compact); err != nil {
 		return err
 	}
 	for {
@@ -765,7 +789,11 @@ func (s *Server) serveReplica(conn io.ReadWriter, h netsync.Hello) error {
 			e.m.ReplicaBatchesIn.Inc()
 			e.m.ReplicaEventsIn.Add(int64(len(f.Events)))
 		case netsync.FrameVersion:
-			if err := e.replicaExchange(pc, f.Version, h.Compact); err != nil {
+			if err := e.replicaExchange(pc, f.Version, nil, h.Compact); err != nil {
+				return err
+			}
+		case netsync.FrameSummary:
+			if err := e.replicaExchange(pc, nil, f.Summary, h.Compact); err != nil {
 				return err
 			}
 		case netsync.FrameDone:
@@ -777,18 +805,38 @@ func (s *Server) serveReplica(conn io.ReadWriter, h netsync.Hello) error {
 }
 
 // replicaExchange answers one anti-entropy round on a replica link:
-// send our version, then the events the peer's version is missing. The
-// version is captured before the catch-up, so it can only understate
-// what the catch-up carries — the peer's push-back is then a superset
-// of what we lack, and ingest deduplicates.
-func (e *entry) replicaExchange(pc *netsync.PeerConn, theirs egwalker.Version, compact bool) error {
-	ours := e.ds.Version()
-	catchup, err := e.ds.EventsSinceKnown(theirs)
-	if err != nil {
-		return err
-	}
-	if err := pc.SendVersion(ours); err != nil {
-		return err
+// send our state (a summary when the peer sent one, its frontier
+// version otherwise), then the events the peer is missing. The
+// summary path is exact in both directions — the peer's event set is
+// fully described, so nothing it holds is re-sent, and it can compute
+// an exact push-back from our summary; when both sides are converged
+// a journal-only document answers without materializing at all. On
+// the legacy path our state is captured before the catch-up, so it
+// can only understate what the catch-up carries — the peer's
+// push-back is then a superset of what we lack, and ingest
+// deduplicates.
+func (e *entry) replicaExchange(pc *netsync.PeerConn, theirs egwalker.Version, theirSummary egwalker.VersionSummary, compact bool) error {
+	var catchup []egwalker.Event
+	if theirSummary != nil {
+		ours, err := e.ds.Summary()
+		if err != nil {
+			return err
+		}
+		if catchup, err = e.ds.EventsSinceSummary(theirSummary); err != nil {
+			return err
+		}
+		if err := pc.SendSummary(ours); err != nil {
+			return err
+		}
+	} else {
+		ours := e.ds.Version()
+		var err error
+		if catchup, err = e.ds.EventsSinceKnown(theirs); err != nil {
+			return err
+		}
+		if err := pc.SendVersion(ours); err != nil {
+			return err
+		}
 	}
 	e.m.ReplicaExchanges.Inc()
 	e.m.ReplicaEventsOut.Add(int64(len(catchup)))

@@ -750,17 +750,70 @@ func (s *DocStore) EventsSince(v egwalker.Version) ([]egwalker.Event, error) {
 }
 
 // EventsSinceKnown is EventsSince with unknown IDs in v ignored: the
-// incremental-resume path. A reconnecting client's version may
+// legacy incremental-resume path. A reconnecting client's version may
 // reference events this server never received (edits synced between
 // peers while offline); narrowing to the known subset still yields a
 // superset of what the client is missing, and its Apply deduplicates.
+// The superset can be arbitrarily large — dropping a head anchors the
+// diff below everything that head dominates — which is exactly what
+// the summary handshake (EventsSinceSummary) eliminates.
 func (s *DocStore) EventsSinceKnown(v egwalker.Version) ([]egwalker.Event, error) {
+	events, _, err := s.EventsSinceKnownLossy(v)
+	return events, err
+}
+
+// EventsSinceKnownLossy is EventsSinceKnown, additionally reporting
+// how many of v's IDs were unknown here and silently dropped. dropped
+// > 0 means the answer re-sends history the client already has — the
+// signal the server's resume_fallbacks metric counts for legacy
+// clients.
+func (s *DocStore) EventsSinceKnownLossy(v egwalker.Version) (events []egwalker.Event, dropped int, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if err := s.materializeLocked(); err != nil {
+		return nil, 0, err
+	}
+	known := s.doc.KnownSubset(v)
+	events, err = s.doc.EventsSince(known)
+	return events, len(v) - len(known), err
+}
+
+// Summary returns the run-length version summary of everything the
+// store holds. Journal-only stores answer from the known-ID index —
+// which already is the summary — without materializing; this is what
+// keeps the cluster's steady-state anti-entropy exchange free of
+// materialization.
+func (s *DocStore) Summary() (egwalker.VersionSummary, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.doc == nil && s.known != nil {
+		return s.known.summary(), nil
+	}
+	if err := s.materializeLocked(); err != nil {
 		return nil, err
 	}
-	return s.doc.EventsSince(s.doc.KnownSubset(v))
+	return s.doc.Summary(), nil
+}
+
+// EventsSinceSummary returns exactly the events the peer summary does
+// not cover (see Doc.EventsSinceSummary) — the exact-diff serving
+// side of the summary handshake. When a journal-only store's entire
+// event set is covered by the summary the answer is empty and the
+// document is never materialized: converged replicas heal-check each
+// other for free.
+func (s *DocStore) EventsSinceSummary(sum egwalker.VersionSummary) ([]egwalker.Event, error) {
+	if err := sum.Validate(); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.doc == nil && s.known != nil && s.known.coveredBy(sum) {
+		return nil, nil
+	}
+	if err := s.materializeLocked(); err != nil {
+		return nil, err
+	}
+	return s.doc.EventsSinceSummary(sum)
 }
 
 // UnsnapshottedEvents reports how many events have been journaled

@@ -1,0 +1,258 @@
+package store
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"egwalker"
+	"egwalker/netsync"
+)
+
+// TestSummaryResumeExactDiff is the summary-handshake acceptance test:
+// a client reconnects to a server that is missing one of the client's
+// frontier events (the client edited offline), while the server holds
+// events the client lacks. The summary hello must yield exactly the
+// server-only events — zero re-sent history, no resume fallback — and
+// the client's offline push must converge both sides.
+func TestSummaryResumeExactDiff(t *testing.T) {
+	srv := newTestServer(t, ServerOptions{FlushInterval: -1})
+	const docID = "summary-resume"
+
+	// Shared history: 100 events both sides hold.
+	seed := egwalker.NewDoc("seed")
+	for i := 0; i < 100; i++ {
+		if err := seed.Insert(i, "a"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := srv.Append(docID, seed.Events()); err != nil {
+		t.Fatal(err)
+	}
+
+	// The client holds the shared history plus offline edits the server
+	// never saw: its frontier references events unknown to the server,
+	// the case where the legacy known-subset diff collapses.
+	doc := egwalker.NewDoc("wanderer")
+	if _, err := doc.Apply(seed.Events()); err != nil {
+		t.Fatal(err)
+	}
+	if err := doc.Insert(0, "offline! "); err != nil {
+		t.Fatal(err)
+	}
+	missing, err := doc.EventsSince(seed.Version())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Meanwhile the server advanced too: 20 events the client lacks.
+	more := egwalker.NewDoc("seed")
+	if _, err := more.Apply(seed.Events()); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if err := more.Insert(more.Len(), "b"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	serverOnly, err := more.EventsSince(seed.Version())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Append(docID, serverOnly); err != nil {
+		t.Fatal(err)
+	}
+
+	cs, ss := net.Pipe()
+	defer cs.Close()
+	serveOne(t, srv, ss)
+	pc := netsync.NewPeerConn(cs)
+	err = pc.SendHello(netsync.Hello{
+		DocID:   docID,
+		Summary: doc.Summary(),
+		Compact: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The catch-up must be exactly the 20 server-only events: none of
+	// the 100 shared ones, even though the server cannot resolve the
+	// client's frontier.
+	got := recvInto(t, pc, doc, 129)
+	if got != 20 {
+		t.Fatalf("summary resume received %d events, want exactly the 20 server-only ones (legacy fallback would re-send all 120)", got)
+	}
+
+	// Push the offline edits; both sides must converge.
+	go func() {
+		for {
+			if _, _, done, err := pc.Recv(); err != nil || done {
+				return
+			}
+		}
+	}()
+	if err := pc.SendEventsCompact(missing); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		text, err := srv.Text(docID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if text == doc.Text() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never merged offline edits: %q vs %q", text, doc.Text())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	m := srv.MetricsSnapshot()
+	if m.SummaryResumes != 1 || m.Resumes != 1 {
+		t.Errorf("metrics: summary_resumes=%d resumes=%d, want 1/1", m.SummaryResumes, m.Resumes)
+	}
+	if m.ResumeEvents != 20 {
+		t.Errorf("metrics: resume_events=%d, want 20", m.ResumeEvents)
+	}
+	if m.ResumeFallbacks != 0 {
+		t.Errorf("metrics: resume_fallbacks=%d, want 0 — a summary hello must never fall back for an unknown frontier", m.ResumeFallbacks)
+	}
+}
+
+// TestSummaryResumeZeroWhenServerBehind: the pure missing-frontier
+// case — the server holds a strict subset of the client's history, so
+// the exact diff is empty. The legacy path re-sends everything here;
+// the summary path sends nothing.
+func TestSummaryResumeZeroWhenServerBehind(t *testing.T) {
+	srv := newTestServer(t, ServerOptions{FlushInterval: -1})
+	const docID = "summary-behind"
+
+	seed := egwalker.NewDoc("seed")
+	for i := 0; i < 50; i++ {
+		if err := seed.Insert(i, "x"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := srv.Append(docID, seed.Events()); err != nil {
+		t.Fatal(err)
+	}
+
+	doc := egwalker.NewDoc("ahead")
+	if _, err := doc.Apply(seed.Events()); err != nil {
+		t.Fatal(err)
+	}
+	if err := doc.Insert(doc.Len(), " and more"); err != nil {
+		t.Fatal(err)
+	}
+
+	cs, ss := net.Pipe()
+	defer cs.Close()
+	serveOne(t, srv, ss)
+	pc := netsync.NewPeerConn(cs)
+	err := pc.SendHello(netsync.Hello{
+		DocID:   docID,
+		Summary: doc.Summary(),
+		Compact: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The contract sends the first events frame even when empty.
+	events, _, done, err := pc.Recv()
+	if err != nil || done {
+		t.Fatalf("recv catch-up: done=%v err=%v", done, err)
+	}
+	if len(events) != 0 {
+		t.Fatalf("summary resume re-sent %d events the client already holds, want 0", len(events))
+	}
+
+	m := srv.MetricsSnapshot()
+	if m.SummaryResumes != 1 || m.ResumeEvents != 0 || m.ResumeFallbacks != 0 {
+		t.Errorf("metrics: summary_resumes=%d resume_events=%d resume_fallbacks=%d, want 1/0/0",
+			m.SummaryResumes, m.ResumeEvents, m.ResumeFallbacks)
+	}
+}
+
+// TestLegacyResumeUnknownFrontierCountsFallback pins the legacy
+// behaviour the summary hello exists to fix: a frontier hello naming
+// events the server lacks still converges, but only by re-sending
+// covered history — and the server counts it as a resume fallback so
+// operators can see legacy clients paying that tax.
+func TestLegacyResumeUnknownFrontierCountsFallback(t *testing.T) {
+	srv := newTestServer(t, ServerOptions{FlushInterval: -1})
+	const docID = "legacy-fallback"
+
+	seed := egwalker.NewDoc("seed")
+	for i := 0; i < 40; i++ {
+		if err := seed.Insert(i, "y"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := srv.Append(docID, seed.Events()); err != nil {
+		t.Fatal(err)
+	}
+
+	doc := egwalker.NewDoc("wanderer")
+	if _, err := doc.Apply(seed.Events()); err != nil {
+		t.Fatal(err)
+	}
+	if err := doc.Insert(0, "hi "); err != nil {
+		t.Fatal(err)
+	}
+	missing, err := doc.EventsSince(seed.Version())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cs, ss := net.Pipe()
+	defer cs.Close()
+	serveOne(t, srv, ss)
+	pc := netsync.NewPeerConn(cs)
+	if err := pc.SendDocHelloResume(docID, doc.Version()); err != nil {
+		t.Fatal(err)
+	}
+	// The server drops the unknown head, anchors on the empty known
+	// subset, and re-sends the 40 events the client already has.
+	received := 0
+	for received < 40 {
+		events, _, done, err := pc.Recv()
+		if err != nil || done {
+			t.Fatalf("recv: done=%v err=%v after %d events", done, err, received)
+		}
+		received += len(events)
+	}
+	go func() {
+		for {
+			if _, _, done, err := pc.Recv(); err != nil || done {
+				return
+			}
+		}
+	}()
+	if err := pc.SendEventsCompact(missing); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		text, err := srv.Text(docID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if text == "hi "+seed.Text() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never merged offline edits: %q", text)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	m := srv.MetricsSnapshot()
+	if m.ResumeFallbacks != 1 {
+		t.Errorf("metrics: resume_fallbacks=%d, want 1 — dropped frontier heads must be surfaced", m.ResumeFallbacks)
+	}
+	if m.SummaryResumes != 0 {
+		t.Errorf("metrics: summary_resumes=%d, want 0 for a legacy hello", m.SummaryResumes)
+	}
+}
