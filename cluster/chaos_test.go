@@ -1,0 +1,254 @@
+package cluster
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+	"time"
+
+	"egwalker"
+	"egwalker/store"
+)
+
+// victimSegs lists the sealed+active WAL segments a node holds for
+// docID, in sequence order.
+func victimSegs(t *testing.T, tn *testNode, docID string) []string {
+	t.Helper()
+	segs, err := filepath.Glob(filepath.Join(tn.root, docID, "wal-*.seg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(segs)
+	return segs
+}
+
+// flipByte corrupts one byte of a file in place — the on-disk shape of
+// a latent media error on a sealed segment.
+func flipByte(t *testing.T, path string, off int64, mask byte) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off >= int64(len(data)) {
+		t.Fatalf("flip offset %d beyond %d-byte file %s", off, len(data), path)
+	}
+	data[off] ^= mask
+	if err := os.WriteFile(path, data, 0o666); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// scrubbedClusterOpts is the server config the chaos tests run under:
+// tiny segments so corruption targets seal quickly, a fast scrubber,
+// and no read-rate cap.
+func scrubbedClusterOpts(i int) store.ServerOptions {
+	return store.ServerOptions{
+		FlushInterval:    2 * time.Millisecond,
+		ScrubEvery:       25 * time.Millisecond,
+		ScrubBytesPerSec: -1,
+		DocOptions:       store.Options{SegmentMaxBytes: 1 << 10},
+	}
+}
+
+// TestChaosCorruptQuarantineRepairConverge is the acceptance scenario
+// for self-healing storage: on a 3-node cluster under live writes, a
+// bit flips inside a sealed WAL segment on one replica. The scrubber
+// must catch it, quarantine the document on that node, the repairer
+// must rebuild it from a live peer over the summary link, and the
+// cluster must converge to identical fingerprints with zero event
+// loss.
+func TestChaosCorruptQuarantineRepairConverge(t *testing.T) {
+	nodes := startTestClusterOpts(t, 3, 3, time.Second, 100*time.Millisecond, scrubbedClusterOpts)
+	docID := "chaos"
+	primary := byAddr(nodes, nodes[0].node.Ring().Primary(docID))
+	var victim *testNode
+	for _, tn := range nodes {
+		if tn != primary {
+			victim = tn
+			break
+		}
+	}
+
+	writer := egwalker.NewDoc("writer")
+	push := func(i int) {
+		t.Helper()
+		before := writer.Version()
+		if err := writer.Insert(writer.Len(), fmt.Sprintf("line %d\n", i)); err != nil {
+			t.Fatal(err)
+		}
+		events, err := writer.EventsSince(before)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := primary.node.Server().Append(docID, events); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Write until the victim replica has sealed at least one segment on
+	// disk (its journal trails the primary by replication + flush).
+	next := 0
+	deadline := time.Now().Add(20 * time.Second)
+	for len(victimSegs(t, victim, docID)) < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("victim never sealed a segment (%d events written)", writer.NumEvents())
+		}
+		push(next)
+		next++
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// Flip a byte in the middle of the victim's sealed segment while
+	// the cluster keeps serving.
+	segs := victimSegs(t, victim, docID)
+	fi, err := os.Stat(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	flipByte(t, segs[0], fi.Size()/2, 0x40)
+
+	// The scrubber quarantines; the repairer pulls the diff from a live
+	// peer and re-admits. Watch for both through the metrics.
+	sawQuarantine := false
+	deadline = time.Now().Add(30 * time.Second)
+	for {
+		if victim.node.Server().IsQuarantined(docID) {
+			sawQuarantine = true
+		}
+		m := victim.node.Server().MetricsSnapshot()
+		if m.Repairs >= 1 {
+			if m.CorruptBlocks < 1 {
+				t.Fatalf("repaired without recording corrupt blocks: %+v", m)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("victim never repaired (quarantined seen=%v, metrics=%+v)", sawQuarantine, m)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !sawQuarantine && !victimWasQuarantined(victim, docID) {
+		// Quarantine can be brief (repair races the poll above); the
+		// corrupt-block count checked after repair proves the document
+		// went through the quarantine path. Nothing further to assert.
+		t.Log("quarantine window too short to observe directly; corrupt_blocks confirms the path")
+	}
+
+	// Keep writing after the repair, then the whole cluster must agree.
+	for i := 0; i < 20; i++ {
+		push(next)
+		next++
+	}
+	waitConverged(t, nodes, docID, writer.NumEvents(), 30*time.Second)
+
+	if victim.node.Server().IsQuarantined(docID) {
+		t.Fatal("victim still quarantined after repair and convergence")
+	}
+}
+
+// victimWasQuarantined is a helper hook point for the race-tolerant
+// quarantine check; the repair metrics are authoritative.
+func victimWasQuarantined(tn *testNode, docID string) bool {
+	return tn.node.Server().MetricsSnapshot().QuarantinedDocs > 0
+}
+
+// TestSingleNodeSalvageSurfacesLoss: without replicas there is nobody
+// to pull the missing history from. A node restarting onto a corrupt
+// sealed segment must still come up — quarantined, then salvage-only
+// repaired to the intact prefix — and the loss must be visible (fewer
+// events than were written, zero repair-fetched events), with writes
+// accepted again afterwards.
+func TestSingleNodeSalvageSurfacesLoss(t *testing.T) {
+	nodes := startTestClusterOpts(t, 1, 1, time.Second, 100*time.Millisecond, scrubbedClusterOpts)
+	tn := nodes[0]
+	docID := "solo"
+
+	writer := egwalker.NewDoc("writer")
+	next := 0
+	push := func() {
+		t.Helper()
+		before := writer.Version()
+		if err := writer.Insert(writer.Len(), fmt.Sprintf("line %d\n", next)); err != nil {
+			t.Fatal(err)
+		}
+		next++
+		events, err := writer.EventsSince(before)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tn.node.Server().Append(docID, events); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(20 * time.Second)
+	for len(victimSegs(t, tn, docID)) < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("never sealed a segment (%d events written)", writer.NumEvents())
+		}
+		push()
+		time.Sleep(2 * time.Millisecond)
+	}
+	want := writer.NumEvents()
+
+	// Corrupt a sealed segment while the node is down — the restart
+	// walks straight into it.
+	tn.stop()
+	segs := victimSegs(t, tn, docID)
+	fi, err := os.Stat(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	flipByte(t, segs[0], fi.Size()/2, 0x40)
+	tn.restart()
+
+	// Touch the document so the lazy open hits the damage, then wait
+	// for the salvage-only repair.
+	deadline = time.Now().Add(30 * time.Second)
+	for {
+		tn.docState(docID) // ignore errors; open may race the repair swap
+		m := tn.node.Server().MetricsSnapshot()
+		if m.Repairs >= 1 {
+			if m.RepairEvents != 0 {
+				t.Fatalf("single-node repair claims fetched events: %+v", m)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("salvage repair never ran: %+v", m)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	_, got, err := tn.docState(docID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got >= want {
+		t.Fatalf("salvage kept %d of %d events — loss should be visible", got, want)
+	}
+	if got == 0 {
+		t.Fatal("salvage kept nothing; expected the intact prefix")
+	}
+	if tn.node.Server().IsQuarantined(docID) {
+		t.Fatal("still quarantined after salvage repair")
+	}
+
+	// The document serves writes again.
+	d := egwalker.NewDoc("late-writer")
+	if err := d.Insert(0, "back online "); err != nil {
+		t.Fatal(err)
+	}
+	if err := tn.node.Server().Append(docID, d.Events()); err != nil {
+		t.Fatalf("write after salvage repair: %v", err)
+	}
+	_, after, err := tn.docState(docID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after != got+d.NumEvents() {
+		t.Fatalf("post-repair write not applied: %d events, want %d", after, got+d.NumEvents())
+	}
+}

@@ -26,6 +26,10 @@ type testNode struct {
 	grace       time.Duration
 	antiEntropy time.Duration
 
+	// mkSrvOpts, when set, supplies the store.ServerOptions for every
+	// (re)start of this node; nil keeps the default fast-flush config.
+	mkSrvOpts func() store.ServerOptions
+
 	mu      sync.Mutex
 	ln      net.Listener
 	node    *Node
@@ -34,6 +38,14 @@ type testNode struct {
 }
 
 func startTestCluster(t *testing.T, n, replication int, grace, antiEntropy time.Duration) []*testNode {
+	t.Helper()
+	return startTestClusterOpts(t, n, replication, grace, antiEntropy, nil)
+}
+
+// startTestClusterOpts is startTestCluster with per-node server
+// options (index-keyed), for scenarios that need fault injection or a
+// running scrubber.
+func startTestClusterOpts(t *testing.T, n, replication int, grace, antiEntropy time.Duration, srvOpts func(i int) store.ServerOptions) []*testNode {
 	t.Helper()
 	lns := make([]net.Listener, n)
 	addrs := make([]string, n)
@@ -56,6 +68,10 @@ func startTestCluster(t *testing.T, n, replication int, grace, antiEntropy time.
 			grace:       grace,
 			antiEntropy: antiEntropy,
 		}
+		if srvOpts != nil {
+			i := i
+			tn.mkSrvOpts = func() store.ServerOptions { return srvOpts(i) }
+		}
 		tn.start(lns[i])
 		nodes[i] = tn
 		t.Cleanup(tn.stop)
@@ -65,7 +81,11 @@ func startTestCluster(t *testing.T, n, replication int, grace, antiEntropy time.
 
 func (tn *testNode) start(ln net.Listener) {
 	tn.t.Helper()
-	node, err := NewNode(tn.root, store.ServerOptions{FlushInterval: 5 * time.Millisecond}, Options{
+	srvOpts := store.ServerOptions{FlushInterval: 5 * time.Millisecond}
+	if tn.mkSrvOpts != nil {
+		srvOpts = tn.mkSrvOpts()
+	}
+	node, err := NewNode(tn.root, srvOpts, Options{
 		Self:             tn.addr,
 		Peers:            tn.peers,
 		Replication:      tn.replication,

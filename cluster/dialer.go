@@ -24,8 +24,24 @@ type Dialer struct {
 	Dial func(addr string) (net.Conn, error)
 	// Compact advertises the compact-encoding capability in the hello.
 	Compact bool
+	// HandshakeTimeout bounds the hello write in Connect and, in
+	// ConnectServing, each hop's wait for the first frame — so a node
+	// that accepts the dial but never serves (wedged, half-partitioned)
+	// fails over to the next candidate instead of hanging the client.
+	// Defaults to 10s; negative disables.
+	HandshakeTimeout time.Duration
 
 	next uint32
+}
+
+func (d *Dialer) handshakeTimeout() time.Duration {
+	if d.HandshakeTimeout == 0 {
+		return 10 * time.Second
+	}
+	if d.HandshakeTimeout < 0 {
+		return 0
+	}
+	return d.HandshakeTimeout
 }
 
 // Conn is one established cluster connection: the raw conn, its
@@ -68,6 +84,9 @@ func (d *Dialer) Connect(docID string, v egwalker.Version, resume bool, preferre
 			lastErr = err
 			continue
 		}
+		if hs := d.handshakeTimeout(); hs > 0 {
+			c.SetWriteDeadline(time.Now().Add(hs))
+		}
 		pc := netsync.NewPeerConn(c)
 		err = pc.SendHello(netsync.Hello{
 			DocID:    docID,
@@ -81,6 +100,7 @@ func (d *Dialer) Connect(docID string, v egwalker.Version, resume bool, preferre
 			lastErr = err
 			continue
 		}
+		c.SetWriteDeadline(time.Time{})
 		return &Conn{Conn: c, Peer: pc, Addr: addr}, nil
 	}
 	if lastErr == nil {
@@ -106,15 +126,22 @@ func (d *Dialer) ConnectServing(docID string, v egwalker.Version, resume bool) (
 			}
 			return nil, netsync.Frame{}, lastErr
 		}
+		// The serve contract promises the first frame immediately, so
+		// waiting for it is handshake I/O: bound it, then lift the
+		// deadline for the live stream.
+		if hs := d.handshakeTimeout(); hs > 0 {
+			c.SetReadDeadline(time.Now().Add(hs))
+		}
 		f, err := c.Peer.RecvFrame()
 		if err != nil {
-			// The node died between accept and serve; retry from the
-			// seed list.
+			// The node died or stalled between accept and serve; retry
+			// from the seed list.
 			c.Close()
 			lastErr = err
 			preferred = nil
 			continue
 		}
+		c.SetReadDeadline(time.Time{})
 		if f.Kind == netsync.FrameRedirect {
 			c.Close()
 			preferred = f.Addrs

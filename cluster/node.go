@@ -34,6 +34,11 @@ type Options struct {
 	// AntiEntropyEvery is the period of the version exchange each
 	// replica link runs to heal missed pushes. Defaults to 5s.
 	AntiEntropyEvery time.Duration
+	// HandshakeTimeout bounds the hello read on accepted connections
+	// and the hello write on outbound replica links, so a stalled or
+	// silent peer cannot pin a goroutine forever. Defaults to 10s;
+	// negative disables.
+	HandshakeTimeout time.Duration
 	// Dial opens a connection to a peer (or proxy target). Defaults to
 	// TCP with a 5s timeout. Tests inject partitions here.
 	Dial func(addr string) (net.Conn, error)
@@ -66,6 +71,9 @@ func (o Options) withDefaults() (Options, error) {
 	if o.AntiEntropyEvery == 0 {
 		o.AntiEntropyEvery = 5 * time.Second
 	}
+	if o.HandshakeTimeout == 0 {
+		o.HandshakeTimeout = 10 * time.Second
+	}
 	if o.Dial == nil {
 		o.Dial = func(addr string) (net.Conn, error) {
 			return net.DialTimeout("tcp", addr, 5*time.Second)
@@ -82,6 +90,7 @@ type Node struct {
 	ring   *Ring
 	srv    *store.Server
 	repl   *replicator
+	repair *repairer
 	health *healthTable
 
 	mu     sync.Mutex
@@ -102,6 +111,7 @@ func NewNode(root string, srvOpts store.ServerOptions, opts Options) (*Node, err
 	}
 	n := &Node{opts: opts, ring: ring, health: newHealthTable()}
 	n.repl = newReplicator(n)
+	n.repair = newRepairer(n)
 	userTap := srvOpts.OnIngest
 	srvOpts.OnIngest = func(docID string, events []egwalker.Event, raw []byte) {
 		n.repl.tap(docID, events, raw)
@@ -109,12 +119,23 @@ func NewNode(root string, srvOpts store.ServerOptions, opts Options) (*Node, err
 			userTap(docID, events, raw)
 		}
 	}
+	userQuarantine := srvOpts.OnQuarantine
+	srvOpts.OnQuarantine = func(docID string, reason error) {
+		n.repair.enqueue(docID)
+		if userQuarantine != nil {
+			userQuarantine(docID, reason)
+		}
+	}
+	if srvOpts.HandshakeTimeout == 0 {
+		srvOpts.HandshakeTimeout = opts.HandshakeTimeout
+	}
 	srv, err := store.NewServer(root, srvOpts)
 	if err != nil {
 		return nil, err
 	}
 	n.srv = srv
 	n.repl.start()
+	n.repair.start()
 	return n, nil
 }
 
@@ -162,16 +183,35 @@ func (n *Node) route(docID string) (owner string, candidates []string) {
 // when the client advertises the capability, and proxy byte-for-byte
 // otherwise. Returns when the connection is done.
 func (n *Node) ServeConn(conn net.Conn) error {
+	// A peer that connects and never sends a hello must not pin this
+	// goroutine forever; the deadline is cleared once routing is done
+	// (the live stream may idle indefinitely).
+	if n.opts.HandshakeTimeout > 0 {
+		conn.SetReadDeadline(time.Now().Add(n.opts.HandshakeTimeout))
+	}
 	h, err := netsync.ReadHello(conn)
 	if err != nil {
 		return err
 	}
+	if n.opts.HandshakeTimeout > 0 {
+		conn.SetReadDeadline(time.Time{})
+	}
 	if h.Replica {
 		// A peer replicating to us dialed this node on purpose; no
-		// routing decision to make.
+		// routing decision to make — and a repair fetch or anti-entropy
+		// exchange against a quarantined document must still be served
+		// (read-only salvage answers are exactly what repair needs).
 		return n.srv.ServeHello(conn, h)
 	}
 	owner, candidates := n.route(h.DocID)
+	if owner == n.opts.Self && n.srv.IsQuarantined(h.DocID) && len(candidates) > 1 {
+		// This node's copy is damaged: demote ourselves so a healthy
+		// replica serves the client while repair runs. With no other
+		// candidate we fall through and serve the salvaged prefix
+		// read-only — degraded beats unavailable.
+		candidates = append(candidates[1:], candidates[0])
+		owner = candidates[0]
+	}
 	if owner == n.opts.Self {
 		return n.srv.ServeHello(conn, h)
 	}
@@ -252,6 +292,7 @@ func (n *Node) Close() error {
 	}
 	n.closed = true
 	n.mu.Unlock()
+	n.repair.close()
 	n.repl.close()
 	return n.srv.Close()
 }

@@ -1,0 +1,211 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"egwalker"
+	"egwalker/netsync"
+	"sync"
+)
+
+// repairer rebuilds quarantined documents from live replicas. The
+// store's scrubber (or an open-time recovery) quarantines a damaged
+// document and keeps serving its salvageable prefix read-only; this
+// side pulls the exact missing suffix from another replica over the
+// same summary exchange the anti-entropy links use, hands it to the
+// store's Repair, and the document comes back writable with a fresh
+// snapshot and WAL.
+//
+// Repairs are queued and deduplicated: the quarantine hook enqueues
+// once per transition, and every anti-entropy tick re-enqueues any
+// document still quarantined, so a failed attempt (all replicas down,
+// mid-repair disconnect) retries on the mesh period rather than in a
+// tight loop.
+type repairer struct {
+	n *Node
+
+	mu       sync.Mutex
+	inflight map[string]bool
+	closed   bool
+
+	queue chan string
+	done  chan struct{}
+	wg    sync.WaitGroup
+}
+
+// repairFetchTimeout bounds one diff pull from one replica: dial,
+// hello, summary, and every diff frame must land within it.
+const repairFetchTimeout = 30 * time.Second
+
+func newRepairer(n *Node) *repairer {
+	return &repairer{
+		n:        n,
+		inflight: make(map[string]bool),
+		queue:    make(chan string, 128),
+		done:     make(chan struct{}),
+	}
+}
+
+func (r *repairer) start() {
+	r.wg.Add(1)
+	go r.loop()
+}
+
+// enqueue schedules a repair attempt for docID. Duplicates coalesce
+// while an attempt is queued or running; a full queue drops the
+// request (the next mesh tick re-enqueues anything still
+// quarantined).
+func (r *repairer) enqueue(docID string) {
+	r.mu.Lock()
+	if r.closed || r.inflight[docID] {
+		r.mu.Unlock()
+		return
+	}
+	r.inflight[docID] = true
+	r.mu.Unlock()
+	select {
+	case r.queue <- docID:
+	default:
+		r.finish(docID)
+	}
+}
+
+func (r *repairer) finish(docID string) {
+	r.mu.Lock()
+	delete(r.inflight, docID)
+	r.mu.Unlock()
+}
+
+func (r *repairer) loop() {
+	defer r.wg.Done()
+	for {
+		select {
+		case <-r.done:
+			return
+		case id := <-r.queue:
+			r.repair(id)
+			r.finish(id)
+		}
+	}
+}
+
+func (r *repairer) close() {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	r.closed = true
+	r.mu.Unlock()
+	close(r.done)
+	r.wg.Wait()
+}
+
+// repair runs one rebuild attempt: pull the salvaged prefix's exact
+// gap from the first reachable replica, then let the store swap in the
+// rebuilt directory. With no reachable replica holding the document it
+// leaves the quarantine in place (a later tick retries); with no other
+// replicas at all — single-node placement — it rebuilds from the
+// salvaged prefix alone and the loss stays visible in SalvageInfo.
+func (r *repairer) repair(docID string) {
+	if !r.n.srv.IsQuarantined(docID) {
+		return
+	}
+	var peers []string
+	for _, a := range r.n.ring.Replicas(docID) {
+		if a != r.n.opts.Self {
+			peers = append(peers, a)
+		}
+	}
+	fetch := func(sum egwalker.VersionSummary) ([]egwalker.Event, error) {
+		var lastErr error
+		for _, addr := range peers {
+			events, err := r.fetchFrom(addr, docID, sum)
+			if err != nil {
+				r.n.logf("cluster: repair %q: fetch from %s: %v", docID, addr, err)
+				lastErr = err
+				continue
+			}
+			return events, nil
+		}
+		// lastErr == nil means the document has no other replicas:
+		// salvage-only rebuild. Any fetch error aborts the repair so a
+		// retry can try for the full diff instead of silently
+		// accepting data loss a live peer could have prevented.
+		return nil, lastErr
+	}
+	info, err := r.n.srv.RepairDoc(docID, fetch)
+	if err != nil {
+		r.n.logf("cluster: repair %q failed: %v", docID, err)
+		return
+	}
+	r.n.logf("cluster: repaired %q: %d salvaged + %d fetched events (lost %d bytes on disk)",
+		docID, info.Salvaged, info.Fetched, info.Salvage.LostBytes)
+}
+
+// fetchFrom pulls the events missing from sum out of one replica. It
+// speaks the normal replica-link handshake — hello with our summary —
+// so the remote answers with its own summary plus our exact gap. The
+// gap may span several chunked event frames; the remote's summary
+// tells us exactly how many of its events we lack, so we count
+// arrivals against that and hang up as soon as the diff is complete.
+func (r *repairer) fetchFrom(addr, docID string, sum egwalker.VersionSummary) ([]egwalker.Event, error) {
+	conn, err := r.n.opts.Dial(addr)
+	if err != nil {
+		r.n.health.markDown(addr)
+		return nil, err
+	}
+	defer conn.Close()
+	r.n.health.markUp(addr)
+	conn.SetDeadline(time.Now().Add(repairFetchTimeout))
+	pc := netsync.NewPeerConn(conn)
+	err = pc.SendHello(netsync.Hello{
+		DocID:   docID,
+		Summary: sum,
+		Compact: true,
+		Replica: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	var (
+		events  []egwalker.Event
+		seen    = map[egwalker.EventID]bool{}
+		theirs  egwalker.VersionSummary
+		gotSum  bool
+		need    int
+		counted int
+	)
+	for {
+		if gotSum && counted >= need {
+			pc.SendDone()
+			return events, nil
+		}
+		f, err := pc.RecvFrame()
+		if err != nil {
+			return nil, err
+		}
+		switch f.Kind {
+		case netsync.FrameSummary:
+			theirs = f.Summary
+			gotSum = true
+			need = theirs.NumEvents() - egwalker.IntersectSummary(theirs, sum).NumEvents()
+		case netsync.FrameEvents:
+			for _, e := range f.Events {
+				if sum.Contains(e.ID) || seen[e.ID] {
+					continue
+				}
+				seen[e.ID] = true
+				events = append(events, e)
+				if gotSum && theirs.Contains(e.ID) {
+					counted++
+				}
+			}
+		case netsync.FrameDone:
+			return nil, fmt.Errorf("cluster: replica %s closed mid-repair for %q", addr, docID)
+		default:
+			return nil, fmt.Errorf("cluster: unexpected frame kind %d fetching repair diff", f.Kind)
+		}
+	}
+}

@@ -134,6 +134,12 @@ func (r *replicator) meshLoop() {
 	for {
 		r.ensureMesh()
 		r.n.health.prune(r.n.ring.Nodes())
+		// Re-enqueue anything still quarantined: a repair attempt that
+		// failed (replicas down, fetch cut short) retries once per
+		// tick instead of staying stuck.
+		for _, id := range r.n.srv.QuarantinedDocIDs() {
+			r.n.repair.enqueue(id)
+		}
 		select {
 		case <-r.done:
 			return
@@ -301,6 +307,16 @@ func (l *link) session(conn net.Conn, done <-chan struct{}) error {
 	if err != nil {
 		return err
 	}
+	// Handshake under a deadline: the hello write and the remote's
+	// first answer are both bounded, so a peer that accepted the dial
+	// but stalled (wedged process, black-holed route) fails fast into
+	// the redial loop instead of pinning this link forever. readLoop
+	// clears the read deadline once the first frame lands — after
+	// that, idling is legitimate.
+	hs := l.n.opts.HandshakeTimeout
+	if hs > 0 {
+		conn.SetDeadline(time.Now().Add(hs))
+	}
 	err = pc.SendHello(netsync.Hello{
 		DocID:   l.docID,
 		Summary: s,
@@ -310,8 +326,11 @@ func (l *link) session(conn net.Conn, done <-chan struct{}) error {
 	if err != nil {
 		return err
 	}
+	if hs > 0 {
+		conn.SetWriteDeadline(time.Time{})
+	}
 	readErr := make(chan error, 1)
-	go func() { readErr <- l.readLoop(pc) }()
+	go func() { readErr <- l.readLoop(pc, conn, hs > 0) }()
 	fail := func(err error) error {
 		conn.Close()
 		<-readErr
@@ -362,7 +381,7 @@ func (l *link) session(conn net.Conn, done <-chan struct{}) error {
 // form is exact, the version form is the legacy known-subset superset)
 // and event batches (our gap, journaled as replica data so it is
 // never re-forwarded).
-func (l *link) readLoop(pc *netsync.PeerConn) error {
+func (l *link) readLoop(pc *netsync.PeerConn, conn net.Conn, armed bool) error {
 	for {
 		f, err := pc.RecvFrame()
 		if err != nil {
@@ -370,6 +389,12 @@ func (l *link) readLoop(pc *netsync.PeerConn) error {
 				return nil
 			}
 			return err
+		}
+		if armed {
+			// Handshake complete: lift the session's read deadline so
+			// the persistent stream may idle between pushes.
+			conn.SetReadDeadline(time.Time{})
+			armed = false
 		}
 		switch f.Kind {
 		case netsync.FrameSummary:

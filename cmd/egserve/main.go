@@ -67,7 +67,10 @@ var (
 	maxOpen     = flag.Int("max-open", 64, "documents kept materialized (LRU)")
 	maxJournal  = flag.Int("max-journal", 1024, "documents kept open journal-only (two fds each)")
 	snapshot    = flag.Int("snapshot-every", 8192, "events per document between background compactions (0: never)")
-	metricsAddr = flag.String("metrics-addr", "", "serve GET /metrics (JSON snapshot) and GET /healthz on this address (empty: off)")
+	segmentMax  = flag.Int64("segment-max", 0, "WAL segment rotation threshold in bytes (0: default 1 MiB)")
+	scrubEvery  = flag.Duration("scrub-every", 0, "period of the background integrity scrub over all documents (0: off)")
+	scrubRate   = flag.Int64("scrub-rate", 0, "scrub read budget in bytes/second (0: default 8 MiB/s, negative: unlimited)")
+	metricsAddr = flag.String("metrics-addr", "", "serve GET /metrics (JSON snapshot), /healthz and /fingerprint?doc=ID on this address (empty: off)")
 	metricsLog  = flag.Duration("metrics-every", 0, "log a metrics JSON snapshot on this interval (0: off)")
 
 	clusterPeers = flag.String("cluster", "", "comma-separated full cluster membership (empty: single-node)")
@@ -83,12 +86,15 @@ func main() {
 	log.SetFlags(log.LstdFlags | log.Lmsgprefix)
 
 	srvOpts := store.ServerOptions{
-		MaxOpenDocs:    *maxOpen,
-		MaxJournalDocs: *maxJournal,
-		FlushInterval:  *flush,
-		SnapshotEvery:  *snapshot,
-		Logf:           log.Printf,
+		MaxOpenDocs:      *maxOpen,
+		MaxJournalDocs:   *maxJournal,
+		FlushInterval:    *flush,
+		SnapshotEvery:    *snapshot,
+		ScrubEvery:       *scrubEvery,
+		ScrubBytesPerSec: *scrubRate,
+		Logf:             log.Printf,
 	}
+	srvOpts.DocOptions.SegmentMaxBytes = *segmentMax
 
 	// serveConn/healthz/shutdown abstract over the two modes: a bare
 	// store.Server, or a cluster.Node routing and replicating on top of
@@ -161,7 +167,33 @@ func main() {
 				http.Error(w, err.Error(), http.StatusServiceUnavailable)
 				return
 			}
+			// Quarantined documents degrade the probe without failing
+			// it: the node still serves everything else (and the
+			// salvaged prefixes), so load balancers should keep it, but
+			// operators and the chaos harness can see the damage.
+			if n := srv.QuarantinedCount(); n > 0 {
+				fmt.Fprintf(w, "degraded (quarantined_docs=%d)\n", n)
+				return
+			}
 			fmt.Fprintln(w, "ok")
+		})
+		mux.HandleFunc("/fingerprint", func(w http.ResponseWriter, r *http.Request) {
+			docID := r.URL.Query().Get("doc")
+			if docID == "" {
+				http.Error(w, "missing ?doc=ID", http.StatusBadRequest)
+				return
+			}
+			var fp uint64
+			err := srv.With(docID, func(ds *store.DocStore) error {
+				var err error
+				fp, err = ds.Fingerprint()
+				return err
+			})
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusServiceUnavailable)
+				return
+			}
+			fmt.Fprintf(w, "%#x\n", fp)
 		})
 		mln, err := net.Listen("tcp", *metricsAddr)
 		if err != nil {

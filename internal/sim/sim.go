@@ -255,8 +255,12 @@ type Sim struct {
 	offlineUntil  []int64
 
 	// Crash-restart state (nil / unused unless Faults.CrashRestart):
-	// stores[i] journals replica i; docs[i] aliases stores[i].Doc().
+	// stores[i] journals replica i; docs[i] aliases stores[i].Doc();
+	// faults[i] is the injectable fault layer every file operation of
+	// replica i's store goes through, so scenarios can flip bits and
+	// fail writes deterministically.
 	stores       []*store.DocStore
+	faults       []*store.FaultFS
 	crashedUntil []int64
 
 	// Partition state: group[i] in {0,1}; healAt is when it ends.
@@ -294,7 +298,8 @@ func NewPersistent(cfg Config) (*Sim, error) {
 	for i := 0; i < cfg.Replicas; i++ {
 		agent := fmt.Sprintf("r%d", i)
 		if cfg.Faults.CrashRestart {
-			ds, err := store.Open(s.storeRoot(i), "doc", agent, s.storeOptions())
+			s.faults = append(s.faults, store.NewFaultFS(store.OSFS{}))
+			ds, err := store.Open(s.storeRoot(i), "doc", agent, s.storeOptions(i))
 			if err != nil {
 				return nil, fmt.Errorf("sim: opening store for replica %d: %w", i, err)
 			}
@@ -318,10 +323,35 @@ func (s *Sim) storeRoot(i int) string {
 
 // storeOptions exercises the whole store machinery at simulation
 // scale: small segments force rotation, low SnapshotEvery forces
-// snapshot + compaction cycles mid-run.
-func (s *Sim) storeOptions() store.Options {
-	return store.Options{SegmentMaxBytes: 16 << 10, SnapshotEvery: 400}
+// snapshot + compaction cycles mid-run. Replica i's store runs on its
+// fault-injection filesystem (when crash-restart mode allocated one)
+// with quarantine-on-corruption enabled, so damage scenarios degrade
+// instead of failing the open.
+func (s *Sim) storeOptions(i int) store.Options {
+	o := store.Options{SegmentMaxBytes: 16 << 10, SnapshotEvery: 400, Quarantine: true}
+	if i < len(s.faults) && s.faults[i] != nil {
+		o.FS = s.faults[i]
+	}
+	return o
 }
+
+// FaultFS exposes replica i's injectable fault layer (crash-restart
+// mode only; nil otherwise) for scenarios that corrupt reads or fail
+// writes mid-run.
+func (s *Sim) FaultFS(i int) *store.FaultFS {
+	if i < len(s.faults) {
+		return s.faults[i]
+	}
+	return nil
+}
+
+// Store exposes replica i's durable store (crash-restart mode only).
+func (s *Sim) Store(i int) *store.DocStore { return s.stores[i] }
+
+// StoreRoot exposes replica i's on-disk store root (crash-restart
+// mode only), for scenarios that need to name specific WAL or
+// snapshot files when arming faults.
+func (s *Sim) StoreRoot(i int) string { return s.storeRoot(i) }
 
 // Close releases the durable stores (crash-restart mode); the on-disk
 // state remains for inspection.
@@ -380,7 +410,7 @@ func (s *Sim) checkStoreRecovery() error {
 		if err := ds.Close(); err != nil {
 			return fmt.Errorf("oracle: store %d close: %w", i, err)
 		}
-		re, err := store.Open(s.storeRoot(i), "doc", fmt.Sprintf("r%d", i), s.storeOptions())
+		re, err := store.Open(s.storeRoot(i), "doc", fmt.Sprintf("r%d", i), s.storeOptions(i))
 		if err != nil {
 			return fmt.Errorf("oracle: cold recovery of replica %d: %w", i, err)
 		}

@@ -52,7 +52,7 @@ func FuzzSegmentReplay(f *testing.F) {
 	f.Add([]byte("not a segment at all"))
 
 	replayTo := func(t *testing.T, path string) (string, int64, bool) {
-		res, err := replaySegment(path)
+		res, err := replaySegment(OSFS{}, path)
 		if err != nil {
 			return "", 0, false
 		}
@@ -91,7 +91,7 @@ func FuzzSegmentReplay(f *testing.F) {
 		if err := os.Truncate(path, validLen); err != nil {
 			t.Fatal(err)
 		}
-		res2, err := replaySegment(path)
+		res2, err := replaySegment(OSFS{}, path)
 		if err != nil {
 			t.Fatalf("replay after truncation to validLen failed: %v", err)
 		}

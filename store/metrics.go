@@ -75,12 +75,32 @@ type Metrics struct {
 	ReplicaExchanges metrics.Counter
 	ReplicaEventsOut metrics.Counter
 
+	// Self-healing storage: ScrubPasses counts completed scrub sweeps
+	// over the whole root and ScrubBytes the bytes they re-verified;
+	// CorruptBlocks counts damage findings (each quarantines its
+	// document); Repairs / RepairEvents count successful rebuilds and
+	// the events their replica diffs restored; RepairFailures counts
+	// repair attempts that failed (left quarantined, retried later);
+	// WALWriteErrors counts documents degraded read-only by an append
+	// or fsync error (ENOSPC, a dying disk).
+	ScrubPasses    metrics.Counter
+	ScrubBytes     metrics.Counter
+	CorruptBlocks  metrics.Counter
+	Repairs        metrics.Counter
+	RepairEvents   metrics.Counter
+	RepairFailures metrics.Counter
+	WALWriteErrors metrics.Counter
+
 	OpenDocs    metrics.Gauge
 	Subscribers metrics.Gauge
 	// MaterializedDocs tracks how many open documents currently hold a
 	// full in-memory egwalker.Doc — the LRU's real population;
 	// OpenDocs counts every open document, journal-only ones included.
 	MaterializedDocs metrics.Gauge
+	// QuarantinedDocs tracks how many documents are currently
+	// quarantined (serving a salvaged prefix read-only, awaiting
+	// repair).
+	QuarantinedDocs metrics.Gauge
 }
 
 // MetricsSnapshot is a point-in-time copy of every metric, shaped for
@@ -120,9 +140,18 @@ type MetricsSnapshot struct {
 	ReplicaExchanges int64 `json:"replica_exchanges"`
 	ReplicaEventsOut int64 `json:"replica_events_out"`
 
+	ScrubPasses    int64 `json:"scrub_passes"`
+	ScrubBytes     int64 `json:"scrub_bytes"`
+	CorruptBlocks  int64 `json:"corrupt_blocks"`
+	Repairs        int64 `json:"repairs"`
+	RepairEvents   int64 `json:"repair_events"`
+	RepairFailures int64 `json:"repair_failures"`
+	WALWriteErrors int64 `json:"wal_write_errors"`
+
 	OpenDocs         int64 `json:"open_docs"`
 	Subscribers      int64 `json:"subscribers"`
 	MaterializedDocs int64 `json:"materialized_docs"`
+	QuarantinedDocs  int64 `json:"quarantined_docs"`
 }
 
 // Snapshot captures all metrics. Concurrent updates may land on either
@@ -163,9 +192,18 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		ReplicaExchanges: m.ReplicaExchanges.Load(),
 		ReplicaEventsOut: m.ReplicaEventsOut.Load(),
 
+		ScrubPasses:    m.ScrubPasses.Load(),
+		ScrubBytes:     m.ScrubBytes.Load(),
+		CorruptBlocks:  m.CorruptBlocks.Load(),
+		Repairs:        m.Repairs.Load(),
+		RepairEvents:   m.RepairEvents.Load(),
+		RepairFailures: m.RepairFailures.Load(),
+		WALWriteErrors: m.WALWriteErrors.Load(),
+
 		OpenDocs:         m.OpenDocs.Load(),
 		Subscribers:      m.Subscribers.Load(),
 		MaterializedDocs: m.MaterializedDocs.Load(),
+		QuarantinedDocs:  m.QuarantinedDocs.Load(),
 	}
 }
 

@@ -1,0 +1,539 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"egwalker"
+)
+
+// ErrQuarantined reports a document whose on-disk history is damaged:
+// it serves the salvaged prefix read-only and refuses writes until
+// Repair rebuilds it (from a replica's diff, or from the salvage alone).
+var ErrQuarantined = errors.New("store: document is quarantined (on-disk corruption)")
+
+// DamageKind classifies what a scrub (or recovery) found wrong.
+type DamageKind int
+
+const (
+	// DamageTornTail is corruption inside the active segment's fsynced
+	// prefix. Reopen-time recovery would silently truncate it away —
+	// losing acknowledged events — which is exactly why the scrubber
+	// quarantines it for repair instead.
+	DamageTornTail DamageKind = iota + 1
+	// DamageMidSegment is corruption in a sealed WAL segment: history
+	// strictly older than the write frontier rotted or was overwritten.
+	DamageMidSegment
+	// DamageSnapshot is a snapshot that no longer decodes.
+	DamageSnapshot
+	// DamageMissing is a layout file (segment or snapshot the store
+	// still relies on) that has vanished from the directory.
+	DamageMissing
+)
+
+func (k DamageKind) String() string {
+	switch k {
+	case DamageTornTail:
+		return "torn-tail"
+	case DamageMidSegment:
+		return "mid-segment"
+	case DamageSnapshot:
+		return "snapshot"
+	case DamageMissing:
+		return "missing-file"
+	default:
+		return fmt.Sprintf("damage(%d)", int(k))
+	}
+}
+
+// Damage is one thing the scrubber found wrong with one file.
+type Damage struct {
+	Kind DamageKind
+	File string // base name within the document directory
+	Off  int64  // first unusable byte (segments; 0 for snapshots)
+	Err  error
+
+	seq  uint64 // file's sequence number, for layout-liveness rechecks
+	snap bool
+}
+
+// ScrubReport summarizes one scrub pass over one document.
+type ScrubReport struct {
+	Segments  int   // segment files verified
+	Snapshots int   // snapshot files verified
+	Bytes     int64 // bytes read and checksummed
+	Damage    []Damage
+}
+
+// ScrubLimiter is a token-bucket byte budget shared by scrub reads so
+// a background pass never competes with the live path for disk
+// bandwidth. A nil limiter (or rate <= 0) is unlimited.
+type ScrubLimiter struct {
+	mu     sync.Mutex
+	rate   float64 // bytes per second
+	budget float64 // may go negative: large reads pay their debt by sleeping
+	last   time.Time
+}
+
+// NewScrubLimiter returns a limiter admitting bytesPerSec on average
+// (<= 0: unlimited).
+func NewScrubLimiter(bytesPerSec int64) *ScrubLimiter {
+	return &ScrubLimiter{rate: float64(bytesPerSec)}
+}
+
+// Wait charges n bytes against the budget, sleeping off any debt.
+func (l *ScrubLimiter) Wait(n int) {
+	if l == nil || l.rate <= 0 || n <= 0 {
+		return
+	}
+	l.mu.Lock()
+	now := time.Now()
+	if !l.last.IsZero() {
+		l.budget += now.Sub(l.last).Seconds() * l.rate
+	}
+	l.last = now
+	if l.budget > l.rate {
+		l.budget = l.rate // at most one second of burst
+	}
+	l.budget -= float64(n)
+	var sleep time.Duration
+	if l.budget < 0 {
+		sleep = time.Duration(-l.budget / l.rate * float64(time.Second))
+	}
+	l.mu.Unlock()
+	if sleep > 0 {
+		time.Sleep(sleep)
+	}
+}
+
+// Scrub re-verifies the document's on-disk integrity: every sealed WAL
+// segment's CRC32-C block envelopes, the active segment's fsynced
+// prefix, and the current snapshot's decode. Reads happen outside the
+// store's lock, paced by lim. Damage that is still part of the live
+// layout when the pass ends (compaction may have deleted a file we
+// were reading) quarantines the document. An already-quarantined,
+// write-poisoned, or closed store scrubs nothing.
+func (s *DocStore) Scrub(lim *ScrubLimiter) (ScrubReport, error) {
+	s.mu.Lock()
+	if s.closed || s.qerr != nil || s.werr != nil {
+		s.mu.Unlock()
+		return ScrubReport{}, nil
+	}
+	snapSeq, firstSeg, activeSeq, synced := s.snapSeq, s.firstSeg, s.activeSeq, s.syncedSize
+	s.mu.Unlock()
+
+	var rep ScrubReport
+	// read returns nil data (and no damage) when the file vanished AND
+	// the layout moved on — a compaction race, not corruption.
+	read := func(path string, seq uint64, snap bool) ([]byte, bool) {
+		data, err := s.fs.ReadFile(path)
+		if err == nil {
+			lim.Wait(len(data))
+			return data, true
+		}
+		s.mu.Lock()
+		live := seq == s.snapSeq
+		if !snap {
+			live = seq >= s.firstSeg && seq <= s.activeSeq
+		}
+		s.mu.Unlock()
+		if live {
+			rep.Damage = append(rep.Damage, Damage{
+				Kind: DamageMissing, File: filepath.Base(path), Err: err, seq: seq, snap: snap,
+			})
+		}
+		return nil, false
+	}
+
+	if snapSeq > 0 {
+		path := filepath.Join(s.dir, snapName(snapSeq))
+		if data, ok := read(path, snapSeq, true); ok {
+			rep.Snapshots++
+			rep.Bytes += int64(len(data))
+			var err error
+			if egwalker.IsCompactBatch(data) {
+				_, err = egwalker.InspectBatch(data)
+			} else {
+				_, err = egwalker.Load(bytes.NewReader(data), s.agent)
+			}
+			if err != nil {
+				rep.Damage = append(rep.Damage, Damage{
+					Kind: DamageSnapshot, File: snapName(snapSeq), Err: err, seq: snapSeq, snap: true,
+				})
+			}
+		}
+	}
+
+	for seq := firstSeg; seq <= activeSeq; seq++ {
+		path := filepath.Join(s.dir, segName(seq))
+		data, ok := read(path, seq, false)
+		if !ok {
+			continue
+		}
+		active := seq == activeSeq
+		if active && int64(len(data)) > synced {
+			// Only the fsynced prefix is stable; in-flight appends beyond
+			// it are the live path's business, not bit rot. The prefix
+			// always ends on a block boundary, so a clean segment scans
+			// without a tail error.
+			data = data[:synced]
+		}
+		w, err := walkSegmentBlocks(data, func([]byte) error { return nil })
+		rep.Segments++
+		rep.Bytes += int64(len(data))
+		switch {
+		case err != nil:
+			rep.Damage = append(rep.Damage, Damage{
+				Kind: DamageMidSegment, File: segName(seq), Err: err, seq: seq,
+			})
+		case w.tail != nil:
+			kind := DamageMidSegment
+			if active {
+				kind = DamageTornTail
+			}
+			rep.Damage = append(rep.Damage, Damage{
+				Kind: kind, File: segName(seq), Off: w.validLen, Err: w.tail, seq: seq,
+			})
+		}
+	}
+
+	if len(rep.Damage) == 0 {
+		return rep, nil
+	}
+	// Re-check each finding against the layout as it stands now:
+	// compaction may have legitimately deleted or replaced a file
+	// mid-read. Whatever survives is real damage.
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	live := rep.Damage[:0]
+	for _, d := range rep.Damage {
+		if d.snap {
+			if d.seq == s.snapSeq {
+				live = append(live, d)
+			}
+		} else if d.seq >= s.firstSeg && d.seq <= s.activeSeq {
+			live = append(live, d)
+		}
+	}
+	rep.Damage = live
+	if len(live) > 0 && s.qerr == nil && !s.closed {
+		d := live[0]
+		s.quarantineLocked(fmt.Errorf("scrub: %s damage in %s at %d: %w", d.Kind, d.File, d.Off, d.Err))
+	}
+	return rep, nil
+}
+
+// Quarantined reports whether the document is quarantined, and why.
+func (s *DocStore) Quarantined() (bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.qerr != nil, s.qerr
+}
+
+// SalvageInfo reports what quarantine-time salvage kept and lost.
+type SalvageInfo struct {
+	// Events the salvaged prefix holds (what the store now serves).
+	Events int
+	// CorruptBlocks counts unreadable files / blocks skipped over.
+	CorruptBlocks int
+	// LostBytes is how much of the WAL was unusable.
+	LostBytes int64
+	// SkippedSnapshots counts snapshots passed over as unreadable.
+	SkippedSnapshots int
+	// DroppedEvents counts events that decoded but could not be applied
+	// (their causal parents were in the damaged region). A replica diff
+	// at repair time may still admit them.
+	DroppedEvents int
+}
+
+// Salvage reports the last quarantine's salvage outcome. Meaningful
+// while quarantined and after a repair.
+func (s *DocStore) Salvage() SalvageInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.salvage
+}
+
+// quarantineLocked transitions the store to quarantine: writes refuse,
+// block serving stops, compaction pressure is cleared, and the best
+// salvageable document is materialized for read-only serving. Fires
+// the onQuarantine hook once per transition.
+func (s *DocStore) quarantineLocked(reason error) {
+	if s.qerr != nil || s.closed {
+		return
+	}
+	if s.doc == nil {
+		// Journal-only: the history lives nowhere but the damaged disk.
+		// Salvage what replays cleanly.
+		start := time.Now()
+		snaps, segs, err := s.scanDirSeqs()
+		if err != nil {
+			snaps, segs = nil, nil
+		}
+		doc, _, info := salvageDoc(s.fs, s.dir, s.agent, snaps, segs)
+		s.doc = doc
+		s.known = nil
+		s.persisted = doc.Version()
+		s.salvage = info
+		if s.opts.onMaterialize != nil {
+			s.opts.onMaterialize(time.Since(start))
+		}
+	} else {
+		// Materialized: memory still holds everything the store
+		// admitted; only the disk under it is lying. Nothing is lost
+		// unless the process dies before repair.
+		s.salvage = SalvageInfo{Events: s.doc.NumEvents()}
+	}
+	s.qerr = reason
+	s.blockServable = false
+	s.eventsSinceSnap = 0 // keep the compactor away
+	if s.opts.onQuarantine != nil {
+		s.opts.onQuarantine(reason)
+	}
+}
+
+// recoverQuarantined is the open-time quarantine path: materialized
+// recovery found damage truncation cannot repair, and Options.
+// Quarantine asked for a salvaged read-only store instead of an error.
+// No active segment is opened — a quarantined store journals nothing.
+func (s *DocStore) recoverQuarantined(reason error) error {
+	start := time.Now()
+	snaps, segs, err := s.scanDirSeqs()
+	if err != nil {
+		return err
+	}
+	doc, snapSeq, info := salvageDoc(s.fs, s.dir, s.agent, snaps, segs)
+	s.doc = doc
+	s.snapSeq = snapSeq
+	s.recovery.SnapshotSeq = snapSeq
+	s.firstSeg = snapSeq
+	if s.firstSeg == 0 && len(segs) > 0 {
+		s.firstSeg = segs[0]
+	}
+	if len(segs) > 0 {
+		s.activeSeq = segs[len(segs)-1]
+	}
+	s.persisted = doc.Version()
+	s.numEvents = doc.NumEvents()
+	s.salvage = info
+	s.qerr = reason
+	s.blockServable = false
+	if s.opts.onMaterialize != nil {
+		s.opts.onMaterialize(time.Since(start))
+	}
+	if s.opts.onQuarantine != nil {
+		s.opts.onQuarantine(reason)
+	}
+	return nil
+}
+
+// salvageDoc replays everything that still parses: the newest loadable
+// snapshot, then each segment's valid prefix, skipping damage instead
+// of stopping at it. Events whose causal parents fell in a damaged
+// region stay buffered as pending (a repair diff may admit them); the
+// returned document serves the longest causally-closed prefix.
+func salvageDoc(fsys FS, dir, agent string, snaps, segs []uint64) (*egwalker.Doc, uint64, SalvageInfo) {
+	var info SalvageInfo
+	var doc *egwalker.Doc
+	snapSeq := uint64(0)
+	for i := len(snaps) - 1; i >= 0; i-- {
+		data, err := fsys.ReadFile(filepath.Join(dir, snapName(snaps[i])))
+		if err == nil {
+			d, lerr := egwalker.Load(bytes.NewReader(data), agent)
+			if lerr == nil {
+				doc, snapSeq = d, snaps[i]
+				break
+			}
+		}
+		info.SkippedSnapshots++
+	}
+	if doc == nil {
+		doc = egwalker.NewDoc(agent)
+	}
+	for _, seq := range segs {
+		if seq < snapSeq {
+			continue
+		}
+		data, err := fsys.ReadFile(filepath.Join(dir, segName(seq)))
+		if err != nil {
+			info.CorruptBlocks++
+			continue
+		}
+		res, err := replaySegmentData(data)
+		if err != nil {
+			// Not recognizably a segment (mangled header): skip it whole.
+			info.CorruptBlocks++
+			info.LostBytes += int64(len(data))
+			continue
+		}
+		for _, evs := range res.batches {
+			if _, aerr := doc.Apply(evs); aerr != nil {
+				info.DroppedEvents += len(evs)
+			}
+		}
+		if res.tail != nil {
+			info.CorruptBlocks++
+			info.LostBytes += int64(len(data)) - res.validLen
+		}
+	}
+	info.DroppedEvents += doc.PendingEvents()
+	info.Events = doc.NumEvents()
+	return doc, snapSeq, info
+}
+
+// RepairInfo reports what a Repair did.
+type RepairInfo struct {
+	// Salvaged is how many events the local salvage contributed.
+	Salvaged int
+	// Fetched is how many fresh events the caller's diff (from a
+	// replica) added on top of the salvage.
+	Fetched int
+	// Events is the repaired document's history size.
+	Events int
+	// Salvage is the quarantine-time salvage outcome, for reporting
+	// what the damage cost (zero losses when a replica's diff covered
+	// everything).
+	Salvage SalvageInfo
+}
+
+// Repair rebuilds a quarantined document and re-admits it: extra (a
+// replica's exact summary diff; nil for single-node salvage-only
+// repair) is merged into the salvaged document, then a fresh
+// snapshot + empty WAL segment replace the damaged directory
+// atomically. The damaged tree is kept aside as .corrupt-<name> (one
+// per document) for forensics. On success the store serves reads and
+// writes again.
+func (s *DocStore) Repair(extra []egwalker.Event) (RepairInfo, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return RepairInfo{}, fmt.Errorf("store: %s is closed", s.docID)
+	}
+	if s.qerr == nil {
+		return RepairInfo{}, fmt.Errorf("store: %s is not quarantined", s.docID)
+	}
+	doc := s.doc
+	if doc == nil {
+		return RepairInfo{}, fmt.Errorf("store: %s has no salvaged document", s.docID)
+	}
+	salvaged := doc.NumEvents()
+	if len(extra) > 0 {
+		if _, err := doc.Apply(extra); err != nil {
+			return RepairInfo{}, fmt.Errorf("store: repairing %s: %w", s.docID, err)
+		}
+	}
+	info := RepairInfo{
+		Salvaged: salvaged,
+		Fetched:  doc.NumEvents() - salvaged,
+		Events:   doc.NumEvents(),
+		Salvage:  s.salvage,
+	}
+	if err := s.rebuildLocked(); err != nil {
+		return info, fmt.Errorf("store: rebuilding %s: %w", s.docID, err)
+	}
+	return info, nil
+}
+
+// rebuildLocked writes the in-memory document out as a fresh
+// snapshot + empty active segment in a sibling directory, then swaps
+// it in under the document's name and resets the store's layout state.
+// The swap is two renames; a crash between them leaves the document
+// absent under its name but fully intact under .corrupt-<name>, which
+// is surfaced rather than silently recreated empty. Both new renames
+// get the same best-effort directory fsync the snapshot path uses.
+func (s *DocStore) rebuildLocked() error {
+	base := filepath.Base(s.dir)
+	root := filepath.Dir(s.dir)
+	tmpDir := filepath.Join(root, ".repair-"+base)
+	if err := s.fs.RemoveAll(tmpDir); err != nil {
+		return err
+	}
+	if err := s.fs.MkdirAll(tmpDir, 0o777); err != nil {
+		return err
+	}
+	lock, err := lockDir(tmpDir)
+	if err != nil {
+		return err
+	}
+	committed := false
+	defer func() {
+		if !committed {
+			unlockDir(lock)
+			s.fs.RemoveAll(tmpDir)
+		}
+	}()
+
+	snapPath := filepath.Join(tmpDir, snapName(1))
+	f, err := s.fs.OpenFile(snapPath, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o666)
+	if err != nil {
+		return err
+	}
+	err = s.doc.Save(f, s.opts.Save)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	seg, err := s.fs.OpenFile(filepath.Join(tmpDir, segName(1)), os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o666)
+	if err != nil {
+		return err
+	}
+	err = writeSegmentHeader(seg)
+	if err == nil {
+		err = seg.Sync()
+	}
+	if err != nil {
+		seg.Close()
+		return err
+	}
+	syncDir(tmpDir)
+
+	aside := filepath.Join(root, ".corrupt-"+base)
+	if err := s.fs.RemoveAll(aside); err != nil {
+		seg.Close()
+		return err
+	}
+	if s.active != nil {
+		s.active.Close()
+		s.active = nil
+	}
+	if err := s.fs.Rename(s.dir, aside); err != nil {
+		seg.Close()
+		return err
+	}
+	if err := s.fs.Rename(tmpDir, s.dir); err != nil {
+		// Put the damaged tree back under its name; the store stays
+		// quarantined either way.
+		s.fs.Rename(aside, s.dir)
+		seg.Close()
+		return err
+	}
+	syncDir(root)
+	committed = true
+
+	// The open fd follows the rename; so does the flock on the new
+	// directory's LOCK file — exclusivity never lapses.
+	unlockDir(s.lock)
+	s.lock = lock
+	s.active = seg
+	s.activeSeq, s.snapSeq, s.firstSeg = 1, 1, 1
+	s.activeSize, s.syncedSize = segHeaderLen, segHeaderLen
+	s.known = nil
+	s.numEvents = s.doc.NumEvents()
+	s.persisted = s.doc.Version()
+	s.eventsSinceSnap, s.sealedSinceSnap, s.unsyncedEvents = 0, 0, 0
+	s.recovery = RecoveryInfo{SnapshotSeq: 1}
+	s.werr = nil
+	s.qerr = nil
+	s.blockServable = snapshotServable(s.fs, filepath.Join(s.dir, snapName(1)))
+	return nil
+}

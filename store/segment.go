@@ -29,7 +29,6 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
-	"os"
 	"strings"
 
 	"egwalker"
@@ -50,7 +49,7 @@ const (
 var errBadSegment = errors.New("store: not a WAL segment")
 
 // writeSegmentHeader starts a fresh segment file.
-func writeSegmentHeader(f *os.File) error {
+func writeSegmentHeader(f File) error {
 	hdr := append(append([]byte(nil), segMagic[:]...), segVersion)
 	_, err := f.Write(hdr)
 	return err
@@ -73,21 +72,26 @@ type replayResult struct {
 // error only for damage that truncation cannot repair (unreadable file,
 // bad magic); per-block damage is reported via replayResult.tail so the
 // caller can decide whether truncating is appropriate.
-func replaySegment(path string) (*replayResult, error) {
-	data, err := os.ReadFile(path)
+func replaySegment(fs FS, path string) (*replayResult, error) {
+	data, err := fs.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
+	return replaySegmentData(data)
+}
+
+// replaySegmentData is replaySegment over an already-read byte image.
+func replaySegmentData(data []byte) (*replayResult, error) {
 	if len(data) < segHeaderLen {
 		// Crashing between file creation and header write leaves a short
 		// file; treat as an empty segment with a torn tail.
 		return &replayResult{validLen: 0, tail: fmt.Errorf("store: segment header cut short: %w", io.ErrUnexpectedEOF)}, nil
 	}
 	if string(data[:4]) != string(segMagic[:]) {
-		return nil, fmt.Errorf("%w: bad magic %q in %s", errBadSegment, data[:4], path)
+		return nil, fmt.Errorf("%w: bad magic %q", errBadSegment, data[:4])
 	}
 	if data[4] != segVersion {
-		return nil, fmt.Errorf("%w: unknown version %d in %s", errBadSegment, data[4], path)
+		return nil, fmt.Errorf("%w: unknown version %d", errBadSegment, data[4])
 	}
 	res := &replayResult{validLen: segHeaderLen}
 	rd := &countingReader{data: data, off: segHeaderLen}

@@ -2,7 +2,6 @@ package store
 
 import (
 	"fmt"
-	"os"
 	"path/filepath"
 
 	"egwalker"
@@ -15,6 +14,7 @@ import (
 // takes it under the same lock that orders fan-out), then stream it
 // outside all locks.
 type BlockCut struct {
+	fs       FS
 	dir      string
 	snapSeq  uint64
 	firstSeg uint64
@@ -28,12 +28,13 @@ func (c *BlockCut) NumEvents() int { return c.events }
 
 // CutForServe captures a block cut, or reports false when this store
 // cannot block-serve: the snapshot is legacy-format or too large for
-// one frame, a sticky write error means the WAL tail is suspect, or
+// one frame, a sticky write error means the WAL tail is suspect, the
+// document is quarantined (never stream blocks off a damaged disk), or
 // the store is closed. Callers fall back to a decoded catch-up.
 func (s *DocStore) CutForServe() (*BlockCut, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.closed || s.werr != nil || !s.blockServable {
+	if s.closed || s.werr != nil || s.qerr != nil || !s.blockServable {
 		return nil, false
 	}
 	n := s.numEvents
@@ -41,6 +42,7 @@ func (s *DocStore) CutForServe() (*BlockCut, bool) {
 		n = s.doc.NumEvents()
 	}
 	return &BlockCut{
+		fs:       s.fs,
 		dir:      s.dir,
 		snapSeq:  s.snapSeq,
 		firstSeg: s.firstSeg,
@@ -64,7 +66,7 @@ func (s *DocStore) CutForServe() (*BlockCut, bool) {
 func (s *DocStore) StreamBlocks(cut *BlockCut, send func(payload []byte) error) (int, error) {
 	sent := 0
 	if cut.snapSeq > 0 {
-		data, err := os.ReadFile(filepath.Join(cut.dir, snapName(cut.snapSeq)))
+		data, err := cut.fs.ReadFile(filepath.Join(cut.dir, snapName(cut.snapSeq)))
 		if err != nil {
 			return sent, err
 		}
@@ -78,7 +80,7 @@ func (s *DocStore) StreamBlocks(cut *BlockCut, send func(payload []byte) error) 
 	}
 	for seq := cut.firstSeg; seq <= cut.lastSeg; seq++ {
 		path := filepath.Join(cut.dir, segName(seq))
-		data, err := os.ReadFile(path)
+		data, err := cut.fs.ReadFile(path)
 		if err != nil {
 			return sent, err
 		}

@@ -8,6 +8,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -61,6 +62,24 @@ type ServerOptions struct {
 	// the document's fan-out lock held, so it must not block; enqueue
 	// and return.
 	OnIngest func(docID string, events []egwalker.Event, raw []byte)
+	// ScrubEvery, when > 0, runs a background integrity scrub over every
+	// hosted document on that interval: sealed WAL segments and the
+	// active segment's fsynced prefix are re-verified block by block
+	// (CRC32-C), snapshots are re-decoded, and damage quarantines the
+	// document (read-only salvaged prefix, no writes) until RepairDoc
+	// rebuilds it.
+	ScrubEvery time.Duration
+	// ScrubBytesPerSec paces scrub reads (default 8 MiB/s; < 0
+	// unlimited) so a scrub pass never competes with the live path.
+	ScrubBytesPerSec int64
+	// OnQuarantine, when set, is notified (on its own goroutine) each
+	// time a document transitions into quarantine — the cluster node's
+	// repair trigger.
+	OnQuarantine func(docID string, reason error)
+	// HandshakeTimeout bounds how long ServeConn waits for a client's
+	// hello frame (default 10s; < 0 disables): an accepted connection
+	// that never says anything must not pin a goroutine forever.
+	HandshakeTimeout time.Duration
 }
 
 func (o ServerOptions) withDefaults() ServerOptions {
@@ -85,6 +104,16 @@ func (o ServerOptions) withDefaults() ServerOptions {
 	if o.FlushInterval < 0 {
 		o.DocOptions.SyncEveryCommit = true
 	}
+	if o.ScrubBytesPerSec == 0 {
+		o.ScrubBytesPerSec = 8 << 20
+	}
+	if o.HandshakeTimeout == 0 {
+		o.HandshakeTimeout = 10 * time.Second
+	}
+	// A hosted document that turns out corrupt comes up quarantined
+	// (salvaged prefix served read-only) instead of unopenable: the
+	// server always has the repair machinery on hand.
+	o.DocOptions.Quarantine = true
 	return o
 }
 
@@ -146,6 +175,10 @@ type Server struct {
 	metrics *Metrics
 	open    map[string]*entry
 	lru     *list.List // front = most recently used; values are *entry
+	// quarantined tracks which documents are currently quarantined, by
+	// reason. Maintained across evictions and reopens (the DocStore's
+	// onQuarantine hook re-adds on reopen; RepairDoc removes).
+	quarantined map[string]error
 
 	compactCh chan *entry
 	done      chan struct{}
@@ -160,17 +193,22 @@ func NewServer(root string, opts ServerOptions) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{
-		root:      root,
-		opts:      opts.withDefaults(),
-		metrics:   &Metrics{},
-		open:      make(map[string]*entry),
-		lru:       list.New(),
-		compactCh: make(chan *entry, 64),
-		done:      make(chan struct{}),
+		root:        root,
+		opts:        opts.withDefaults(),
+		metrics:     &Metrics{},
+		open:        make(map[string]*entry),
+		lru:         list.New(),
+		quarantined: make(map[string]error),
+		compactCh:   make(chan *entry, 64),
+		done:        make(chan struct{}),
 	}
 	s.wg.Add(2)
 	go s.flusher()
 	go s.compactor()
+	if s.opts.ScrubEvery > 0 {
+		s.wg.Add(1)
+		go s.scrubber()
+	}
 	return s, nil
 }
 
@@ -225,10 +263,21 @@ func (s *Server) acquire(docID string) (*entry, error) {
 		e.mat.Store(false)
 		s.metrics.MaterializedDocs.Add(-1)
 	}
+	// Both hooks fire under the DocStore's mutex; quarantine
+	// bookkeeping needs the server lock, so it hops to a goroutine
+	// (Close holds s.mu while closing stores — taking s.mu here would
+	// invert that order).
+	docOpts.onQuarantine = func(reason error) {
+		go s.noteQuarantine(docID, reason)
+	}
+	docOpts.onDegrade = func(err error) {
+		s.metrics.WALWriteErrors.Inc()
+	}
 
 	// A just-evicted store for this document may still be fsync-closing
 	// (eviction closes outside the server lock); its directory flock
 	// clears momentarily, so retry briefly rather than failing.
+	wasQuarantined := s.IsQuarantined(docID)
 	start := time.Now()
 	var ds *DocStore
 	var err error
@@ -238,6 +287,16 @@ func (s *Server) acquire(docID string) (*entry, error) {
 			break
 		}
 		time.Sleep(10 * time.Millisecond)
+	}
+	// Open-time salvage damage counts toward corrupt_blocks exactly
+	// once — a reopen of a document already in the quarantine set
+	// re-salvages the same damage and must not count it again.
+	if err == nil && !wasQuarantined {
+		if q, _ := ds.Quarantined(); q {
+			if n := ds.Salvage().CorruptBlocks; n > 0 {
+				s.metrics.CorruptBlocks.Add(int64(n))
+			}
+		}
 	}
 
 	s.mu.Lock()
@@ -425,6 +484,12 @@ func (s *Server) DocIDs() ([]string, error) {
 		if !ent.IsDir() {
 			continue
 		}
+		// Dot-prefixed directories are never documents (escapeDocID
+		// escapes leading dots): .repair-* is an in-flight rebuild,
+		// .corrupt-* a damaged tree kept aside for forensics.
+		if strings.HasPrefix(ent.Name(), ".") {
+			continue
+		}
 		id, err := unescapeDocID(ent.Name())
 		if err != nil {
 			continue
@@ -462,7 +527,13 @@ func (e *entry) ingest(events []egwalker.Event, raw []byte, fromPeer int, replic
 	e.m.EventsApplied.Add(int64(len(events)))
 	e.m.BatchesApplied.Inc()
 	e.m.FanoutBatchEvents.Observe(int64(len(events)))
+	return e.fanoutLocked(events, raw, fromPeer)
+}
 
+// fanoutLocked forwards a batch to every subscriber except fromPeer
+// (-1: all). Called with e.mu held; also used by RepairDoc to push a
+// repair's fetched diff to live subscribers.
+func (e *entry) fanoutLocked(events []egwalker.Event, raw []byte, fromPeer int) error {
 	// Verbatim forwarding is the zero-copy default; only a compact
 	// payload headed for a legacy peer needs the re-marshal (a legacy
 	// payload is the common decodable-by-everyone denominator).
@@ -640,11 +711,27 @@ func (e *entry) unsubscribe(id int) {
 // the decoded history. Run ServeConn in its own goroutine per
 // connection; it returns when the peer disconnects.
 func (s *Server) ServeConn(conn io.ReadWriter) error {
+	// A peer that connects and never speaks must not pin this goroutine
+	// forever: the hello read gets a deadline when the transport has
+	// one, cleared once the handshake completes (the live stream is
+	// allowed to idle indefinitely).
+	d, hasDeadline := conn.(readDeadliner)
+	if hasDeadline && s.opts.HandshakeTimeout > 0 {
+		d.SetReadDeadline(time.Now().Add(s.opts.HandshakeTimeout))
+	}
 	h, err := netsync.ReadHello(conn)
 	if err != nil {
 		return err
 	}
+	if hasDeadline && s.opts.HandshakeTimeout > 0 {
+		d.SetReadDeadline(time.Time{})
+	}
 	return s.ServeHello(conn, h)
+}
+
+// readDeadliner is the slice of net.Conn the handshake timeout needs.
+type readDeadliner interface {
+	SetReadDeadline(t time.Time) error
 }
 
 // ServeHello is ServeConn after the doc hello has already been read —
@@ -872,6 +959,167 @@ func (s *Server) Healthz() error {
 		}
 	}
 	return nil
+}
+
+// noteQuarantine records a document's transition into quarantine and
+// notifies the OnQuarantine listener. Runs on its own goroutine (the
+// DocStore hook fires under the store mutex).
+func (s *Server) noteQuarantine(docID string, reason error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	_, known := s.quarantined[docID]
+	s.quarantined[docID] = reason
+	s.metrics.QuarantinedDocs.Set(int64(len(s.quarantined)))
+	s.mu.Unlock()
+	if !known {
+		s.logf("store: quarantined %q: %v", docID, reason)
+	}
+	if s.opts.OnQuarantine != nil {
+		s.opts.OnQuarantine(docID, reason)
+	}
+}
+
+func (s *Server) noteRepaired(docID string) {
+	s.mu.Lock()
+	delete(s.quarantined, docID)
+	s.metrics.QuarantinedDocs.Set(int64(len(s.quarantined)))
+	s.mu.Unlock()
+}
+
+// IsQuarantined reports whether the document is currently quarantined.
+func (s *Server) IsQuarantined(docID string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.quarantined[docID]
+	return ok
+}
+
+// QuarantinedDocIDs lists the currently quarantined documents — what a
+// cluster node's repair loop re-enqueues every anti-entropy tick.
+func (s *Server) QuarantinedDocIDs() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ids := make([]string, 0, len(s.quarantined))
+	for id := range s.quarantined {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// QuarantinedCount reports how many documents are quarantined — the
+// degraded-health signal egserve's /healthz surfaces.
+func (s *Server) QuarantinedCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.quarantined)
+}
+
+// RepairDoc rebuilds a quarantined document and re-admits it. fetch,
+// when non-nil, is handed the salvaged prefix's version summary and
+// must return the exact diff from a live replica (the events the
+// summary does not cover); nil fetch performs a salvage-only repair —
+// single-node operation keeps the valid prefix and the loss is
+// reported in the returned RepairInfo. On success the repaired diff is
+// fanned out to the document's live subscribers and the quarantine
+// flag clears.
+func (s *Server) RepairDoc(docID string, fetch func(egwalker.VersionSummary) ([]egwalker.Event, error)) (RepairInfo, error) {
+	e, err := s.acquire(docID)
+	if err != nil {
+		return RepairInfo{}, err
+	}
+	defer s.release(e)
+	if q, _ := e.ds.Quarantined(); !q {
+		return RepairInfo{}, fmt.Errorf("store: %s is not quarantined", docID)
+	}
+	var extra []egwalker.Event
+	if fetch != nil {
+		sum, err := e.ds.Summary()
+		if err != nil {
+			return RepairInfo{}, err
+		}
+		if extra, err = fetch(sum); err != nil {
+			s.metrics.RepairFailures.Inc()
+			return RepairInfo{}, fmt.Errorf("store: repair fetch for %s: %w", docID, err)
+		}
+	}
+	// Repair and fan-out under the entry lock, so a subscriber joining
+	// mid-repair either sees the repaired history in its catch-up or
+	// receives the diff through its outbox — never neither.
+	e.mu.Lock()
+	info, err := e.ds.Repair(extra)
+	if err != nil {
+		e.mu.Unlock()
+		s.metrics.RepairFailures.Inc()
+		return info, err
+	}
+	if len(extra) > 0 {
+		if ferr := e.fanoutLocked(extra, nil, -1); ferr != nil {
+			s.logf("store: fanning out repair diff for %q: %v", docID, ferr)
+		}
+	}
+	e.mu.Unlock()
+	s.metrics.Repairs.Inc()
+	s.metrics.RepairEvents.Add(int64(info.Fetched))
+	s.noteRepaired(docID)
+	s.logf("store: repaired %q: %d salvaged + %d fetched events (lost: %d blocks, %d bytes)",
+		docID, info.Salvaged, info.Fetched, info.Salvage.CorruptBlocks, info.Salvage.LostBytes)
+	return info, nil
+}
+
+// scrubber is the background integrity loop: every ScrubEvery it walks
+// all hosted documents and re-verifies their on-disk state, paced by a
+// shared byte budget. Damage quarantines the document via the
+// DocStore's hook, which feeds OnQuarantine (the cluster repair path).
+func (s *Server) scrubber() {
+	defer s.wg.Done()
+	lim := NewScrubLimiter(s.opts.ScrubBytesPerSec)
+	t := time.NewTicker(s.opts.ScrubEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.done:
+			return
+		case <-t.C:
+			s.scrubPass(lim)
+		}
+	}
+}
+
+func (s *Server) scrubPass(lim *ScrubLimiter) {
+	ids, err := s.DocIDs()
+	if err != nil {
+		s.logf("store: scrub pass: %v", err)
+		return
+	}
+	for _, id := range ids {
+		select {
+		case <-s.done:
+			return
+		default:
+		}
+		e, err := s.acquire(id)
+		if err != nil {
+			s.logf("store: scrub open %q: %v", id, err)
+			continue
+		}
+		rep, err := e.ds.Scrub(lim)
+		s.metrics.ScrubBytes.Add(rep.Bytes)
+		if len(rep.Damage) > 0 {
+			s.metrics.CorruptBlocks.Add(int64(len(rep.Damage)))
+			for _, d := range rep.Damage {
+				s.logf("store: scrub %q: %s damage in %s at %d: %v", id, d.Kind, d.File, d.Off, d.Err)
+			}
+		}
+		if err != nil {
+			s.logf("store: scrub %q: %v", id, err)
+		}
+		s.release(e)
+	}
+	s.metrics.ScrubPasses.Inc()
 }
 
 // flusher is the group-commit loop: one fsync per open document per

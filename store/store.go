@@ -1,6 +1,7 @@
 package store
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"io"
@@ -43,20 +44,38 @@ type Options struct {
 	// Save controls snapshot encoding. CacheFinalDoc is forced on so
 	// cold opens need no replay of the snapshot itself.
 	Save egwalker.SaveOptions
+	// FS is the filesystem the document's data files go through (nil:
+	// the real one). Tests and the fault-injecting simulator substitute
+	// a FaultFS here.
+	FS FS
+	// Quarantine keeps a document whose sealed history is damaged
+	// (mid-segment or snapshot corruption) openable: instead of Open
+	// failing, the store comes up quarantined — read-only on the
+	// salvageable prefix, refusing writes until Repair rebuilds it.
+	// Off by default: bare DocStore users keep the fail-stop contract.
+	Quarantine bool
 
 	// onMaterialize and onDematerialize are package-internal hooks the
-	// Server uses to track its materialized-document population. Both
-	// fire under the store's mutex, so they must not call back into the
-	// DocStore and should touch only atomics. onMaterialize receives
-	// the time the materialization took; Close fires onDematerialize
-	// when it releases a materialized document.
+	// Server uses to track its materialized-document population. All
+	// these hooks fire under the store's mutex, so they must not call
+	// back into the DocStore and should touch only atomics (or hand
+	// off to a goroutine). onMaterialize receives the time the
+	// materialization took; Close fires onDematerialize when it
+	// releases a materialized document. onQuarantine fires once per
+	// healthy->quarantined transition; onDegrade fires once when a
+	// write error first poisons the store read-only.
 	onMaterialize   func(d time.Duration)
 	onDematerialize func()
+	onQuarantine    func(reason error)
+	onDegrade       func(err error)
 }
 
 func (o Options) withDefaults() Options {
 	if o.SegmentMaxBytes <= 0 {
 		o.SegmentMaxBytes = 1 << 20
+	}
+	if o.FS == nil {
+		o.FS = OSFS{}
 	}
 	o.Save.CacheFinalDoc = true
 	return o
@@ -98,12 +117,14 @@ type DocStore struct {
 	agent string
 	opts  Options
 
+	fs FS // opts.FS; every data-file access goes through it
+
 	doc       *egwalker.Doc
 	known     *idSet // journal-only mode: the IDs the WAL+snapshot hold
 	numEvents int    // journal-only mode: distinct events on disk
 
 	lock       *os.File // inter-process flock on the doc directory
-	active     *os.File
+	active     File     // nil while quarantined at open time
 	activeSeq  uint64
 	activeSize int64
 	syncedSize int64 // bytes of the active segment known fsynced
@@ -118,6 +139,8 @@ type DocStore struct {
 
 	recovery RecoveryInfo
 	werr     error // sticky write error; the store refuses further writes
+	qerr     error // quarantine reason; non-nil means damaged, read-only
+	salvage  SalvageInfo
 	closed   bool
 }
 
@@ -158,7 +181,7 @@ func OpenLazy(root, docID, agent string, opts Options) (*DocStore, error) {
 func open(root, docID, agent string, opts Options, lazy bool) (*DocStore, error) {
 	opts = opts.withDefaults()
 	dir := filepath.Join(root, escapeDocID(docID))
-	if err := os.MkdirAll(dir, 0o777); err != nil {
+	if err := opts.FS.MkdirAll(dir, 0o777); err != nil {
 		return nil, err
 	}
 	lock, err := lockDir(dir)
@@ -171,7 +194,7 @@ func open(root, docID, agent string, opts Options, lazy bool) (*DocStore, error)
 			unlockDir(lock)
 		}
 	}()
-	s := &DocStore{root: root, dir: dir, docID: docID, agent: agent, opts: opts, lock: lock}
+	s := &DocStore{root: root, dir: dir, docID: docID, agent: agent, opts: opts, fs: opts.FS, lock: lock}
 	if lazy {
 		if err := s.recoverJournal(); err == nil {
 			opened = true
@@ -180,10 +203,19 @@ func open(root, docID, agent string, opts Options, lazy bool) (*DocStore, error)
 		// The scan hit something only the full decoder can judge; start
 		// over on the materialized path, which reports real errors
 		// precisely (and can fall past a corrupt newest snapshot).
-		*s = DocStore{root: root, dir: dir, docID: docID, agent: agent, opts: opts, lock: lock}
+		*s = DocStore{root: root, dir: dir, docID: docID, agent: agent, opts: opts, fs: opts.FS, lock: lock}
 	}
 	if err := s.recoverMaterialized(); err != nil {
-		return nil, err
+		if !opts.Quarantine {
+			return nil, err
+		}
+		// Sealed history is damaged. Come up quarantined instead of
+		// refusing: salvage what replays cleanly and serve it read-only
+		// until Repair rebuilds the document.
+		*s = DocStore{root: root, dir: dir, docID: docID, agent: agent, opts: opts, fs: opts.FS, lock: lock}
+		if qerr := s.recoverQuarantined(err); qerr != nil {
+			return nil, qerr
+		}
 	}
 	opened = true
 	return s, nil
@@ -192,7 +224,7 @@ func open(root, docID, agent string, opts Options, lazy bool) (*DocStore, error)
 // scanDirSeqs lists the document directory's snapshot and segment
 // sequence numbers, each sorted ascending.
 func (s *DocStore) scanDirSeqs() (snaps, segs []uint64, err error) {
-	entries, err := os.ReadDir(s.dir)
+	entries, err := s.fs.ReadDir(s.dir)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -222,13 +254,12 @@ func (s *DocStore) recoverMaterialized() error {
 	// the WAL segments they covered replay the difference.
 	start := time.Now()
 	for i := len(snaps) - 1; i >= 0; i-- {
-		f, err := os.Open(filepath.Join(s.dir, snapName(snaps[i])))
+		data, err := s.fs.ReadFile(filepath.Join(s.dir, snapName(snaps[i])))
 		if err != nil {
 			s.recovery.SkippedSnapshots++
 			continue
 		}
-		doc, err := egwalker.Load(f, s.agent)
-		f.Close()
+		doc, err := egwalker.Load(bytes.NewReader(data), s.agent)
 		if err != nil {
 			s.recovery.SkippedSnapshots++
 			continue
@@ -249,7 +280,7 @@ func (s *DocStore) recoverMaterialized() error {
 			continue
 		}
 		path := filepath.Join(s.dir, segName(seq))
-		res, err := replaySegment(path)
+		res, err := replaySegment(s.fs, path)
 		if err != nil {
 			return err
 		}
@@ -261,17 +292,17 @@ func (s *DocStore) recoverMaterialized() error {
 			// Torn tail from a crash mid-append: cut it off. A segment
 			// torn inside its own header is recreated from scratch — a
 			// headerless file must never be appended to.
-			fi, err := os.Stat(path)
+			fi, err := s.fs.Stat(path)
 			if err != nil {
 				return err
 			}
 			s.recovery.TruncatedBytes = fi.Size() - res.validLen
 			if res.validLen < segHeaderLen {
-				if err := os.Remove(path); err != nil {
+				if err := s.fs.Remove(path); err != nil {
 					return err
 				}
 				lastRemoved = true
-			} else if err := os.Truncate(path, res.validLen); err != nil {
+			} else if err := s.fs.Truncate(path, res.validLen); err != nil {
 				return err
 			}
 		}
@@ -296,7 +327,7 @@ func (s *DocStore) recoverMaterialized() error {
 	if s.sealedSinceSnap < 0 {
 		s.sealedSinceSnap = 0
 	}
-	s.blockServable = s.snapSeq == 0 || snapshotServable(filepath.Join(s.dir, snapName(s.snapSeq)))
+	s.blockServable = s.snapSeq == 0 || snapshotServable(s.fs, filepath.Join(s.dir, snapName(s.snapSeq)))
 	if s.opts.onMaterialize != nil {
 		s.opts.onMaterialize(time.Since(start))
 	}
@@ -310,7 +341,7 @@ func (s *DocStore) openActive(segs []uint64, lastRemoved bool) error {
 	switch {
 	case len(segs) > 0 && !lastRemoved:
 		s.activeSeq = segs[len(segs)-1]
-		f, err := os.OpenFile(filepath.Join(s.dir, segName(s.activeSeq)), os.O_RDWR, 0)
+		f, err := s.fs.OpenFile(filepath.Join(s.dir, segName(s.activeSeq)), os.O_RDWR, 0)
 		if err != nil {
 			return err
 		}
@@ -346,12 +377,12 @@ func (s *DocStore) openActive(segs []uint64, lastRemoved bool) error {
 // snapshotServable reports whether a snapshot file can be handed to a
 // compact peer verbatim as one catch-up frame: compact columnar format
 // and within the frame payload cap.
-func snapshotServable(path string) bool {
-	fi, err := os.Stat(path)
+func snapshotServable(fs FS, path string) bool {
+	fi, err := fs.Stat(path)
 	if err != nil || fi.Size() > egwalker.MaxDeltaPayload {
 		return false
 	}
-	f, err := os.Open(path)
+	f, err := fs.OpenFile(path, os.O_RDONLY, 0)
 	if err != nil {
 		return false
 	}
@@ -378,7 +409,7 @@ func (s *DocStore) recoverJournal() error {
 
 	if len(snaps) > 0 {
 		seq := snaps[len(snaps)-1]
-		data, err := os.ReadFile(filepath.Join(s.dir, snapName(seq)))
+		data, err := s.fs.ReadFile(filepath.Join(s.dir, snapName(seq)))
 		if err != nil {
 			return err
 		}
@@ -418,7 +449,7 @@ func (s *DocStore) recoverJournal() error {
 		}
 		prevSeq = seq
 		path := filepath.Join(s.dir, segName(seq))
-		data, err := os.ReadFile(path)
+		data, err := s.fs.ReadFile(path)
 		if err != nil {
 			return err
 		}
@@ -438,11 +469,11 @@ func (s *DocStore) recoverJournal() error {
 			}
 			s.recovery.TruncatedBytes = int64(len(data)) - w.validLen
 			if w.validLen < segHeaderLen {
-				if err := os.Remove(path); err != nil {
+				if err := s.fs.Remove(path); err != nil {
 					return err
 				}
 				lastRemoved = true
-			} else if err := os.Truncate(path, w.validLen); err != nil {
+			} else if err := s.fs.Truncate(path, w.validLen); err != nil {
 				return err
 			}
 		}
@@ -511,7 +542,7 @@ func scanBlockPayload(payload []byte, known *idSet) (int, error) {
 // createActive makes wal-<activeSeq>.seg with a fresh header and
 // fsyncs it (plus the directory) so the segment survives a crash.
 func (s *DocStore) createActive() error {
-	f, err := os.OpenFile(filepath.Join(s.dir, segName(s.activeSeq)), os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o666)
+	f, err := s.fs.OpenFile(filepath.Join(s.dir, segName(s.activeSeq)), os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o666)
 	if err != nil {
 		return err
 	}
@@ -581,12 +612,11 @@ func (s *DocStore) materializeLocked() error {
 	start := time.Now()
 	var doc *egwalker.Doc
 	if s.snapSeq > 0 {
-		f, err := os.Open(filepath.Join(s.dir, snapName(s.snapSeq)))
+		data, err := s.fs.ReadFile(filepath.Join(s.dir, snapName(s.snapSeq)))
 		if err != nil {
 			return fmt.Errorf("store: materializing %s: %w", s.docID, err)
 		}
-		doc, err = egwalker.Load(f, s.agent)
-		f.Close()
+		doc, err = egwalker.Load(bytes.NewReader(data), s.agent)
 		if err != nil {
 			return fmt.Errorf("store: materializing %s: %w", s.docID, err)
 		}
@@ -595,7 +625,7 @@ func (s *DocStore) materializeLocked() error {
 	}
 	for seq := s.firstSeg; seq <= s.activeSeq; seq++ {
 		path := filepath.Join(s.dir, segName(seq))
-		res, err := replaySegment(path)
+		res, err := replaySegment(s.fs, path)
 		if err != nil {
 			return fmt.Errorf("store: materializing %s: %w", s.docID, err)
 		}
@@ -640,6 +670,11 @@ func (s *DocStore) Dematerialize() error {
 	}
 	if s.werr != nil {
 		return s.werr
+	}
+	if s.qerr != nil {
+		// The salvaged document exists only in memory; the disk under it
+		// is damaged, so letting it go would lose the salvage.
+		return fmt.Errorf("%w: %v", ErrQuarantined, s.qerr)
 	}
 	if p := s.doc.PendingEvents(); p > 0 {
 		return fmt.Errorf("store: %s holds %d events buffered for missing parents", s.docID, p)
@@ -979,7 +1014,22 @@ func (s *DocStore) writable() error {
 	if s.closed {
 		return fmt.Errorf("store: %s is closed", s.docID)
 	}
+	if s.qerr != nil {
+		return fmt.Errorf("%w: %v", ErrQuarantined, s.qerr)
+	}
 	return s.werr
+}
+
+// setWerrLocked records the first write error, poisoning the store
+// read-only, and fires the degradation hook exactly once.
+func (s *DocStore) setWerrLocked(err error) {
+	if s.werr != nil {
+		return
+	}
+	s.werr = err
+	if s.opts.onDegrade != nil {
+		s.opts.onDegrade(err)
+	}
 }
 
 // commitLocked journals everything the doc knows beyond the persisted
@@ -1027,7 +1077,7 @@ func (s *DocStore) appendBlocksLocked(blocks [][]byte) error {
 		if err != nil {
 			// A partial write leaves a torn tail exactly like a crash;
 			// refuse further writes so it stays at the tail.
-			s.werr = fmt.Errorf("store: WAL append failed (reopen to recover): %w", err)
+			s.setWerrLocked(fmt.Errorf("store: WAL append failed (reopen to recover): %w", err))
 			return s.werr
 		}
 	}
@@ -1084,7 +1134,7 @@ func (s *DocStore) syncLocked() error {
 		return nil
 	}
 	if err := s.active.Sync(); err != nil {
-		s.werr = err
+		s.setWerrLocked(err)
 		return err
 	}
 	s.syncedSize = s.activeSize
@@ -1127,7 +1177,7 @@ func (s *DocStore) snapshotLocked() error {
 	}
 	final := filepath.Join(s.dir, snapName(s.activeSeq))
 	tmp := final + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o666)
+	f, err := s.fs.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o666)
 	if err != nil {
 		return err
 	}
@@ -1139,10 +1189,10 @@ func (s *DocStore) snapshotLocked() error {
 		err = cerr
 	}
 	if err != nil {
-		os.Remove(tmp)
+		s.fs.Remove(tmp)
 		return err
 	}
-	if err := os.Rename(tmp, final); err != nil {
+	if err := s.fs.Rename(tmp, final); err != nil {
 		return err
 	}
 	syncDir(s.dir)
@@ -1150,7 +1200,7 @@ func (s *DocStore) snapshotLocked() error {
 	s.firstSeg = s.activeSeq
 	s.eventsSinceSnap = 0
 	s.sealedSinceSnap = 0
-	s.blockServable = snapshotServable(final)
+	s.blockServable = snapshotServable(s.fs, final)
 	return nil
 }
 
@@ -1173,16 +1223,16 @@ func (s *DocStore) compactLocked() error {
 			return err
 		}
 	}
-	entries, err := os.ReadDir(s.dir)
+	entries, err := s.fs.ReadDir(s.dir)
 	if err != nil {
 		return err
 	}
 	for _, e := range entries {
 		if seq, ok := parseSeq(e.Name(), "wal-", ".seg"); ok && seq < s.snapSeq {
-			os.Remove(filepath.Join(s.dir, e.Name()))
+			s.fs.Remove(filepath.Join(s.dir, e.Name()))
 		}
 		if seq, ok := parseSeq(e.Name(), "snap-", ".egw"); ok && seq < s.snapSeq {
-			os.Remove(filepath.Join(s.dir, e.Name()))
+			s.fs.Remove(filepath.Join(s.dir, e.Name()))
 		}
 	}
 	syncDir(s.dir)
@@ -1194,7 +1244,7 @@ func (s *DocStore) compactLocked() error {
 func (s *DocStore) DiskUsage() (snapBytes, walBytes int64, files int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	entries, err := os.ReadDir(s.dir)
+	entries, err := s.fs.ReadDir(s.dir)
 	if err != nil {
 		return 0, 0, 0
 	}
@@ -1224,9 +1274,12 @@ func (s *DocStore) Close() error {
 		return nil
 	}
 	s.closed = true
-	err := s.syncLocked()
-	if cerr := s.active.Close(); err == nil {
-		err = cerr
+	var err error
+	if s.active != nil {
+		err = s.syncLocked()
+		if cerr := s.active.Close(); err == nil {
+			err = cerr
+		}
 	}
 	unlockDir(s.lock)
 	if s.doc != nil && s.opts.onDematerialize != nil {
@@ -1248,12 +1301,17 @@ func (s *DocStore) Crash() (*DocStore, error) {
 	s.closed = true
 	path := filepath.Join(s.dir, segName(s.activeSeq))
 	synced := s.syncedSize
-	s.active.Close()
+	if s.active != nil {
+		s.active.Close()
+	}
 	unlockDir(s.lock)
 	root, docID, agent, opts := s.root, s.docID, s.agent, s.opts
+	hadActive := s.active != nil
 	s.mu.Unlock()
-	if err := os.Truncate(path, synced); err != nil && !errors.Is(err, os.ErrNotExist) {
-		return nil, err
+	if hadActive {
+		if err := s.fs.Truncate(path, synced); err != nil && !errors.Is(err, os.ErrNotExist) {
+			return nil, err
+		}
 	}
 	return Open(root, docID, agent, opts)
 }
