@@ -11,6 +11,8 @@
 //	egbench [-scale F] [-size-out FILE] [-size-traces LIST] size
 //	egbench cluster [-cluster-docs N] [-cluster-writers N] [-cluster-rate F]
 //	                [-cluster-duration D] [-cluster-out FILE]
+//	egbench scale [-scale-conns LIST] [-scale-eps F] [-scale-ramp SPEC]
+//	              [-scale-ramp-docs N] [-scale-ramp-conns N] [-scale-out FILE]
 //
 // (Flags must precede the subcommand name.) The core subcommand compares
 // span-wise replay against the per-unit reference and writes
@@ -73,6 +75,9 @@ func main() {
 		return
 	}
 	if maybeRunCluster(cmd) {
+		return
+	}
+	if maybeRunScale(cmd) {
 		return
 	}
 	ws, err := generate()

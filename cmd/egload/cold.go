@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"egwalker"
+	"egwalker/internal/loadgen"
 	"egwalker/internal/metrics"
 	"egwalker/netsync"
 )
@@ -19,21 +20,6 @@ var (
 	coldDocs  = flag.Int("cold-docs", 10000, "documents populated by the colddocs mix")
 	coldJoins = flag.Int("cold-joins", 500, "cold compact joins sampled by the colddocs mix")
 )
-
-// coldResult is the colddocs mix's extra report section: the cost of a
-// cold compact join against a large population of write-mostly hosted
-// documents. FirstFrameNs is dial → first catch-up frame decoded (what
-// the zero-materialization serve path optimizes); CatchupNs is dial →
-// the full history decoded client-side.
-type coldResult struct {
-	Docs         int                       `json:"docs"`
-	EventsPerDoc int                       `json:"events_per_doc"`
-	PopulateSec  float64                   `json:"populate_sec"`
-	Joins        int64                     `json:"joins"`
-	JoinErrors   int64                     `json:"join_errors"`
-	FirstFrameNs metrics.HistogramSnapshot `json:"first_frame_latency_ns"`
-	CatchupNs    metrics.HistogramSnapshot `json:"catchup_latency_ns"`
-}
 
 // coldAgg accumulates join measurements across workers.
 type coldAgg struct {
@@ -49,7 +35,7 @@ type coldAgg struct {
 // catch-up latency. The server's block_serves / lazy_materializations
 // metrics (embedded via -metrics-url) tell whether the joins were
 // served off disk or forced materializations.
-func runColdDocs() (mixResult, error) {
+func runColdDocs() (loadgen.Result, error) {
 	n := *coldDocs
 	docIDs := make([]string, n)
 	for i := range docIDs {
@@ -61,7 +47,7 @@ func runColdDocs() (mixResult, error) {
 	// knows when its catch-up is complete.
 	seedDoc := egwalker.NewDoc("cold-w")
 	if err := seedDoc.Insert(0, "the quick brown fox jumps over the lazy dog, repeatedly and durably"); err != nil {
-		return mixResult{}, err
+		return loadgen.Result{}, err
 	}
 	events := seedDoc.Events()
 	perDoc := len(events)
@@ -90,7 +76,7 @@ func runColdDocs() (mixResult, error) {
 	}
 	wg.Wait()
 	if e := popErrs.Load(); e > 0 {
-		return mixResult{}, fmt.Errorf("populating %d/%d documents failed (first: %v)", e, n, firstErr.Load())
+		return loadgen.Result{}, fmt.Errorf("populating %d/%d documents failed (first: %v)", e, n, firstErr.Load())
 	}
 	populateSec := time.Since(popStart).Seconds()
 
@@ -125,11 +111,11 @@ func runColdDocs() (mixResult, error) {
 		fmt.Fprintf(os.Stderr, "egload: colddocs: %d/%d joins failed (first: %v)\n", e, joins, firstErr.Load())
 	}
 
-	return mixResult{
+	return loadgen.Result{
 		Name:        "colddocs",
 		DurationSec: elapsed.Seconds(),
 		Docs:        n,
-		Cold: &coldResult{
+		Cold: &loadgen.ColdResult{
 			Docs:         n,
 			EventsPerDoc: perDoc,
 			PopulateSec:  populateSec,

@@ -8,6 +8,8 @@
 //
 //	egload [-addr 127.0.0.1:4222] [-docs 4] [-writers 2] [-rate 100]
 //	       [-duration 10s] [-mix seq,burst,trace,resume,hotdoc,colddocs]
+//	       [-schedule ramp:500:5000:500] [-slot 1s] [-conns 1000]
+//	       [-writers-total 64] [-slo 250ms]
 //	       [-cold-docs 10000] [-cold-joins 500]
 //	       [-out BENCH_server.json] [-metrics-url http://127.0.0.1:4223/metrics]
 //	       [-seed 1] [-doc-prefix NAME] [-cluster host1:4222,host2:4222,...]
@@ -45,14 +47,33 @@
 //     the zero-materialization block-serve path under a large hosted
 //     population. Ignores -duration; see -cold-docs and -cold-joins.
 //
+// Scaling knobs (internal/loadgen):
+//
+//   - -schedule drives the aggregate offered rate (events/second across
+//     the whole writer fleet, not per writer) slot by slot:
+//     steady:RATE:SLOTS, ramp:BEGIN:TARGET:STEP[:SLOTS_PER_STEP],
+//     sweep:... (ramp up then back down), and
+//     burst:BASE:PEAK:PERIOD:DUTY:SLOTS (see internal/sched). Each
+//     -slot wall-clock interval gets its own send/deliver throughput
+//     and fan-out p50/p95/p99 row in the report, and the knee — the
+//     first slot whose p99 exceeds -slo or whose deliveries fall below
+//     99% of offered — is computed from the curve.
+//   - -conns multiplexes that many subscriber connections over the
+//     documents (at least one per document while they last, extras
+//     skewed by the mix's Zipf draw), so thousand-connection fan-out is
+//     measurable from one process.
+//   - -writers-total fixes the writer fleet size absolutely; with Zipf
+//     document populations in the thousands, writers-per-doc stops
+//     being the natural knob.
+//
 // Every mix reports send/deliver throughput (events/sec) and the
 // client-observed fan-out latency distribution (p50/p95/p99): the time
 // from a writer handing a batch to the TCP stack until a subscriber of
 // the same document has it. Writers and readers live in one process,
 // so timestamps share a clock. With -metrics-url, the server's own
 // /metrics snapshot (apply latency, fsync stalls, group-commit batch
-// sizes, outbox depths, sever/resume counters) is fetched after the
-// last mix and embedded in the report.
+// sizes, outbox depths and bytes, sever/coalesce/resume counters) is
+// fetched after the last mix and embedded in the report.
 package main
 
 import (
@@ -66,38 +87,50 @@ import (
 	"time"
 
 	"egwalker/cluster"
+	"egwalker/internal/loadgen"
+	"egwalker/internal/sched"
 )
 
 var (
-	addr       = flag.String("addr", "127.0.0.1:4222", "egserve TCP address")
-	docs       = flag.Int("docs", 4, "documents per mix")
-	writers    = flag.Int("writers", 2, "writers per document (burst/trace/hotdoc mixes)")
-	rate       = flag.Float64("rate", 100, "target events/second per writer (open loop)")
-	duration   = flag.Duration("duration", 10*time.Second, "run time per mix")
-	mixFlag    = flag.String("mix", "seq,burst,resume", "comma-separated workload mixes (seq,burst,trace,resume,hotdoc)")
-	out        = flag.String("out", "BENCH_server.json", "report path")
-	metricsURL = flag.String("metrics-url", "", "egserve metrics endpoint to embed in the report")
-	seed       = flag.Int64("seed", 1, "base RNG seed (edit streams are deterministic per seed)")
-	docPrefix  = flag.String("doc-prefix", "", "document ID prefix (default load-<pid>-<unix>, so each run gets fresh docs)")
+	addr         = flag.String("addr", "127.0.0.1:4222", "egserve TCP address")
+	docs         = flag.Int("docs", 4, "documents per mix")
+	writers      = flag.Int("writers", 2, "writers per document (burst/trace/hotdoc mixes)")
+	writersTotal = flag.Int("writers-total", 0, "total writer fleet size (overrides docs*writers when > 0)")
+	rate         = flag.Float64("rate", 100, "target events/second per writer (open loop; ignored when -schedule is set)")
+	duration     = flag.Duration("duration", 10*time.Second, "run time per mix (ignored when -schedule is set)")
+	schedFlag    = flag.String("schedule", "", "aggregate rate schedule, e.g. ramp:500:5000:500 (see internal/sched; overrides -rate/-duration)")
+	slotDur      = flag.Duration("slot", time.Second, "wall-clock length of one schedule slot")
+	conns        = flag.Int("conns", 0, "subscriber connections multiplexed over the documents (0: one full reader per doc)")
+	slo          = flag.Duration("slo", 250*time.Millisecond, "fan-out p99 SLO for knee detection on scheduled runs")
+	mixFlag      = flag.String("mix", "seq,burst,resume", "comma-separated workload mixes (seq,burst,trace,resume,hotdoc)")
+	out          = flag.String("out", "BENCH_server.json", "report path")
+	metricsURL   = flag.String("metrics-url", "", "egserve metrics endpoint to embed in the report")
+	seed         = flag.Int64("seed", 1, "base RNG seed (edit streams are deterministic per seed)")
+	docPrefix    = flag.String("doc-prefix", "", "document ID prefix (default load-<pid>-<unix>, so each run gets fresh docs)")
 )
 
 // report is the BENCH_server.json schema. The schema string is bumped
 // on breaking changes so trajectory tooling can tell runs apart.
 type report struct {
-	Schema        string          `json:"schema"`
-	GeneratedAt   string          `json:"generated_at"`
-	Addr          string          `json:"addr"`
-	Config        runConfig       `json:"config"`
-	Mixes         []mixResult     `json:"mixes"`
-	ServerMetrics json.RawMessage `json:"server_metrics,omitempty"`
+	Schema        string           `json:"schema"`
+	GeneratedAt   string           `json:"generated_at"`
+	Addr          string           `json:"addr"`
+	Config        runConfig        `json:"config"`
+	Mixes         []loadgen.Result `json:"mixes"`
+	ServerMetrics json.RawMessage  `json:"server_metrics,omitempty"`
 }
 
 type runConfig struct {
-	Docs        int     `json:"docs"`
-	Writers     int     `json:"writers_per_doc"`
-	RateEPS     float64 `json:"target_rate_events_per_sec_per_writer"`
-	DurationSec float64 `json:"duration_sec_per_mix"`
-	Seed        int64   `json:"seed"`
+	Docs         int     `json:"docs"`
+	Writers      int     `json:"writers_per_doc"`
+	WritersTotal int     `json:"writers_total,omitempty"`
+	RateEPS      float64 `json:"target_rate_events_per_sec_per_writer"`
+	DurationSec  float64 `json:"duration_sec_per_mix"`
+	Schedule     string  `json:"schedule,omitempty"`
+	SlotSec      float64 `json:"slot_sec,omitempty"`
+	Conns        int     `json:"conns,omitempty"`
+	SLONs        int64   `json:"slo_ns,omitempty"`
+	Seed         int64   `json:"seed"`
 }
 
 func main() {
@@ -116,18 +149,35 @@ func main() {
 		// serving replica.
 		*addr = seeds[0]
 	}
+	var schedule *sched.Schedule
+	if *schedFlag != "" {
+		s, err := sched.Parse(*schedFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "egload:", err)
+			os.Exit(2)
+		}
+		schedule = s
+	}
 	names := strings.Split(*mixFlag, ",")
 	rep := report{
 		Schema:      "egload/v1",
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 		Addr:        *addr,
 		Config: runConfig{
-			Docs:        *docs,
-			Writers:     *writers,
-			RateEPS:     *rate,
-			DurationSec: duration.Seconds(),
-			Seed:        *seed,
+			Docs:         *docs,
+			Writers:      *writers,
+			WritersTotal: *writersTotal,
+			RateEPS:      *rate,
+			DurationSec:  duration.Seconds(),
+			Seed:         *seed,
+			Conns:        *conns,
 		},
+	}
+	if schedule != nil {
+		rep.Config.Schedule = schedule.Spec()
+		rep.Config.SlotSec = slotDur.Seconds()
+		rep.Config.SLONs = slo.Nanoseconds()
+		rep.Config.DurationSec = (time.Duration(schedule.NumSlots()) * *slotDur).Seconds()
 	}
 	for i, name := range names {
 		name = strings.TrimSpace(name)
@@ -148,13 +198,29 @@ func main() {
 			rep.Mixes = append(rep.Mixes, res)
 			continue
 		}
-		spec, err := mixByName(name)
+		spec, err := loadgen.MixByName(name, *writers, *seed)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "egload:", err)
 			os.Exit(2)
 		}
-		fmt.Fprintf(os.Stderr, "egload: mix %q (%d/%d) for %v...\n", name, i+1, len(names), *duration)
-		res, err := runMix(spec)
+		fmt.Fprintf(os.Stderr, "egload: mix %q (%d/%d)...\n", name, i+1, len(names))
+		res, err := loadgen.Run(loadgen.Config{
+			Dial:         connectDoc,
+			Mix:          spec,
+			Docs:         *docs,
+			DocPrefix:    *docPrefix,
+			WritersTotal: *writersTotal,
+			Conns:        *conns,
+			Rate:         *rate,
+			Duration:     *duration,
+			Schedule:     schedule,
+			SlotDur:      *slotDur,
+			SLO:          *slo,
+			Seed:         *seed,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "egload: "+format+"\n", args...)
+			},
+		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "egload:", err)
 			os.Exit(1)
@@ -162,6 +228,14 @@ func main() {
 		fmt.Fprintf(os.Stderr, "egload: mix %q: sent %d ev (%.0f ev/s), delivered %d, fanout p50=%s p99=%s\n",
 			name, res.EventsSent, res.SendEPS, res.EventsDelivered,
 			time.Duration(res.FanoutNs.P50), time.Duration(res.FanoutNs.P99))
+		if res.Knee != nil {
+			if res.Knee.Found {
+				fmt.Fprintf(os.Stderr, "egload: mix %q: knee at slot %d (target %.0f ev/s, %s)\n",
+					name, res.Knee.Slot, res.Knee.TargetEPS, res.Knee.Reason)
+			} else {
+				fmt.Fprintf(os.Stderr, "egload: mix %q: no knee found within the schedule\n", name)
+			}
+		}
 		rep.Mixes = append(rep.Mixes, res)
 	}
 	if *metricsURL != "" {

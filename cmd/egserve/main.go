@@ -11,8 +11,19 @@
 // Usage:
 //
 //	egserve [-addr :4222] [-data DIR] [-flush 50ms] [-max-open 64] [-max-journal 1024]
-//	        [-snapshot-every 8192] [-metrics-addr :4223] [-metrics-every 0]
+//	        [-snapshot-every 8192] [-outbox-bytes 1048576] [-outbox-total 268435456]
+//	        [-metrics-addr :4223] [-metrics-every 0]
 //	        [-cluster host1:4222,host2:4222,... -cluster-self host1:4222 -replicas 3]
+//
+// Fan-out back-pressure: every subscriber's pending frames are held in
+// a byte-budgeted outbox. A peer past -outbox-bytes first has its
+// queue coalesced (adjacent frames merged into one batch, which the
+// compact encoding shrinks dramatically); only if it is still over
+// budget is it severed, and it reconnects with a resume hello that
+// replays exactly what it missed. -outbox-total caps the queued bytes
+// across all subscribers of all documents, which bounds server RSS no
+// matter how many peers go slow at once. The conn_count, outbox_bytes,
+// coalesced_frames and sever_rate metrics observe this machinery.
 //
 // Cluster mode: -cluster lists the full static membership (every node
 // must be started with the same list; the placement ring is a pure
@@ -70,6 +81,8 @@ var (
 	segmentMax  = flag.Int64("segment-max", 0, "WAL segment rotation threshold in bytes (0: default 1 MiB)")
 	scrubEvery  = flag.Duration("scrub-every", 0, "period of the background integrity scrub over all documents (0: off)")
 	scrubRate   = flag.Int64("scrub-rate", 0, "scrub read budget in bytes/second (0: default 8 MiB/s, negative: unlimited)")
+	outboxPeer  = flag.Int64("outbox-bytes", 0, "queued fan-out bytes one slow subscriber may buffer before coalesce-then-sever (0: default 1 MiB)")
+	outboxTotal = flag.Int64("outbox-total", 0, "queued fan-out bytes across all subscribers — the RSS backstop (0: default 256 MiB)")
 	metricsAddr = flag.String("metrics-addr", "", "serve GET /metrics (JSON snapshot), /healthz and /fingerprint?doc=ID on this address (empty: off)")
 	metricsLog  = flag.Duration("metrics-every", 0, "log a metrics JSON snapshot on this interval (0: off)")
 
@@ -86,13 +99,15 @@ func main() {
 	log.SetFlags(log.LstdFlags | log.Lmsgprefix)
 
 	srvOpts := store.ServerOptions{
-		MaxOpenDocs:      *maxOpen,
-		MaxJournalDocs:   *maxJournal,
-		FlushInterval:    *flush,
-		SnapshotEvery:    *snapshot,
-		ScrubEvery:       *scrubEvery,
-		ScrubBytesPerSec: *scrubRate,
-		Logf:             log.Printf,
+		MaxOpenDocs:        *maxOpen,
+		MaxJournalDocs:     *maxJournal,
+		FlushInterval:      *flush,
+		SnapshotEvery:      *snapshot,
+		ScrubEvery:         *scrubEvery,
+		ScrubBytesPerSec:   *scrubRate,
+		OutboxBytesPerPeer: *outboxPeer,
+		OutboxBytesTotal:   *outboxTotal,
+		Logf:               log.Printf,
 	}
 	srvOpts.DocOptions.SegmentMaxBytes = *segmentMax
 

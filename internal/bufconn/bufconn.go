@@ -1,0 +1,253 @@
+// Package bufconn provides an in-memory net.Conn and net.Listener
+// backed by buffered byte pipes instead of sockets. Every real TCP
+// loopback connection costs two file descriptors (client end + server
+// end), so a 10k-connection benchmark needs >20k fds — more than
+// typical rlimits allow. A bufconn connection costs zero fds and, unlike
+// net.Pipe, buffers writes (net.Pipe is synchronous: every Write blocks
+// until the peer Reads, which serializes writer and reader and makes
+// open-loop load generation impossible in-process).
+//
+// The shape follows the gRPC bufconn idiom: Listen returns a Listener
+// whose Dial conjures a connected pair; the accept side pops from a
+// channel. Deadlines are supported for Read and Write, which the
+// store's sever path and the load generator's drain phase both rely on.
+package bufconn
+
+import (
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// ErrClosed is returned by Accept and Dial after the listener closes.
+var ErrClosed = errors.New("bufconn: listener closed")
+
+// Listener hands out in-memory connections.
+type Listener struct {
+	sz     int
+	ch     chan net.Conn
+	done   chan struct{}
+	closed sync.Once
+}
+
+// Listen returns a Listener whose connections buffer up to sz bytes in
+// each direction before Write blocks.
+func Listen(sz int) *Listener {
+	if sz <= 0 {
+		sz = 64 << 10
+	}
+	return &Listener{sz: sz, ch: make(chan net.Conn, 128), done: make(chan struct{})}
+}
+
+// Accept returns the server end of the next dialed connection.
+func (l *Listener) Accept() (net.Conn, error) {
+	select {
+	case <-l.done:
+		return nil, ErrClosed
+	case c := <-l.ch:
+		return c, nil
+	}
+}
+
+// Dial creates a connected pair, queues the server end for Accept, and
+// returns the client end.
+func (l *Listener) Dial() (net.Conn, error) {
+	// Check closed first: the select below picks randomly when the
+	// accept queue has room, and a closed listener must refuse
+	// deterministically.
+	select {
+	case <-l.done:
+		return nil, ErrClosed
+	default:
+	}
+	p1 := newPipe(l.sz)
+	p2 := newPipe(l.sz)
+	client := &conn{rd: p1, wr: p2}
+	server := &conn{rd: p2, wr: p1}
+	select {
+	case <-l.done:
+		return nil, ErrClosed
+	case l.ch <- server:
+		return client, nil
+	}
+}
+
+// Close stops Accept and Dial. Existing connections are unaffected.
+func (l *Listener) Close() error {
+	l.closed.Do(func() { close(l.done) })
+	return nil
+}
+
+// Addr implements net.Listener with a synthetic address.
+func (l *Listener) Addr() net.Addr { return addr{} }
+
+type addr struct{}
+
+func (addr) Network() string { return "bufconn" }
+func (addr) String() string  { return "bufconn" }
+
+// pipe is one direction: a bounded in-memory byte queue with
+// deadline-aware blocking on both ends.
+type pipe struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	buf  []byte
+	max  int
+	// closed severs both ends (further Writes fail; Reads drain the
+	// residue then fail). rdl/wdl are the read/write deadlines; a
+	// deadline change broadcasts so blocked callers re-evaluate.
+	closed   bool
+	rdl, wdl time.Time
+	timers   []*time.Timer
+}
+
+func newPipe(sz int) *pipe {
+	p := &pipe{max: sz}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+func (p *pipe) read(b []byte) (int, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for len(p.buf) == 0 {
+		if p.closed {
+			return 0, io.EOF
+		}
+		if expired(p.rdl) {
+			return 0, timeoutErr{}
+		}
+		p.waitLocked(p.rdl)
+	}
+	n := copy(b, p.buf)
+	p.buf = p.buf[n:]
+	if len(p.buf) == 0 {
+		p.buf = nil // let the backing array go
+	}
+	p.cond.Broadcast()
+	return n, nil
+}
+
+func (p *pipe) write(b []byte) (int, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var total int
+	for len(b) > 0 {
+		if p.closed {
+			return total, io.ErrClosedPipe
+		}
+		if expired(p.wdl) {
+			return total, timeoutErr{}
+		}
+		if free := p.max - len(p.buf); free > 0 {
+			n := len(b)
+			if n > free {
+				n = free
+			}
+			p.buf = append(p.buf, b[:n]...)
+			b = b[n:]
+			total += n
+			p.cond.Broadcast()
+			continue
+		}
+		p.waitLocked(p.wdl)
+	}
+	return total, nil
+}
+
+// waitLocked blocks on the cond, arming a wake-up timer if a deadline
+// is set so the wait re-evaluates when it expires.
+func (p *pipe) waitLocked(dl time.Time) {
+	if !dl.IsZero() {
+		d := time.Until(dl)
+		if d <= 0 {
+			return
+		}
+		t := time.AfterFunc(d, func() {
+			p.mu.Lock()
+			p.cond.Broadcast()
+			p.mu.Unlock()
+		})
+		p.timers = append(p.timers, t)
+		defer func() {
+			t.Stop()
+			for i, x := range p.timers {
+				if x == t {
+					p.timers = append(p.timers[:i], p.timers[i+1:]...)
+					break
+				}
+			}
+		}()
+	}
+	p.cond.Wait()
+}
+
+func (p *pipe) close() {
+	p.mu.Lock()
+	p.closed = true
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+func (p *pipe) setReadDeadline(t time.Time) {
+	p.mu.Lock()
+	p.rdl = t
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+func (p *pipe) setWriteDeadline(t time.Time) {
+	p.mu.Lock()
+	p.wdl = t
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+func expired(dl time.Time) bool { return !dl.IsZero() && !time.Now().Before(dl) }
+
+type timeoutErr struct{}
+
+func (timeoutErr) Error() string   { return "bufconn: i/o timeout" }
+func (timeoutErr) Timeout() bool   { return true }
+func (timeoutErr) Temporary() bool { return true }
+
+// conn is one end of a connection: reads from one pipe, writes to the
+// other. Closing a conn closes both pipes, so the peer observes EOF on
+// read and an error on write — matching TCP close semantics closely
+// enough for the relay's sever path.
+type conn struct {
+	rd, wr *pipe
+	once   sync.Once
+}
+
+func (c *conn) Read(b []byte) (int, error)  { return c.rd.read(b) }
+func (c *conn) Write(b []byte) (int, error) { return c.wr.write(b) }
+
+func (c *conn) Close() error {
+	c.once.Do(func() {
+		c.rd.close()
+		c.wr.close()
+	})
+	return nil
+}
+
+func (c *conn) LocalAddr() net.Addr  { return addr{} }
+func (c *conn) RemoteAddr() net.Addr { return addr{} }
+
+func (c *conn) SetDeadline(t time.Time) error {
+	c.rd.setReadDeadline(t)
+	c.wr.setWriteDeadline(t)
+	return nil
+}
+
+func (c *conn) SetReadDeadline(t time.Time) error {
+	c.rd.setReadDeadline(t)
+	return nil
+}
+
+func (c *conn) SetWriteDeadline(t time.Time) error {
+	c.wr.setWriteDeadline(t)
+	return nil
+}

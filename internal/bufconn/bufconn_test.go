@@ -1,0 +1,205 @@
+package bufconn
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+func dialPair(t *testing.T, sz int) (client, server net.Conn) {
+	t.Helper()
+	l := Listen(sz)
+	t.Cleanup(func() { l.Close() })
+	c, err := l.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := l.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, s
+}
+
+func TestRoundTrip(t *testing.T) {
+	c, s := dialPair(t, 16)
+	msg := []byte("hello across the buffer boundary") // larger than sz=16
+	var got []byte
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		buf := make([]byte, 8)
+		for len(got) < len(msg) {
+			n, err := s.Read(buf)
+			if err != nil {
+				t.Errorf("read: %v", err)
+				return
+			}
+			got = append(got, buf[:n]...)
+		}
+	}()
+	if _, err := c.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("got %q, want %q", got, msg)
+	}
+}
+
+// TestWriteBuffers: unlike net.Pipe, a write smaller than the buffer
+// completes without a concurrent reader.
+func TestWriteBuffers(t *testing.T) {
+	c, _ := dialPair(t, 1024)
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Write(make([]byte, 512))
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("buffered write blocked without a reader")
+	}
+}
+
+// TestCloseUnblocksPeer: the sever path — closing one end must unblock
+// a peer stuck in Read (EOF) and a peer stuck in Write (error), or a
+// severed subscriber's goroutines leak forever.
+func TestCloseUnblocksPeer(t *testing.T) {
+	c, s := dialPair(t, 16)
+
+	readErr := make(chan error, 1)
+	go func() {
+		_, err := s.Read(make([]byte, 8))
+		readErr <- err
+	}()
+	writeErr := make(chan error, 1)
+	go func() {
+		// Larger than the buffer with nobody reading: blocks until close.
+		_, err := s.Write(make([]byte, 64))
+		writeErr <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	c.Close()
+
+	select {
+	case err := <-readErr:
+		if err != io.EOF {
+			t.Errorf("blocked read after close: got %v, want EOF", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("blocked read not unblocked by peer close")
+	}
+	select {
+	case err := <-writeErr:
+		if err == nil {
+			t.Error("blocked write after close: got nil error")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("blocked write not unblocked by peer close")
+	}
+}
+
+func TestReadDeadline(t *testing.T) {
+	_, s := dialPair(t, 16)
+	s.SetReadDeadline(time.Now().Add(20 * time.Millisecond))
+	start := time.Now()
+	_, err := s.Read(make([]byte, 8))
+	if err == nil {
+		t.Fatal("read with expired deadline returned nil error")
+	}
+	ne, ok := err.(net.Error)
+	if !ok || !ne.Timeout() {
+		t.Fatalf("deadline error %v is not a net.Error timeout", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatalf("deadline read took %v", time.Since(start))
+	}
+	// Clearing the deadline makes reads block (and deliver) again.
+	s.SetReadDeadline(time.Time{})
+}
+
+func TestListenerClose(t *testing.T) {
+	l := Listen(16)
+	if _, err := l.Dial(); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	if _, err := l.Dial(); err != ErrClosed {
+		t.Fatalf("Dial after close: got %v, want ErrClosed", err)
+	}
+	// One queued conn survives... then Accept fails. Either order of
+	// drain/fail is fine; just require no hang.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			if _, err := l.Accept(); err != nil {
+				return
+			}
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Accept hung after Close")
+	}
+}
+
+// TestConcurrent hammers a pair from both sides under the race
+// detector: bytes arrive intact, in order, and nothing deadlocks.
+func TestConcurrent(t *testing.T) {
+	c, s := dialPair(t, 256)
+	const total = 1 << 16
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		chunk := make([]byte, 733)
+		for i := range chunk {
+			chunk[i] = byte(i)
+		}
+		sent := 0
+		for sent < total {
+			n := len(chunk)
+			if total-sent < n {
+				n = total - sent
+			}
+			if _, err := c.Write(chunk[:n]); err != nil {
+				t.Errorf("write: %v", err)
+				return
+			}
+			sent += n
+		}
+	}()
+	var got int
+	go func() {
+		defer wg.Done()
+		buf := make([]byte, 509)
+		for got < total {
+			n, err := s.Read(buf)
+			if err != nil {
+				t.Errorf("read: %v", err)
+				return
+			}
+			for i := 0; i < n; i++ {
+				if buf[i] != byte((got+i)%733) {
+					t.Errorf("byte %d corrupted", got+i)
+					return
+				}
+			}
+			got += n
+		}
+	}()
+	wg.Wait()
+	if got != total {
+		t.Fatalf("received %d of %d bytes", got, total)
+	}
+}

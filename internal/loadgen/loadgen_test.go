@@ -1,0 +1,219 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"net"
+	"testing"
+	"time"
+
+	"egwalker/internal/sched"
+	"egwalker/store"
+)
+
+// TestScheduledRunSmoke drives a real store.Server over TCP loopback
+// with a 2-slot ramp and 200 multiplexed subscriber connections and
+// checks the per-slot output is well-formed and internally consistent:
+// every slot row round-trips through JSON with its required keys,
+// cumulative sent events are monotone, and the drain converges (every
+// sent event reached every subscriber of its document).
+func TestScheduledRunSmoke(t *testing.T) {
+	srv, err := store.NewServer(t.TempDir(), store.ServerOptions{FlushInterval: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer c.Close()
+				srv.ServeConn(c)
+			}()
+		}
+	}()
+
+	schedule, err := sched.Parse("ramp:200:400:200")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if schedule.NumSlots() != 2 {
+		t.Fatalf("ramp:200:400:200 has %d slots, want 2", schedule.NumSlots())
+	}
+	spec, err := MixByName("seq", 1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{
+		Dial:      TCPDialer(ln.Addr().String()),
+		Mix:       spec,
+		Docs:      20,
+		DocPrefix: "smoke",
+		Conns:     200,
+		Schedule:  schedule,
+		SlotDur:   300 * time.Millisecond,
+		Seed:      7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if res.Conns != 200 {
+		t.Fatalf("Conns = %d, want 200", res.Conns)
+	}
+	if res.Schedule != schedule.Spec() {
+		t.Fatalf("Schedule = %q", res.Schedule)
+	}
+	if len(res.Slots) != 2 {
+		t.Fatalf("got %d slot rows, want 2", len(res.Slots))
+	}
+	if res.Knee == nil {
+		t.Fatal("scheduled run missing knee result")
+	}
+	if res.WriterErrors != 0 {
+		t.Fatalf("%d writers failed", res.WriterErrors)
+	}
+	if res.EventsSent == 0 {
+		t.Fatal("no events sent")
+	}
+	// Every document has at least one subscriber (200 conns >= 20
+	// docs), so expected deliveries dominate sends, and the drain must
+	// converge on loopback at these rates.
+	if res.ExpectedDeliveries < res.EventsSent {
+		t.Fatalf("expected deliveries %d < events sent %d", res.ExpectedDeliveries, res.EventsSent)
+	}
+	if res.Undelivered != 0 {
+		t.Fatalf("%d events undelivered after drain", res.Undelivered)
+	}
+	if res.EventsDelivered != res.ExpectedDeliveries {
+		t.Fatalf("delivered %d, want %d", res.EventsDelivered, res.ExpectedDeliveries)
+	}
+
+	// Per-slot rows: well-formed JSON with the schema's keys, monotone
+	// cumulative sends, slot totals bounded by the run totals.
+	var cumSent, cumDelivered int64
+	for i, s := range res.Slots {
+		if s.Slot != i {
+			t.Fatalf("slot %d labeled %d", i, s.Slot)
+		}
+		if s.TargetEPS != schedule.Rate(i) {
+			t.Fatalf("slot %d target %g, want %g", i, s.TargetEPS, schedule.Rate(i))
+		}
+		if s.EventsSent < 0 || s.Deliveries < 0 {
+			t.Fatalf("slot %d has negative counts: %+v", i, s)
+		}
+		cumSent += s.EventsSent
+		cumDelivered += s.Deliveries
+		b, err := json.Marshal(s)
+		if err != nil {
+			t.Fatalf("slot %d does not marshal: %v", i, err)
+		}
+		var m map[string]any
+		if err := json.Unmarshal(b, &m); err != nil {
+			t.Fatalf("slot %d JSON does not round-trip: %v", i, err)
+		}
+		for _, k := range []string{"slot", "target_eps", "duration_sec", "events_sent", "deliveries", "expected_deliveries", "send_eps", "deliver_eps", "fanout_latency_ns"} {
+			if _, ok := m[k]; !ok {
+				t.Fatalf("slot %d JSON missing %q: %s", i, k, b)
+			}
+		}
+	}
+	if cumSent == 0 {
+		t.Fatal("no events sent during schedule slots")
+	}
+	if cumSent > res.EventsSent {
+		t.Fatalf("slots account for %d sends, run total only %d", cumSent, res.EventsSent)
+	}
+	if cumDelivered > res.EventsDelivered {
+		t.Fatalf("slots account for %d deliveries, run total only %d", cumDelivered, res.EventsDelivered)
+	}
+
+	// The whole result must serialize (it is a BENCH_server.json row).
+	if _, err := json.Marshal(res); err != nil {
+		t.Fatalf("result does not marshal: %v", err)
+	}
+}
+
+// TestComputeKnee pins the knee rules on synthetic slot curves: the
+// first SLO violation wins, a delivery shortfall wins when latency
+// stays fine, zero-target and zero-send slots are skipped, and a clean
+// curve reports no knee.
+func TestComputeKnee(t *testing.T) {
+	mk := func(slot int, target float64, sent, exp, del, p99 int64) SlotResult {
+		sr := SlotResult{Slot: slot, TargetEPS: target, EventsSent: sent, ExpectedDeliveries: exp, Deliveries: del}
+		sr.FanoutNs.Count = sent
+		sr.FanoutNs.P99 = p99
+		return sr
+	}
+	slo := 100 * time.Millisecond
+	sloNs := slo.Nanoseconds()
+
+	clean := []SlotResult{mk(0, 100, 50, 50, 50, sloNs/2), mk(1, 200, 100, 100, 100, sloNs/2)}
+	if k := ComputeKnee(clean, slo, 0.99); k.Found {
+		t.Fatalf("clean curve reported knee: %+v", k)
+	} else if k.SLONs != sloNs || k.DeliverFloor != 0.99 {
+		t.Fatalf("knee params not recorded: %+v", k)
+	}
+
+	latency := []SlotResult{
+		mk(0, 100, 50, 50, 50, sloNs/2),
+		mk(1, 200, 100, 100, 100, sloNs*2),
+		mk(2, 300, 100, 100, 10, sloNs*3), // later, worse — first hit must win
+	}
+	if k := ComputeKnee(latency, slo, 0.99); !k.Found || k.Slot != 1 || k.Reason != "p99_over_slo" || k.TargetEPS != 200 {
+		t.Fatalf("latency knee: %+v", k)
+	}
+
+	behind := []SlotResult{
+		mk(0, 100, 50, 50, 50, sloNs/2),
+		mk(1, 200, 100, 100, 90, sloNs/2), // cumulative 140/150 < 99% floor
+	}
+	if k := ComputeKnee(behind, slo, 0.99); !k.Found || k.Slot != 1 || k.Reason != "deliver_behind" {
+		t.Fatalf("deliver knee: %+v", k)
+	}
+
+	// Boundary wobble is not a knee: deliveries attributed to the next
+	// slot make one slot read 97.5% on its own, but the cumulative
+	// ratio never drops below the floor.
+	wobble := []SlotResult{
+		mk(0, 100, 1000, 1000, 1000, sloNs/2),
+		mk(1, 200, 200, 200, 195, sloNs/2), // the missing 5...
+		mk(2, 300, 200, 200, 205, sloNs/2), // ...arrive here
+	}
+	if k := ComputeKnee(wobble, slo, 0.99); k.Found {
+		t.Fatalf("boundary wobble reported knee: %+v", k)
+	}
+
+	// In-flight allowance: a cumulative deficit below deliver-rate x SLO
+	// is pipeline occupancy, not falling behind — even when it dips
+	// under the ratio floor early in a run. A deficit past the
+	// allowance is a knee.
+	inflight := mk(0, 1000, 1000, 1000, 905, sloNs/2) // deficit 95 < 1000/s * 100ms = 100
+	inflight.DurationSec = 1
+	if k := ComputeKnee([]SlotResult{inflight}, slo, 0.99); k.Found {
+		t.Fatalf("in-flight backlog reported knee: %+v", k)
+	}
+	lagging := mk(0, 1000, 1000, 1000, 800, sloNs/2) // deficit 200 > allowance 100
+	lagging.DurationSec = 1
+	if k := ComputeKnee([]SlotResult{lagging}, slo, 0.99); !k.Found || k.Reason != "deliver_behind" {
+		t.Fatalf("lagging server not flagged: %+v", k)
+	}
+
+	// Burst troughs (target 0) and idle slots (nothing sent) never
+	// count as knees, whatever their stale numbers look like.
+	skipped := []SlotResult{
+		mk(0, 0, 0, 0, 0, sloNs*10),
+		mk(1, 100, 0, 0, 0, 0),
+		mk(2, 100, 50, 50, 50, sloNs/2),
+	}
+	if k := ComputeKnee(skipped, slo, 0.99); k.Found {
+		t.Fatalf("skippable slots reported knee: %+v", k)
+	}
+}

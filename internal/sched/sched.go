@@ -1,0 +1,281 @@
+// Package sched defines open-loop load schedules: a sequence of
+// per-slot target rates (events per second) that a load generator
+// walks through, one slot at a time. The shapes follow the invitro
+// trace-synthesizer idiom — instead of asserting one operating point,
+// a ramp or sweep walks the offered load across a range so the knee of
+// the system (the first slot where latency blows past the SLO or
+// delivery falls behind the offered rate) is computed from the curve,
+// not eyeballed.
+//
+// Four shapes are provided:
+//
+//   - steady: one rate for every slot.
+//   - ramp: begin → target in fixed steps, each step held for a fixed
+//     number of slots, with the final step clamped to exactly target
+//     (a step that would overshoot emits target instead).
+//   - sweep: a ramp up followed by its mirror back down (the peak slot
+//     is not repeated), so recovery after overload is measured too.
+//   - burst: a duty cycle alternating peak and base rates (base may be
+//     zero — idle troughs between bursts).
+//
+// Schedules are pure values: the same spec always yields the same
+// per-slot rates, and Jittered derives a perturbed copy that is
+// deterministic in its seed.
+package sched
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strconv"
+	"strings"
+)
+
+// maxSlots bounds how many slots any schedule may span: a load run is
+// minutes of wall clock, so a million slots is already absurd, and the
+// cap keeps a typo'd spec (step:0.0001) from allocating gigabytes.
+const maxSlots = 1 << 20
+
+// Schedule is an immutable sequence of per-slot target rates.
+type Schedule struct {
+	spec  string
+	rates []float64
+}
+
+// Spec returns the canonical spec string the schedule was built from
+// (reports embed it so a curve is reproducible from its JSON alone).
+func (s *Schedule) Spec() string { return s.spec }
+
+// NumSlots returns how many slots the schedule spans.
+func (s *Schedule) NumSlots() int { return len(s.rates) }
+
+// Rate returns the target rate (events/second) for one slot. Slots
+// outside the schedule return 0.
+func (s *Schedule) Rate(slot int) float64 {
+	if slot < 0 || slot >= len(s.rates) {
+		return 0
+	}
+	return s.rates[slot]
+}
+
+// Rates returns a copy of every per-slot rate.
+func (s *Schedule) Rates() []float64 {
+	out := make([]float64, len(s.rates))
+	copy(out, s.rates)
+	return out
+}
+
+// MaxRate returns the highest per-slot rate.
+func (s *Schedule) MaxRate() float64 {
+	var m float64
+	for _, r := range s.rates {
+		if r > m {
+			m = r
+		}
+	}
+	return m
+}
+
+// Steady returns a schedule holding one rate for slots slots.
+func Steady(rate float64, slots int) (*Schedule, error) {
+	if rate < 0 || slots <= 0 || slots > maxSlots {
+		return nil, fmt.Errorf("sched: steady needs rate >= 0 and 0 < slots <= %d (got %g, %d)", maxSlots, rate, slots)
+	}
+	rates := make([]float64, slots)
+	for i := range rates {
+		rates[i] = rate
+	}
+	return &Schedule{spec: fmt.Sprintf("steady:%s:%d", ftoa(rate), slots), rates: rates}, nil
+}
+
+// Ramp returns begin, begin+step, ... held perStep slots each, ending
+// on exactly target: a step that would overshoot is clamped to target
+// (the invitro "normal" mode's final-slot clamp), so the last perStep
+// slots always offer the target rate itself.
+func Ramp(begin, target, step float64, perStep int) (*Schedule, error) {
+	levels, err := rampLevels(begin, target, step)
+	if err != nil {
+		return nil, err
+	}
+	if perStep <= 0 || len(levels)*perStep > maxSlots {
+		return nil, fmt.Errorf("sched: ramp needs perStep > 0 and at most %d total slots (got %d levels x %d)", maxSlots, len(levels), perStep)
+	}
+	var rates []float64
+	for _, l := range levels {
+		for i := 0; i < perStep; i++ {
+			rates = append(rates, l)
+		}
+	}
+	spec := fmt.Sprintf("ramp:%s:%s:%s:%d", ftoa(begin), ftoa(target), ftoa(step), perStep)
+	return &Schedule{spec: spec, rates: rates}, nil
+}
+
+// Sweep returns a ramp up from begin to target followed by its mirror
+// back down to begin. The peak level appears once (not doubled), so a
+// sweep over L ramp levels spans (2L-1)*perStep slots.
+func Sweep(begin, target, step float64, perStep int) (*Schedule, error) {
+	levels, err := rampLevels(begin, target, step)
+	if err != nil {
+		return nil, err
+	}
+	if perStep <= 0 || (2*len(levels)-1)*perStep > maxSlots {
+		return nil, fmt.Errorf("sched: sweep needs perStep > 0 and at most %d total slots (got %d levels x %d)", maxSlots, 2*len(levels)-1, perStep)
+	}
+	for i := len(levels) - 2; i >= 0; i-- {
+		levels = append(levels, levels[i])
+	}
+	var rates []float64
+	for _, l := range levels {
+		for i := 0; i < perStep; i++ {
+			rates = append(rates, l)
+		}
+	}
+	spec := fmt.Sprintf("sweep:%s:%s:%s:%d", ftoa(begin), ftoa(target), ftoa(step), perStep)
+	return &Schedule{spec: spec, rates: rates}, nil
+}
+
+// Burst returns a duty cycle: within each period of `period` slots the
+// first `duty` slots offer peak and the rest offer base (base may be 0
+// — a zero-rate trough where writers go fully idle), repeated until
+// `slots` total slots.
+func Burst(base, peak float64, period, duty, slots int) (*Schedule, error) {
+	if base < 0 || peak < 0 || period <= 0 || duty <= 0 || duty > period || slots <= 0 || slots > maxSlots {
+		return nil, fmt.Errorf("sched: burst needs base,peak >= 0 and 0 < duty <= period and slots > 0 (got base=%g peak=%g period=%d duty=%d slots=%d)",
+			base, peak, period, duty, slots)
+	}
+	rates := make([]float64, slots)
+	for i := range rates {
+		if i%period < duty {
+			rates[i] = peak
+		} else {
+			rates[i] = base
+		}
+	}
+	spec := fmt.Sprintf("burst:%s:%s:%d:%d:%d", ftoa(base), ftoa(peak), period, duty, slots)
+	return &Schedule{spec: spec, rates: rates}, nil
+}
+
+// rampLevels emits begin, begin+step, ... with the final level clamped
+// to exactly target.
+func rampLevels(begin, target, step float64) ([]float64, error) {
+	if begin < 0 || target < begin || step <= 0 {
+		return nil, fmt.Errorf("sched: ramp needs 0 <= begin <= target and step > 0 (got begin=%g target=%g step=%g)", begin, target, step)
+	}
+	if (target-begin)/step > maxSlots {
+		return nil, fmt.Errorf("sched: ramp from %g to %g by %g exceeds %d levels", begin, target, step, maxSlots)
+	}
+	var levels []float64
+	for r := begin; r < target; r += step {
+		levels = append(levels, r)
+	}
+	levels = append(levels, target)
+	return levels, nil
+}
+
+// Jittered returns a copy with every slot rate multiplied by a uniform
+// draw from [1-frac, 1+frac], deterministic in seed: the same
+// (schedule, frac, seed) always yields the same rates, so a jittered
+// run is exactly reproducible.
+func (s *Schedule) Jittered(frac float64, seed int64) (*Schedule, error) {
+	if frac < 0 || frac >= 1 {
+		return nil, fmt.Errorf("sched: jitter fraction must be in [0, 1) (got %g)", frac)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	rates := make([]float64, len(s.rates))
+	for i, r := range s.rates {
+		rates[i] = r * (1 + frac*(2*rng.Float64()-1))
+	}
+	spec := fmt.Sprintf("%s+jitter:%s:%d", s.spec, ftoa(frac), seed)
+	return &Schedule{spec: spec, rates: rates}, nil
+}
+
+// Parse builds a schedule from a colon-separated spec string — the
+// form load-generator flags take:
+//
+//	steady:RATE:SLOTS
+//	ramp:BEGIN:TARGET:STEP[:SLOTS_PER_STEP]
+//	sweep:BEGIN:TARGET:STEP[:SLOTS_PER_STEP]
+//	burst:BASE:PEAK:PERIOD:DUTY:SLOTS
+//
+// Rates are events/second (across the whole writer fleet); slot
+// duration is the load generator's own knob.
+func Parse(spec string) (*Schedule, error) {
+	parts := strings.Split(spec, ":")
+	kind := parts[0]
+	args := parts[1:]
+	switch kind {
+	case "steady":
+		if len(args) != 2 {
+			return nil, fmt.Errorf("sched: steady wants RATE:SLOTS (got %q)", spec)
+		}
+		rate, err1 := atof(args[0])
+		slots, err2 := atoi(args[1])
+		if err := firstErr(err1, err2); err != nil {
+			return nil, fmt.Errorf("sched: %q: %w", spec, err)
+		}
+		return Steady(rate, slots)
+	case "ramp", "sweep":
+		if len(args) != 3 && len(args) != 4 {
+			return nil, fmt.Errorf("sched: %s wants BEGIN:TARGET:STEP[:SLOTS_PER_STEP] (got %q)", kind, spec)
+		}
+		begin, err1 := atof(args[0])
+		target, err2 := atof(args[1])
+		step, err3 := atof(args[2])
+		perStep := 1
+		var err4 error
+		if len(args) == 4 {
+			perStep, err4 = atoi(args[3])
+		}
+		if err := firstErr(err1, err2, err3, err4); err != nil {
+			return nil, fmt.Errorf("sched: %q: %w", spec, err)
+		}
+		if kind == "ramp" {
+			return Ramp(begin, target, step, perStep)
+		}
+		return Sweep(begin, target, step, perStep)
+	case "burst":
+		if len(args) != 5 {
+			return nil, fmt.Errorf("sched: burst wants BASE:PEAK:PERIOD:DUTY:SLOTS (got %q)", spec)
+		}
+		base, err1 := atof(args[0])
+		peak, err2 := atof(args[1])
+		period, err3 := atoi(args[2])
+		duty, err4 := atoi(args[3])
+		slots, err5 := atoi(args[4])
+		if err := firstErr(err1, err2, err3, err4, err5); err != nil {
+			return nil, fmt.Errorf("sched: %q: %w", spec, err)
+		}
+		return Burst(base, peak, period, duty, slots)
+	default:
+		return nil, fmt.Errorf("sched: unknown schedule kind %q (want steady, ramp, sweep, burst)", kind)
+	}
+}
+
+// atof parses a finite non-NaN rate: ParseFloat accepts "NaN" and
+// "Inf" without error, and neither is a rate a pacer can follow.
+func atof(s string) (float64, error) {
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, err
+	}
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return 0, fmt.Errorf("rate %q is not finite", s)
+	}
+	return f, nil
+}
+
+func atoi(s string) (int, error) {
+	n, err := strconv.Atoi(s)
+	return n, err
+}
+
+func ftoa(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }
+
+func firstErr(errs ...error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

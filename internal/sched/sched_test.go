@@ -1,0 +1,192 @@
+package sched
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+// TestScheduleShapes pins the exact per-slot rates each spec emits —
+// the invitro idiom's contract: ramps clamp their final level to
+// exactly the target, sweeps mirror without doubling the peak, bursts
+// may trough at a literal zero rate.
+func TestScheduleShapes(t *testing.T) {
+	cases := []struct {
+		spec string
+		want []float64
+	}{
+		{"steady:100:4", []float64{100, 100, 100, 100}},
+
+		// Even division: levels land exactly on target.
+		{"ramp:100:400:100", []float64{100, 200, 300, 400}},
+		// Final-slot clamping: 100+3*150=550 would overshoot 400, so the
+		// last level is clamped to exactly 400.
+		{"ramp:100:400:150", []float64{100, 250, 400}},
+		// Degenerate ramp: begin == target is a single level.
+		{"ramp:400:400:100", []float64{400}},
+		// Slots-per-step holds each level.
+		{"ramp:100:300:100:2", []float64{100, 100, 200, 200, 300, 300}},
+
+		// Sweep mirrors back down without repeating the peak.
+		{"sweep:100:300:100", []float64{100, 200, 300, 200, 100}},
+		{"sweep:100:400:150", []float64{100, 250, 400, 250, 100}},
+		{"sweep:100:200:100:2", []float64{100, 100, 200, 200, 100, 100}},
+
+		// Burst duty cycle; the second has zero-rate troughs.
+		{"burst:50:500:4:2:8", []float64{500, 500, 50, 50, 500, 500, 50, 50}},
+		{"burst:0:500:3:1:7", []float64{500, 0, 0, 500, 0, 0, 500}},
+	}
+	for _, c := range cases {
+		s, err := Parse(c.spec)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.spec, err)
+			continue
+		}
+		if got := s.Rates(); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Parse(%q).Rates() = %v, want %v", c.spec, got, c.want)
+		}
+		if s.NumSlots() != len(c.want) {
+			t.Errorf("Parse(%q).NumSlots() = %d, want %d", c.spec, s.NumSlots(), len(c.want))
+		}
+		if s.Spec() == "" {
+			t.Errorf("Parse(%q).Spec() is empty", c.spec)
+		}
+	}
+}
+
+func TestScheduleRateOutOfRange(t *testing.T) {
+	s, err := Parse("steady:100:3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Rate(-1); got != 0 {
+		t.Errorf("Rate(-1) = %g, want 0", got)
+	}
+	if got := s.Rate(3); got != 0 {
+		t.Errorf("Rate(3) = %g, want 0", got)
+	}
+	if got := s.Rate(1); got != 100 {
+		t.Errorf("Rate(1) = %g, want 100", got)
+	}
+}
+
+func TestScheduleMaxRate(t *testing.T) {
+	s, err := Parse("sweep:100:400:150")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.MaxRate(); got != 400 {
+		t.Errorf("MaxRate() = %g, want 400", got)
+	}
+}
+
+// TestParseRejects pins the error surface: malformed specs must fail
+// parse, not silently produce an empty or runaway schedule.
+func TestParseRejects(t *testing.T) {
+	bad := []string{
+		"",
+		"warble:1:2",
+		"steady",
+		"steady:100",
+		"steady:100:0",
+		"steady:-5:4",
+		"steady:x:4",
+		"ramp:100:50:10",     // target below begin
+		"ramp:100:200:0",     // zero step would never terminate
+		"ramp:100:200:-50",   // negative step likewise
+		"ramp:100:200:50:0",  // zero slots per step
+		"ramp:1:2",           // too few args
+		"ramp:1:2:3:4:5",     // too many args
+		"burst:0:500:3:0:7",  // zero duty
+		"burst:0:500:3:4:7",  // duty > period
+		"burst:0:500:0:1:7",  // zero period
+		"burst:0:500:3:1:0",  // zero slots
+		"burst:-1:500:3:1:7", // negative base
+		"burst:0:500:3:1",    // too few args
+	}
+	for _, spec := range bad {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", spec)
+		}
+	}
+}
+
+// TestJitterDeterminism: the same (schedule, frac, seed) yields
+// byte-identical rates; a different seed yields different rates; every
+// jittered rate stays within the promised band.
+func TestJitterDeterminism(t *testing.T) {
+	s, err := Parse("ramp:100:1000:100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := s.Jittered(0.1, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Jittered(0.1, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Rates(), b.Rates()) {
+		t.Errorf("same seed produced different rates:\n%v\n%v", a.Rates(), b.Rates())
+	}
+	c, err := s.Jittered(0.1, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.Rates(), c.Rates()) {
+		t.Errorf("different seeds produced identical rates: %v", a.Rates())
+	}
+	for i, r := range a.Rates() {
+		base := s.Rate(i)
+		if r < 0.9*base-1e-9 || r > 1.1*base+1e-9 {
+			t.Errorf("slot %d: jittered rate %g outside ±10%% of %g", i, r, base)
+		}
+	}
+	if _, err := s.Jittered(1.0, 1); err == nil {
+		t.Error("Jittered(1.0) succeeded, want error")
+	}
+	if _, err := s.Jittered(-0.1, 1); err == nil {
+		t.Error("Jittered(-0.1) succeeded, want error")
+	}
+}
+
+// FuzzParseSchedule: no spec may panic the parser, and any accepted
+// schedule must be well-formed (at least one slot, every rate finite
+// and non-negative, spec round-trips to the same rates).
+func FuzzParseSchedule(f *testing.F) {
+	seeds := []string{
+		"steady:100:4", "ramp:100:400:150", "sweep:1:10:3:2",
+		"burst:0:500:3:1:7", "ramp:0:0:1", "steady:1e6:1",
+		"burst:1:2:3:4", "x", "::::", "ramp:1:2:3:4:5",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		s, err := Parse(spec)
+		if err != nil {
+			return
+		}
+		if s.NumSlots() <= 0 {
+			t.Fatalf("accepted %q with %d slots", spec, s.NumSlots())
+		}
+		if s.NumSlots() > 1<<22 {
+			// Guard the fuzzer itself against pathological giant
+			// schedules; rates below are still checked via sampling.
+			t.Skip()
+		}
+		for i, r := range s.Rates() {
+			if math.IsNaN(r) || math.IsInf(r, 0) || r < 0 {
+				t.Fatalf("accepted %q with bad rate %g at slot %d", spec, r, i)
+			}
+		}
+		rt, err := Parse(s.Spec())
+		if err != nil {
+			t.Fatalf("canonical spec %q of %q does not re-parse: %v", s.Spec(), spec, err)
+		}
+		if !reflect.DeepEqual(rt.Rates(), s.Rates()) {
+			t.Fatalf("canonical spec %q of %q changed rates", s.Spec(), spec)
+		}
+	})
+}

@@ -323,6 +323,25 @@ func (p *PeerConn) SendRaw(batch []byte) error {
 	return p.bw.Flush()
 }
 
+// SendRawBatch forwards several already-marshalled event batches as
+// consecutive frames under one lock acquisition and one Flush — the
+// writev-style path a host's per-subscriber writer uses after draining
+// its outbox, so a burst of queued frames costs one syscall instead of
+// one per frame.
+func (p *PeerConn) SendRawBatch(batches [][]byte) error {
+	if len(batches) == 0 {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, b := range batches {
+		if err := writeFrame(p.bw, msgEvents, b); err != nil {
+			return err
+		}
+	}
+	return p.bw.Flush()
+}
+
 // SendDone sends an orderly end-of-stream frame.
 func (p *PeerConn) SendDone() error {
 	p.mu.Lock()

@@ -1,6 +1,8 @@
 package store
 
 import (
+	"time"
+
 	"egwalker/internal/metrics"
 )
 
@@ -45,6 +47,18 @@ type Metrics struct {
 	ColdOpens      metrics.Counter
 	Compactions    metrics.Counter
 	FsyncErrors    metrics.Counter
+
+	// Connection-scale fan-out: CoalescedFrames counts frames
+	// eliminated by merging a slow peer's adjacent queued batches into
+	// one re-marshalled batch (the reprieve before severing);
+	// OutboxBytes is the live server-wide total of queued fan-out bytes
+	// across every subscriber — by construction it never exceeds
+	// ServerOptions.OutboxBytesTotal; ConnCount is the number of
+	// connections currently inside ServeHello (subscribers, replica
+	// links, and connections still in catch-up alike).
+	CoalescedFrames metrics.Counter
+	OutboxBytes     metrics.Gauge
+	ConnCount       metrics.Gauge
 
 	Resumes        metrics.Counter
 	FullSnapshots  metrics.Counter
@@ -124,6 +138,16 @@ type MetricsSnapshot struct {
 	Compactions    int64 `json:"compactions"`
 	FsyncErrors    int64 `json:"fsync_errors"`
 
+	CoalescedFrames int64 `json:"coalesced_frames"`
+	OutboxBytes     int64 `json:"outbox_bytes"`
+	ConnCount       int64 `json:"conn_count"`
+	// SeverRate is PeersSevered per second of server uptime, derived by
+	// Server.MetricsSnapshot (a bare Metrics has no uptime and leaves
+	// it zero). A sustained non-zero rate means the fleet is running at
+	// an offered load its slowest subscribers cannot drain.
+	SeverRate float64 `json:"sever_rate"`
+	UptimeSec float64 `json:"uptime_sec"`
+
 	Resumes        int64 `json:"resumes"`
 	FullSnapshots  int64 `json:"full_snapshots"`
 	ResumeEvents   int64 `json:"resume_events"`
@@ -176,6 +200,10 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		Compactions:    m.Compactions.Load(),
 		FsyncErrors:    m.FsyncErrors.Load(),
 
+		CoalescedFrames: m.CoalescedFrames.Load(),
+		OutboxBytes:     m.OutboxBytes.Load(),
+		ConnCount:       m.ConnCount.Load(),
+
 		Resumes:        m.Resumes.Load(),
 		FullSnapshots:  m.FullSnapshots.Load(),
 		ResumeEvents:   m.ResumeEvents.Load(),
@@ -212,5 +240,14 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 // MetricsSnapshot.
 func (s *Server) Metrics() *Metrics { return s.metrics }
 
-// MetricsSnapshot captures the server's metrics as a JSON-ready value.
-func (s *Server) MetricsSnapshot() MetricsSnapshot { return s.metrics.Snapshot() }
+// MetricsSnapshot captures the server's metrics as a JSON-ready value,
+// including the uptime-derived sever_rate (severed peers per second
+// since the server started).
+func (s *Server) MetricsSnapshot() MetricsSnapshot {
+	snap := s.metrics.Snapshot()
+	if up := time.Since(s.started).Seconds(); up > 0 {
+		snap.UptimeSec = up
+		snap.SeverRate = float64(snap.PeersSevered) / up
+	}
+	return snap
+}

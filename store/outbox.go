@@ -1,0 +1,245 @@
+package store
+
+import (
+	"sync"
+
+	"egwalker"
+	"egwalker/internal/metrics"
+	"egwalker/netsync"
+)
+
+// outbox is one subscriber's queue of marshalled fan-out frames,
+// bounded by bytes instead of frame count. The old design — a 256-slot
+// channel per peer — bounded nothing that matters: 256 frames of 16 MiB
+// each is 4 GiB of queued batches per slow peer, and at 10k connections
+// the channel backing arrays alone were ~20 MB of idle memory. The
+// outbox instead tracks queued bytes against two budgets: a per-peer
+// budget (one slow reader may buffer this much) and a server-wide cap
+// shared by every outbox (the global ledger is the server's
+// OutboxBytes gauge, which makes the bound observable for free).
+//
+// When a push would overrun either budget, the queue first coalesces:
+// adjacent frames whose decoded events are attached are merged and
+// re-marshalled as one batch. For a slow-but-alive peer this is a real
+// reprieve, not just bookkeeping — merging N small batches amortizes
+// per-frame headers, and run-length encoding compresses adjacent edits
+// from the same agents (a compact-encoded merge of hundreds of
+// single-keystroke batches is often ~10x smaller than their sum). Only
+// if the queue is still over budget after coalescing is the peer
+// severed; it reconnects with a resume hello and catches up
+// incrementally, which costs far less than the backlog it was never
+// going to drain.
+//
+// Locking: outbox has its own mutex and is pushed under the entry's
+// fan-out lock (entry.mu -> outbox.mu); the drain side takes only
+// outbox.mu. The per-peer writer goroutine blocks in drain on the
+// condition variable, wakes on push or close, and ships everything
+// queued as one writev-style batch (netsync.SendRawBatch: one flush
+// for the whole burst).
+type outbox struct {
+	mu   sync.Mutex
+	cond sync.Cond
+
+	frames []obFrame
+	bytes  int64 // sum of len(raw) over frames
+	closed bool
+
+	// compact records whether the peer decodes the compact columnar
+	// encoding; coalesced batches are re-marshalled in the densest
+	// encoding the peer accepts.
+	compact bool
+
+	peerBudget int64
+	globalCap  int64
+	global     *metrics.Gauge   // server-wide queued-bytes ledger (OutboxBytes)
+	coalesced  *metrics.Counter // frames eliminated by merging (CoalescedFrames)
+}
+
+// obFrame is one queued frame: the marshalled payload and, when the
+// payload is a self-contained single-chunk batch, its decoded events —
+// the handle coalescing needs to merge adjacent frames.
+type obFrame struct {
+	raw    []byte
+	events []egwalker.Event
+}
+
+func newOutbox(peerBudget, globalCap int64, global *metrics.Gauge, coalesced *metrics.Counter, compact bool) *outbox {
+	o := &outbox{
+		peerBudget: peerBudget,
+		globalCap:  globalCap,
+		global:     global,
+		coalesced:  coalesced,
+		compact:    compact,
+	}
+	o.cond.L = &o.mu
+	return o
+}
+
+// push queues frames for the writer, attaching events (which must
+// correspond to the single frame in raws) when len(raws) == 1 so the
+// frame stays coalescible. It reports false when the peer is over
+// budget even after coalescing — the caller must sever it. A closed
+// outbox absorbs pushes silently (the peer is already on its way out).
+//
+// An empty queue always accepts, whatever the budgets say: a frame
+// larger than the per-peer budget must still make progress, and a peer
+// with nothing queued is by definition not slow.
+func (o *outbox) push(raws [][]byte, events []egwalker.Event) bool {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.closed {
+		return true
+	}
+	var add int64
+	for _, r := range raws {
+		add += int64(len(r))
+	}
+	if len(o.frames) > 0 && o.overLocked(add) {
+		o.coalesceLocked()
+		if o.overLocked(add) {
+			return false
+		}
+	}
+	for i, r := range raws {
+		f := obFrame{raw: r}
+		if i == 0 && len(raws) == 1 {
+			f.events = events
+		}
+		o.frames = append(o.frames, f)
+	}
+	o.bytes += add
+	o.global.Add(add)
+	o.cond.Signal()
+	return true
+}
+
+// overLocked reports whether accepting add more bytes would overrun
+// the per-peer budget or the server-wide cap.
+func (o *outbox) overLocked(add int64) bool {
+	if o.peerBudget > 0 && o.bytes+add > o.peerBudget {
+		return true
+	}
+	if o.globalCap > 0 && o.global.Load()+add > o.globalCap {
+		return true
+	}
+	return false
+}
+
+// coalesceLocked merges maximal runs of adjacent frames that carry
+// their decoded events, re-marshalling each run as one batch in the
+// peer's best encoding, and keeps the merge only when it is actually
+// smaller (a merge that grows — rare, but possible across chunking
+// boundaries — is discarded).
+func (o *outbox) coalesceLocked() {
+	if len(o.frames) < 2 {
+		return
+	}
+	out := make([]obFrame, 0, len(o.frames))
+	for i := 0; i < len(o.frames); {
+		if o.frames[i].events == nil {
+			out = append(out, o.frames[i])
+			i++
+			continue
+		}
+		j := i + 1
+		for j < len(o.frames) && o.frames[j].events != nil {
+			j++
+		}
+		if j-i < 2 {
+			out = append(out, o.frames[i])
+			i = j
+			continue
+		}
+		var evs []egwalker.Event
+		var oldBytes int64
+		for k := i; k < j; k++ {
+			evs = append(evs, o.frames[k].events...)
+			oldBytes += int64(len(o.frames[k].raw))
+		}
+		var chunks [][]byte
+		var err error
+		if o.compact {
+			chunks, err = netsync.MarshalChunksCompact(evs)
+		} else {
+			chunks, err = netsync.MarshalChunks(evs)
+		}
+		var newBytes int64
+		for _, c := range chunks {
+			newBytes += int64(len(c))
+		}
+		if err != nil || newBytes >= oldBytes {
+			out = append(out, o.frames[i:j]...)
+		} else {
+			for _, c := range chunks {
+				f := obFrame{raw: c}
+				if len(chunks) == 1 {
+					f.events = evs
+				}
+				out = append(out, f)
+			}
+			o.coalesced.Add(int64(j - i - len(chunks)))
+			o.bytes += newBytes - oldBytes
+			o.global.Add(newBytes - oldBytes)
+		}
+		i = j
+	}
+	o.frames = out
+}
+
+// drain blocks until frames are queued (returning them all, emptying
+// the queue) or the outbox is closed with nothing left (returning
+// ok=false — the writer's signal to exit). A graceful close hands the
+// writer whatever is still queued before reporting closed.
+func (o *outbox) drain() ([][]byte, bool) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	for len(o.frames) == 0 && !o.closed {
+		o.cond.Wait()
+	}
+	if len(o.frames) == 0 {
+		return nil, false
+	}
+	raws := make([][]byte, len(o.frames))
+	for i, f := range o.frames {
+		raws[i] = f.raw
+	}
+	o.global.Add(-o.bytes)
+	o.bytes = 0
+	o.frames = nil
+	return raws, true
+}
+
+// close marks the outbox finished and wakes the writer. With drop,
+// queued frames are discarded immediately (the sever path: the peer
+// will resume-reconnect, so its backlog is garbage); without, the
+// writer drains what remains before exiting (orderly unsubscribe).
+// Idempotent, and a later close(true) after a graceful close still
+// discards — the writer-error path relies on that to release the
+// ledger when the connection dies mid-drain.
+func (o *outbox) close(drop bool) {
+	o.mu.Lock()
+	o.closed = true
+	if drop && len(o.frames) > 0 {
+		o.global.Add(-o.bytes)
+		o.bytes = 0
+		o.frames = nil
+	}
+	o.cond.Broadcast()
+	o.mu.Unlock()
+}
+
+// depth reports how many frames are queued (the periodic OutboxDepth
+// sample; an idle-but-full outbox is visible here even though no send
+// is touching it).
+func (o *outbox) depth() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return len(o.frames)
+}
+
+// queuedBytes reports the queue's current byte occupancy.
+func (o *outbox) queuedBytes() int64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.bytes
+}

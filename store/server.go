@@ -80,6 +80,20 @@ type ServerOptions struct {
 	// hello frame (default 10s; < 0 disables): an accepted connection
 	// that never says anything must not pin a goroutine forever.
 	HandshakeTimeout time.Duration
+	// OutboxBytesPerPeer caps how many queued fan-out bytes one
+	// subscriber may buffer (default 1 MiB). A peer over the cap has its
+	// queue coalesced (adjacent batches merged and re-marshalled); if it
+	// is still over, the peer is severed and reconnects with a resume
+	// hello. The old 256-frame channel bounded nothing in bytes; this
+	// makes per-connection memory a budget, which is what lets one
+	// server hold 10k+ subscribers without a slow minority owning the
+	// heap.
+	OutboxBytesPerPeer int64
+	// OutboxBytesTotal caps queued fan-out bytes across every
+	// subscriber of every document (default 256 MiB) — the server-wide
+	// backstop that bounds RSS no matter how many peers go slow at
+	// once. The live total is the outbox_bytes gauge.
+	OutboxBytesTotal int64
 }
 
 func (o ServerOptions) withDefaults() ServerOptions {
@@ -110,6 +124,15 @@ func (o ServerOptions) withDefaults() ServerOptions {
 	if o.HandshakeTimeout == 0 {
 		o.HandshakeTimeout = 10 * time.Second
 	}
+	if o.OutboxBytesPerPeer <= 0 {
+		o.OutboxBytesPerPeer = 1 << 20
+	}
+	if o.OutboxBytesTotal <= 0 {
+		o.OutboxBytesTotal = 256 << 20
+	}
+	if o.OutboxBytesTotal < o.OutboxBytesPerPeer {
+		o.OutboxBytesTotal = o.OutboxBytesPerPeer
+	}
 	// A hosted document that turns out corrupt comes up quarantined
 	// (salvaged prefix served read-only) instead of unopenable: the
 	// server always has the repair machinery on hand.
@@ -122,13 +145,13 @@ func (o ServerOptions) withDefaults() ServerOptions {
 // the stores anyway.
 const closeDrainTimeout = 5 * time.Second
 
-// peerSub is one live subscriber of a document: its outbox of
-// marshalled batches, the connection behind it (kept so the sever path
-// can close the transport immediately — a writer blocked mid-send on a
-// stalled peer would otherwise never observe its outbox closing), and
-// whether the peer advertised the compact encoding.
+// peerSub is one live subscriber of a document: its byte-budgeted
+// outbox of marshalled batches, the connection behind it (kept so the
+// sever path can close the transport immediately — a writer blocked
+// mid-send on a stalled peer would otherwise never observe its outbox
+// closing), and whether the peer advertised the compact encoding.
 type peerSub struct {
-	ch      chan []byte
+	ob      *outbox
 	conn    io.ReadWriter
 	compact bool
 }
@@ -154,6 +177,10 @@ type entry struct {
 	mu       sync.Mutex
 	peers    map[int]peerSub
 	nextPeer int
+	// obPeer/obTotal are the outbox byte budgets, copied from the
+	// server's options at acquire so subscribe needs no back-pointer.
+	obPeer  int64
+	obTotal int64
 
 	refs       int
 	elem       *list.Element
@@ -173,6 +200,7 @@ type Server struct {
 	root    string
 	opts    ServerOptions
 	metrics *Metrics
+	started time.Time
 	open    map[string]*entry
 	lru     *list.List // front = most recently used; values are *entry
 	// quarantined tracks which documents are currently quarantined, by
@@ -196,6 +224,7 @@ func NewServer(root string, opts ServerOptions) (*Server, error) {
 		root:        root,
 		opts:        opts.withDefaults(),
 		metrics:     &Metrics{},
+		started:     time.Now(),
 		open:        make(map[string]*entry),
 		lru:         list.New(),
 		quarantined: make(map[string]error),
@@ -241,7 +270,7 @@ func (s *Server) acquire(docID string) (*entry, error) {
 		}
 		return e, nil
 	}
-	e := &entry{id: docID, ready: make(chan struct{}), peers: make(map[int]peerSub), m: s.metrics, logf: s.logf, onIngest: s.opts.OnIngest, refs: 1}
+	e := &entry{id: docID, ready: make(chan struct{}), peers: make(map[int]peerSub), m: s.metrics, logf: s.logf, onIngest: s.opts.OnIngest, obPeer: s.opts.OutboxBytesPerPeer, obTotal: s.opts.OutboxBytesTotal, refs: 1}
 	e.elem = s.lru.PushFront(e)
 	s.open[docID] = e
 	s.metrics.OpenDocs.Set(int64(len(s.open)))
@@ -559,6 +588,7 @@ func (e *entry) fanoutLocked(events []egwalker.Event, raw []byte, fromPeer int) 
 			continue
 		}
 		raws := verbatim
+		evs := events
 		if raws == nil || (rawCompact && !p.compact) {
 			var err error
 			raws, err = legacyPayloads()
@@ -566,30 +596,35 @@ func (e *entry) fanoutLocked(events []egwalker.Event, raw []byte, fromPeer int) 
 				return err
 			}
 		}
-		for _, b := range raws {
-			e.m.OutboxDepth.Observe(int64(len(p.ch)))
-			select {
-			case p.ch <- b:
-			default:
-				// Slow peer: its outbox is full, so it would silently
-				// miss these events forever (the live protocol has no
-				// anti-entropy). Sever it instead — closing the outbox
-				// ends its writer, and closing the connection unblocks
-				// a writer stalled mid-send (and the peer's reader);
-				// the client reconnects with a resume hello and
-				// catches up incrementally.
-				delete(e.peers, pid)
-				close(p.ch)
-				severConn(p.conn)
-				e.m.PeersSevered.Inc()
-				e.m.Subscribers.Add(-1)
-			}
-			if _, ok := e.peers[pid]; !ok {
-				break
-			}
+		e.m.OutboxDepth.Observe(int64(p.ob.depth()))
+		if !p.ob.push(raws, evs) {
+			// Slow peer: over its byte budget even after coalescing, so
+			// it would silently miss these events forever (the live
+			// protocol has no anti-entropy). Sever it instead; the
+			// client reconnects with a resume hello and catches up
+			// incrementally.
+			e.severLocked(pid)
 		}
 	}
 	return nil
+}
+
+// severLocked disconnects one subscriber: removes it from the peer
+// map, drops its queued outbox (waking and ending its writer), and
+// closes the transport so a writer stalled mid-send and the peer's
+// reader both unblock. Called with e.mu held. Guarded on map
+// membership so racing sever paths (fan-out overflow vs. a connection
+// close already in flight) account the peer exactly once.
+func (e *entry) severLocked(pid int) {
+	p, ok := e.peers[pid]
+	if !ok {
+		return
+	}
+	delete(e.peers, pid)
+	p.ob.close(true)
+	severConn(p.conn)
+	e.m.PeersSevered.Inc()
+	e.m.Subscribers.Add(-1)
 }
 
 // subPlan is what subscribe hands ServeConn: the peer's registration
@@ -598,7 +633,7 @@ func (e *entry) fanoutLocked(events []egwalker.Event, raw []byte, fromPeer int) 
 // decoded event batch.
 type subPlan struct {
 	id     int
-	outbox chan []byte
+	outbox *outbox
 	cut    *BlockCut
 	events []egwalker.Event
 }
@@ -620,8 +655,8 @@ func (e *entry) subscribe(conn io.ReadWriter, h netsync.Hello) (*subPlan, error)
 	defer e.mu.Unlock()
 	id := e.nextPeer
 	e.nextPeer++
-	outbox := make(chan []byte, 256)
-	e.peers[id] = peerSub{ch: outbox, conn: conn, compact: h.Compact}
+	outbox := newOutbox(e.obPeer, e.obTotal, &e.m.OutboxBytes, &e.m.CoalescedFrames, h.Compact)
+	e.peers[id] = peerSub{ob: outbox, conn: conn, compact: h.Compact}
 	e.m.Subscribers.Add(1)
 	if len(h.Summary) > 0 {
 		catchup, err := e.ds.EventsSinceSummary(h.Summary)
@@ -667,6 +702,7 @@ func (e *entry) subscribe(conn io.ReadWriter, h netsync.Hello) (*subPlan, error)
 		// No catch-up can be built (materialization failed); undo the
 		// registration — this connection is unusable.
 		delete(e.peers, id)
+		outbox.close(true)
 		e.m.Subscribers.Add(-1)
 		return nil, err
 	}
@@ -692,7 +728,10 @@ func (e *entry) unsubscribe(id int) {
 	}
 	e.mu.Unlock()
 	if ok {
-		close(p.ch)
+		// Graceful close: the writer drains what is already queued
+		// before exiting. A peer severed earlier is gone from the map,
+		// so this path cannot double-account it.
+		p.ob.close(false)
 	}
 }
 
@@ -741,6 +780,8 @@ type readDeadliner interface {
 // the server-to-server treatment: a version exchange instead of a
 // fan-out subscription (see serveReplica).
 func (s *Server) ServeHello(conn io.ReadWriter, h netsync.Hello) error {
+	s.metrics.ConnCount.Add(1)
+	defer s.metrics.ConnCount.Add(-1)
 	if h.Replica {
 		return s.serveReplica(conn, h)
 	}
@@ -775,19 +816,31 @@ func (s *Server) ServeHello(conn io.ReadWriter, h netsync.Hello) error {
 
 	writeErr := make(chan error, 1)
 	go func() {
-		for b := range plan.outbox {
-			if err := pc.SendRaw(b); err != nil {
+		for {
+			raws, ok := plan.outbox.drain()
+			if !ok {
+				// Outbox closed and empty: normal teardown, or the peer
+				// was dropped as too slow (ingest). Sever the connection
+				// so a Recv blocked on an idle diverged client unblocks
+				// and the client reconnects for a fresh snapshot.
+				writeErr <- nil
+				severConn(conn)
+				return
+			}
+			// Everything queued ships as one writev-style burst: the
+			// frames hit the wire under a single flush instead of one
+			// syscall each — the difference between 10k writers making
+			// progress and 10k writers thrashing the scheduler.
+			if err := pc.SendRawBatch(raws); err != nil {
 				writeErr <- err
+				// Frames queued after this point can never be sent;
+				// drop them so the global byte ledger is released now,
+				// not when unsubscribe eventually runs.
+				plan.outbox.close(true)
 				severConn(conn)
 				return
 			}
 		}
-		// Outbox closed: normal teardown, or the peer was dropped as
-		// too slow (ingest). Sever the connection so a Recv blocked on
-		// an idle diverged client unblocks and the client reconnects
-		// for a fresh snapshot.
-		writeErr <- nil
-		severConn(conn)
 	}()
 
 	for {
@@ -1135,13 +1188,47 @@ func (s *Server) flusher() {
 	}
 	t := time.NewTicker(interval)
 	defer t.Stop()
-	for {
+	// Outbox depths are also sampled on every fan-out send, but a send
+	// that never happens samples nothing: an idle-but-full outbox (the
+	// writer stalled, no new ingest on that document) was invisible.
+	// Piggyback a periodic sweep on the flusher, roughly once a second.
+	sampleEvery := int(time.Second / interval)
+	if sampleEvery < 1 {
+		sampleEvery = 1
+	}
+	for ticks := 0; ; {
 		select {
 		case <-s.done:
 			return
 		case <-t.C:
 			s.flushOnce()
+			if ticks++; ticks%sampleEvery == 0 {
+				s.sampleOutboxes()
+			}
 		}
+	}
+}
+
+// sampleOutboxes records every live subscriber's outbox depth, so
+// queues that are deep but quiescent still show up in OutboxDepth.
+func (s *Server) sampleOutboxes() {
+	s.mu.Lock()
+	entries := make([]*entry, 0, len(s.open))
+	for _, e := range s.open {
+		if e.ds == nil {
+			continue // still opening
+		}
+		e.refs++
+		entries = append(entries, e)
+	}
+	s.mu.Unlock()
+	for _, e := range entries {
+		e.mu.Lock()
+		for _, p := range e.peers {
+			s.metrics.OutboxDepth.Observe(int64(p.ob.depth()))
+		}
+		e.mu.Unlock()
+		s.release(e)
 	}
 }
 

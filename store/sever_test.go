@@ -16,9 +16,15 @@ import (
 // receiving every event — and the severed client reconverges by
 // reconnecting with an incremental resume instead of a full snapshot.
 func TestSlowSubscriberSeverAndResume(t *testing.T) {
-	srv := newTestServer(t, ServerOptions{FlushInterval: time.Millisecond})
+	// The per-peer outbox budget is sized around the legacy encoding's
+	// ~9-10 bytes per single-char insert: the 100 events B drains while
+	// alive can never overrun it even if they all queue at once
+	// (~1 KiB), while the 300-event backlog after B stalls (~2.7 KiB,
+	// and coalescing legacy frames barely compresses) reliably does.
+	srv := newTestServer(t, ServerOptions{FlushInterval: time.Millisecond, OutboxBytesPerPeer: 2048})
 	const docID = "sever-doc"
 	const totalEvents = 400
+	const stallAt = 100
 
 	// B: the peer that will go slow. Connects first; reads a while,
 	// then stops draining.
@@ -70,9 +76,18 @@ func TestSlowSubscriberSeverAndResume(t *testing.T) {
 	if _, _, _, err := cpc.Recv(); err != nil {
 		t.Fatal(err)
 	}
+	// C writes in two phases: stallAt events while B drains, then —
+	// only once B has gone silent — the rest. The pause makes the
+	// sever deterministic: without it C could finish before B stalls,
+	// and a backlog that stops growing never overflows the budget
+	// (severing happens on push).
+	bStalled := make(chan struct{})
 	cErr := make(chan error, 1)
 	go func() {
 		for i := 0; i < totalEvents; i++ {
+			if i == stallAt {
+				<-bStalled
+			}
 			pre := cdoc.Version()
 			if err := cdoc.Insert(cdoc.Len(), "x"); err != nil {
 				cErr <- err
@@ -90,8 +105,8 @@ func TestSlowSubscriberSeverAndResume(t *testing.T) {
 		cErr <- nil
 	}()
 
-	// B drains the first 100 events, then goes silent.
-	for bdoc.NumEvents() < 100 {
+	// B drains the first stallAt events, then goes silent.
+	for bdoc.NumEvents() < stallAt {
 		evs, _, done, err := bpc.Recv()
 		if err != nil || done {
 			t.Fatalf("b: done=%v err=%v at %d events", done, err, bdoc.NumEvents())
@@ -100,6 +115,7 @@ func TestSlowSubscriberSeverAndResume(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
+	close(bStalled)
 
 	if err := <-cErr; err != nil {
 		t.Fatalf("writer: %v", err)
